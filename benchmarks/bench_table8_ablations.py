@@ -1,0 +1,78 @@
+"""Table 8 (ablation) -- which design choices carry the result.
+
+Each variant removes one mechanism and is measured on two axes: evasion
+coverage over the catalog (does detection survive?) and benign cost
+(diverted flows / slow-path bytes).  Shape to reproduce:
+
+- dropping the small-packet rule loses the tiny-segment attack class;
+- dropping fragment diversion loses the IP-fragmentation class;
+- dropping the order monitor keeps catalog coverage (per-packet piece
+  matching is order-oblivious) -- it exists as defense-in-depth for
+  ambiguity games -- and actually diverts *less* benign traffic;
+- disabling probation keeps coverage but triples slow-path byte load,
+  which is why flow reinstatement matters for the 10% processing story.
+"""
+
+import sys
+
+from exp_common import attack_packets, benign_trace, bundled_rules, detected, emit, gauntlet_ruleset, run_engine
+from repro.core import FastPathConfig, SplitDetectIPS
+from repro.evasion import STRATEGIES
+from repro.metrics import run_split_detect
+
+VARIANTS: dict[str, dict] = {
+    "full": {},
+    "no-tiny-rule": {"fast_config": FastPathConfig(check_tiny=False)},
+    "no-order-monitor": {"fast_config": FastPathConfig(check_order=False)},
+    "no-fragment-divert": {"fast_config": FastPathConfig(divert_fragments=False)},
+    "no-whole-scan": {"fast_config": FastPathConfig(scan_whole_signatures=False)},
+    "no-probation": {"probation_packets": 0},
+}
+
+
+def evaluate_variant(kwargs: dict) -> tuple[int, float, int]:
+    """(catalog hits, benign slow-byte fraction, benign diversions)."""
+    hits = 0
+    for name in sorted(STRATEGIES):
+        engine = SplitDetectIPS(gauntlet_ruleset(), **kwargs)
+        if detected(run_engine(engine, attack_packets(name))):
+            hits += 1
+    benign = benign_trace(flows=200, seed=41)
+    ips = SplitDetectIPS(bundled_rules(), **kwargs)
+    report = run_split_detect(ips, benign, sample_every=500)
+    return hits, report.diversion_byte_fraction, report.diverted_flows
+
+
+def table_rows() -> tuple[list[str], dict]:
+    lines = [
+        f"{'variant':<20} {'catalog hits':>12} {'benign slow%':>12} {'benign div':>10}"
+    ]
+    results = {}
+    for name, kwargs in VARIANTS.items():
+        hits, slow_frac, diversions = evaluate_variant(kwargs)
+        results[name] = (hits, slow_frac, diversions)
+        lines.append(
+            f"{name:<20} {hits:>8}/{len(STRATEGIES):<3} {slow_frac:>12.1%} {diversions:>10}"
+        )
+    return lines, results
+
+
+def test_table8_ablations(benchmark, capfd):
+    def full_variant():
+        return evaluate_variant(VARIANTS["full"])
+
+    hits, _slow, _div = benchmark.pedantic(full_variant, rounds=1, iterations=1)
+    assert hits == len(STRATEGIES)
+    lines, results = table_rows()
+    emit("table8_ablations", lines, capfd)
+    # The full system covers everything.
+    assert results["full"][0] == len(STRATEGIES)
+    # Removing the fragment rule must lose fragmentation attacks.
+    assert results["no-fragment-divert"][0] < len(STRATEGIES)
+    # Probation is a cost optimization, not a detection mechanism:
+    assert results["no-probation"][0] == len(STRATEGIES)
+    assert results["no-probation"][1] >= results["full"][1]
+
+
+if __name__ == "__main__":
+    print("\n".join(table_rows()[0]), file=sys.stderr)

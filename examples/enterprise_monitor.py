@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Enterprise monitoring scenario: a synthetic trace with hidden attacks.
+
+Generates a few hundred benign flows (heavy-tailed sizes, realistic
+packet mix, natural reordering), hides three evasion attacks among them,
+writes the whole thing to a real pcap, then runs both Split-Detect and
+the conventional IPS over it and compares alerts, state, and the
+throughput estimate.
+
+Run:  python examples/enterprise_monitor.py [pcap_out]
+"""
+
+import sys
+import tempfile
+
+from repro.core import ConventionalIPS, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.metrics import run_conventional, run_split_detect, throughput_comparison
+from repro.pcap import read_trace, write_trace
+from repro.signatures import load_bundled_rules
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else tempfile.mktemp(suffix=".pcap")
+    rules = load_bundled_rules()
+
+    print("generating benign traffic (300 flows)...")
+    trace = generate_trace(TrafficProfile(flows=300), seed=2006)
+
+    print("hiding three attacks (tcp_seg_8, ip_frag_8, ttl_chaff)...")
+    target = rules.by_sid(1000001)  # cmd.exe, port 80
+    payload = b"GET /scripts/root.exe?/c+" + target.pattern + b" HTTP/1.0\r\n\r\n" + b"x" * 300
+    span = (payload.index(target.pattern), len(target.pattern))
+    attacks = [
+        build_attack(name, payload, signature_span=span, src=f"10.66.0.{i + 1}", seed=i)
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8", "ttl_chaff"])
+    ]
+    merged = inject_attacks(trace, attacks)
+
+    count = write_trace(out, merged)
+    print(f"wrote {count} packets to {out}")
+
+    replay = list(read_trace(out))  # prove the pcap round-trips
+
+    print("\n--- Split-Detect ---")
+    split_ips = SplitDetectIPS(rules)
+    split_report = run_split_detect(split_ips, replay)
+    hits = sorted({a.sid for a in split_report.alerts if a.sid})
+    print(f"alerts: {len(split_report.alerts)} (sids {hits})")
+    print(f"diverted flows: {split_report.diverted_flows} / {split_report.peak_flows} peak")
+    print(f"bytes on slow path: {split_report.diversion_byte_fraction:.2%}")
+    print(f"peak state: {split_report.peak_state_bytes:,} bytes")
+
+    print("\n--- Conventional IPS ---")
+    conv_ips = ConventionalIPS(rules)
+    conv_report = run_conventional(conv_ips, replay)
+    hits = sorted({a.sid for a in conv_report.alerts if a.sid})
+    print(f"alerts: {len(conv_report.alerts)} (sids {hits})")
+    print(f"peak state: {conv_report.peak_state_bytes:,} bytes")
+
+    ratio = split_report.peak_state_bytes / max(conv_report.peak_state_bytes, 1)
+    print(f"\nmeasured state ratio (split/conventional): {ratio:.1%}")
+
+    print("\nprovisioned throughput at 1M connections:")
+    print(f"{'engine':<22} {'bytes':>12} {'refs/B':>9} {'state':>12} {'mem':>5} {'ns/B':>9} {'Gbps':>8}")
+    for row in throughput_comparison(split_report, conv_report):
+        print(row.row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The FragRoute gauntlet: every catalog evasion against three engines.
+
+For each strategy, the attack is first validated against an emulated
+victim (it must actually deliver the signature), then replayed through:
+
+- the naive per-packet matcher (no reassembly),
+- the conventional IPS (reassemble + normalize everything),
+- Split-Detect (per-packet pieces + diversion).
+
+The printed matrix is the live version of the paper's evasion-coverage
+table.
+
+Run:  python examples/fragroute_gauntlet.py
+"""
+
+import random
+
+from repro.core import AlertKind, ConventionalIPS, NaivePacketIPS, SplitDetectIPS
+from repro.evasion import STRATEGIES, AttackSpec, Victim
+from repro.signatures import RuleSet, Signature
+
+SIGNATURE = b"EVIL-PAYLOAD\x90\x90\x90\x90:exec/bin/sh"
+OFFSET = 120
+
+
+def ruleset() -> RuleSet:
+    rules = RuleSet()
+    rules.add(Signature(sid=3001, pattern=SIGNATURE, msg="gauntlet target"))
+    return rules
+
+
+def payload() -> bytes:
+    body = bytearray(b"Content-Filler: benign web traffic padding / " * 30)
+    body[OFFSET : OFFSET + len(SIGNATURE)] = SIGNATURE
+    return bytes(body)
+
+
+def detected(alerts) -> bool:
+    return any(
+        (alert.kind in (AlertKind.SIGNATURE, AlertKind.PARTIAL_SIGNATURE) and alert.sid == 3001)
+        or alert.kind is AlertKind.AMBIGUITY
+        for alert in alerts
+    )
+
+
+def main() -> None:
+    print(f"{'strategy':<18} {'delivered':>9} {'naive':>6} {'conventional':>12} {'split-detect':>12}")
+    print("-" * 62)
+    for name in sorted(STRATEGIES):
+        strategy = STRATEGIES[name]
+        spec = AttackSpec(
+            payload=payload(),
+            rng=random.Random(11),
+            signature_span=(OFFSET, len(SIGNATURE)),
+        )
+        packets = strategy.build(spec)
+
+        victim = Victim(policy=strategy.victim_policy, hops_behind_ips=strategy.victim_hops)
+        victim.deliver_all(packets)
+        delivered = victim.received(SIGNATURE)
+
+        verdicts = []
+        for engine in (NaivePacketIPS(ruleset()), ConventionalIPS(ruleset()), SplitDetectIPS(ruleset())):
+            alerts = [a for p in packets for a in engine.process(p)]
+            verdicts.append(detected(alerts))
+        naive, conventional, split = verdicts
+        print(
+            f"{name:<18} {'yes' if delivered else 'NO':>9} "
+            f"{'HIT' if naive else 'miss':>6} {'HIT' if conventional else 'miss':>12} "
+            f"{'HIT' if split else 'miss':>12}"
+        )
+    print("\nSplit-Detect and the conventional IPS catch every delivered attack;")
+    print("the naive matcher misses exactly the segmentation/fragmentation class.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Policy lab: watch one packet sequence mean different things per OS.
+
+The Ptacek-Newsham ambiguity in one screen: a crafted TCP flow whose
+overlapping segments reassemble to "ATTACK" on hosts that keep the first
+copy and to "attack" (harmless here, but imagine a signature) on hosts
+that let rewrites win.  An IPS locked to a single policy is blind to one
+of the two realities; Split-Detect diverts the flow on its first
+overlapping segment and flags the inconsistency itself.
+
+Run:  python examples/policy_lab.py
+"""
+
+from repro.evasion import Seg, Victim, plan_to_packets
+from repro.streams import OverlapPolicy
+
+# A flow that sends REAL data while a byte is withheld, rewrites it with
+# a decoy, then releases the withheld byte.
+REAL = b"/bin/sh#EVIL"
+DECOY = b"/tmp/ok#SAFE"
+
+segs = [
+    Seg(offset=1, data=REAL[1:]),                 # real bytes, buffered (hole at 0)
+    Seg(offset=1, data=DECOY[1:]),                # decoy rewrite of the same range
+    Seg(offset=0, data=REAL[:1], fin=True),       # the withheld byte releases all
+]
+packets = plan_to_packets(segs)
+
+
+def main() -> None:
+    print(f"{'policy':<10} application stream")
+    print("-" * 40)
+    evil_policies, safe_policies = [], []
+    for policy in OverlapPolicy:
+        victim = Victim(policy=policy)
+        victim.deliver_all(packets)
+        stream = victim.stream(victim_flow())
+        (evil_policies if stream == REAL else safe_policies).append(policy.value)
+        print(f"{policy.value:<10} {stream!r}")
+
+    print()
+    print(f"The same packets. {'/'.join(evil_policies)} hosts execute "
+          f"{REAL.decode()}; {'/'.join(safe_policies)} hosts see {DECOY.decode()}.")
+    print()
+
+    # What Split-Detect does with it:
+    from repro.core import SplitDetectIPS
+    from repro.signatures import RuleSet, Signature
+
+    rules = RuleSet()
+    rules.add(Signature(sid=1, pattern=REAL, msg="evil shell string"))
+    ips = SplitDetectIPS(rules)
+    alerts = [a for p in packets for a in ips.process(p)]
+    print("Split-Detect verdict on the same packets:")
+    for alert in alerts:
+        print(f"  {alert}")
+    for diversion in ips.diversions:
+        print(f"  diverted: reason={diversion.reason.value} ({diversion.detail})")
+
+
+def victim_flow():
+    from repro.packet import flow_key_of
+
+    return flow_key_of(packets[1].ip)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Trace characterization and reporting utilities."""
+
+from .trace_stats import TraceStats, characterize, format_stats
+
+__all__ = ["TraceStats", "characterize", "format_stats"]

@@ -1,0 +1,176 @@
+"""Trace characterization: the numbers a paper's 'trace table' reports.
+
+Given any packet sequence (synthetic or read from pcap), compute the
+statistics that determine Split-Detect's behaviour on it: packet size
+distribution, flow sizes, fragmentation fraction, and per-flow ordering
+pathology rates.  The benchmark ``bench_table0_trace_stats.py`` prints
+this for the evaluation traces, and operators can run it over their own
+captures via ``splitdetect stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    FlowKey,
+    TimedPacket,
+    decode_tcp,
+    flow_key_of,
+    seq_diff,
+)
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one packet trace."""
+
+    packets: int = 0
+    ip_bytes: int = 0
+    payload_bytes: int = 0
+    tcp_packets: int = 0
+    udp_packets: int = 0
+    other_packets: int = 0
+    fragments: int = 0
+    tiny_payloads: int = 0
+    """Data packets with fewer than 16 payload bytes."""
+
+    flows: int = 0
+    reordered_packets: int = 0
+    retransmitted_packets: int = 0
+    duration: float = 0.0
+    payload_size_histogram: dict[str, int] = field(default_factory=dict)
+    flow_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def fragment_fraction(self) -> float:
+        return self.fragments / self.packets if self.packets else 0.0
+
+    @property
+    def reorder_rate(self) -> float:
+        return self.reordered_packets / self.tcp_packets if self.tcp_packets else 0.0
+
+    @property
+    def retransmit_rate(self) -> float:
+        return (
+            self.retransmitted_packets / self.tcp_packets if self.tcp_packets else 0.0
+        )
+
+    @property
+    def mean_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.ip_bytes * 8 / self.duration / 1e6
+
+    def flow_size_percentile(self, q: float) -> int:
+        if not self.flow_bytes:
+            return 0
+        ordered = sorted(self.flow_bytes)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+_SIZE_BUCKETS = [
+    (0, "0"),
+    (16, "1-16"),
+    (64, "17-64"),
+    (256, "65-256"),
+    (576, "257-576"),
+    (1024, "577-1024"),
+    (1460, "1025-1460"),
+    (10**9, ">1460"),
+]
+
+
+def _bucket(size: int) -> str:
+    for limit, label in _SIZE_BUCKETS:
+        if size <= limit:
+            return label
+    return ">1460"
+
+
+def characterize(trace: list[TimedPacket]) -> TraceStats:
+    """Single-pass trace characterization."""
+    stats = TraceStats()
+    expected: dict[FlowKey, int] = {}
+    flow_bytes: dict[FlowKey, int] = {}
+    first_ts: float | None = None
+    last_ts = 0.0
+    for packet in trace:
+        ip = packet.ip
+        stats.packets += 1
+        stats.ip_bytes += ip.total_length
+        if first_ts is None:
+            first_ts = packet.timestamp
+        last_ts = packet.timestamp
+        if ip.is_fragment:
+            stats.fragments += 1
+            continue
+        if ip.protocol == IP_PROTO_TCP:
+            stats.tcp_packets += 1
+            try:
+                segment = decode_tcp(ip)
+            except Exception:
+                continue
+            payload = segment.payload
+            stats.payload_bytes += len(payload)
+            label = _bucket(len(payload))
+            stats.payload_size_histogram[label] = (
+                stats.payload_size_histogram.get(label, 0) + 1
+            )
+            if 0 < len(payload) < 16:
+                stats.tiny_payloads += 1
+            flow = flow_key_of(ip)
+            flow_bytes[flow.canonical()] = (
+                flow_bytes.get(flow.canonical(), 0) + len(payload)
+            )
+            if payload:
+                seen = expected.get(flow)
+                if seen is not None:
+                    delta = seq_diff(segment.seq, seen)
+                    if delta > 0:
+                        stats.reordered_packets += 1
+                    elif delta < 0:
+                        stats.retransmitted_packets += 1
+                if seen is None or seq_diff(segment.end_seq, seen) > 0:
+                    expected[flow] = segment.end_seq
+            elif segment.syn:
+                expected[flow] = segment.end_seq
+        elif ip.protocol == IP_PROTO_UDP:
+            stats.udp_packets += 1
+            payload_len = max(0, len(ip.payload) - 8)
+            stats.payload_bytes += payload_len
+            label = _bucket(payload_len)
+            stats.payload_size_histogram[label] = (
+                stats.payload_size_histogram.get(label, 0) + 1
+            )
+        else:
+            stats.other_packets += 1
+    stats.flows = len(flow_bytes)
+    stats.flow_bytes = list(flow_bytes.values())
+    stats.duration = (last_ts - first_ts) if first_ts is not None else 0.0
+    return stats
+
+
+def format_stats(stats: TraceStats) -> list[str]:
+    """Render the characterization as the table a paper would print."""
+    lines = [
+        f"packets: {stats.packets:,}   IP bytes: {stats.ip_bytes:,}   "
+        f"duration: {stats.duration:.2f}s   mean rate: {stats.mean_mbps:.2f} Mb/s",
+        f"tcp/udp/other/fragments: {stats.tcp_packets:,} / {stats.udp_packets:,} / "
+        f"{stats.other_packets:,} / {stats.fragments:,} "
+        f"({stats.fragment_fraction:.2%} fragmented)",
+        f"flows: {stats.flows:,}   flow bytes p50/p90/p99: "
+        f"{stats.flow_size_percentile(0.5):,} / {stats.flow_size_percentile(0.9):,} / "
+        f"{stats.flow_size_percentile(0.99):,}",
+        f"reordered: {stats.reorder_rate:.2%}   retransmitted: {stats.retransmit_rate:.2%}   "
+        f"tiny (<16B) data packets: {stats.tiny_payloads:,}",
+        "payload size histogram:",
+    ]
+    for _, label in _SIZE_BUCKETS:
+        count = stats.payload_size_histogram.get(label, 0)
+        if count:
+            lines.append(f"  {label:>9}: {count:,}")
+    return lines

@@ -1,0 +1,203 @@
+"""Command-line interface: ``splitdetect`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``run``       drive an IPS over a pcap file, print alerts and resources
+- ``generate``  synthesize a benign trace (optionally with attacks) to pcap
+- ``rules``     show the bundled signature corpus and its split statistics
+- ``strategies`` list the evasion catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ConventionalIPS, NaivePacketIPS, SplitDetectIPS
+from .evasion import STRATEGIES, build_attack
+from .metrics import run_conventional, run_split_detect, throughput_comparison
+from .pcap import read_trace, write_trace
+from .signatures import (
+    SplitPolicy,
+    load_bundled_rules,
+    load_rules,
+    split_ruleset,
+)
+from .traffic import TrafficProfile, generate_trace, inject_attacks
+
+
+def _load_ruleset(path: str | None):
+    return load_rules(path) if path else load_bundled_rules()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    rules = _load_ruleset(args.rules)
+    trace = list(read_trace(args.pcap))
+    print(f"loaded {len(trace)} packets, {len(rules)} signatures")
+    if args.engine == "split":
+        ips = SplitDetectIPS(rules, split_policy=SplitPolicy(piece_length=args.piece_length))
+        report = run_split_detect(ips, trace)
+        print(f"diverted flows: {report.diverted_flows}  "
+              f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
+        for reason, count in sorted(report.divert_reasons.items()):
+            print(f"  divert[{reason}] = {count}")
+    elif args.engine == "conventional":
+        ips = ConventionalIPS(rules)
+        report = run_conventional(ips, trace)
+    else:
+        ips = NaivePacketIPS(rules)
+        alerts = []
+        for packet in trace:
+            alerts.extend(ips.process(packet))
+        print(f"alerts: {len(alerts)}")
+        for alert in alerts[: args.max_alerts]:
+            print(f"  {alert}")
+        return 0
+    print(f"peak state: {report.peak_state_bytes} bytes over {report.peak_flows} flows")
+    print(f"alerts: {len(report.alerts)}")
+    for alert in report.alerts[: args.max_alerts]:
+        print(f"  {alert}")
+    if len(report.alerts) > args.max_alerts:
+        print(f"  ... and {len(report.alerts) - args.max_alerts} more")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    profile = TrafficProfile(flows=args.flows)
+    trace = generate_trace(profile, seed=args.seed)
+    attacks = []
+    rules = _load_ruleset(args.rules)
+    for name in args.attack or []:
+        if name not in STRATEGIES:
+            print(f"unknown strategy {name!r}; see 'splitdetect strategies'", file=sys.stderr)
+            return 2
+        signature = rules.signatures[0]
+        payload = b"X" * 200 + signature.pattern + b"Y" * 200
+        attacks.append(
+            build_attack(
+                name,
+                payload,
+                signature_span=(200, len(signature.pattern)),
+                src=f"10.250.0.{len(attacks) + 1}",
+                dst_port=signature.dst_port or 80,
+            )
+        )
+    merged = inject_attacks(trace, attacks) if attacks else trace
+    count = write_trace(args.out, merged)
+    print(f"wrote {count} packets to {args.out}"
+          + (f" ({len(attacks)} attack flows)" if attacks else ""))
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    rules = _load_ruleset(args.rules)
+    policy = SplitPolicy(piece_length=args.piece_length)
+    split = split_ruleset(rules, policy)
+    print(f"signatures: {len(rules)}")
+    print(f"splittable: {len(split.splits)}   unsplittable: {len(split.unsplittable)}")
+    print(f"pieces: {split.piece_count}   small-packet threshold B: "
+          f"{split.small_packet_threshold} bytes")
+    if args.histogram:
+        print("pattern-length histogram:")
+        for length, count in rules.length_histogram().items():
+            print(f"  {length:>4} bytes: {'#' * count} ({count})")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import random
+
+    from .signatures import ByteFrequencyModel, lint_ruleset
+    from .signatures.lint import LintLevel
+    from .traffic import benign_payload
+
+    rules = _load_ruleset(args.rules)
+    model = None
+    if not args.no_model:
+        model = ByteFrequencyModel()
+        rng = random.Random(99)
+        for _ in range(30):
+            model.train(benign_payload(rng, 4000))
+    findings = lint_ruleset(
+        rules, SplitPolicy(piece_length=args.piece_length), model
+    )
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.level is LintLevel.ERROR)
+    print(f"{len(rules)} rules: {len(findings)} findings, {errors} errors")
+    return 1 if errors else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis import characterize, format_stats
+
+    trace = list(read_trace(args.pcap))
+    for line in format_stats(characterize(trace)):
+        print(line)
+    return 0
+
+
+def cmd_strategies(_args: argparse.Namespace) -> int:
+    for name in sorted(STRATEGIES):
+        strategy = STRATEGIES[name]
+        print(f"{name:<18} {strategy.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splitdetect",
+        description="Split-Detect IPS (SIGCOMM 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an IPS over a pcap file")
+    run.add_argument("pcap")
+    run.add_argument("--rules", help="Snort-content rules file (default: bundled corpus)")
+    run.add_argument("--engine", choices=("split", "conventional", "naive"), default="split")
+    run.add_argument("--piece-length", type=int, default=8)
+    run.add_argument("--max-alerts", type=int, default=20)
+    run.set_defaults(func=cmd_run)
+
+    gen = sub.add_parser("generate", help="synthesize a trace to pcap")
+    gen.add_argument("out")
+    gen.add_argument("--flows", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--rules", help="rules file supplying the attack signature")
+    gen.add_argument(
+        "--attack",
+        action="append",
+        metavar="STRATEGY",
+        help="inject an attack flow using this evasion strategy (repeatable)",
+    )
+    gen.set_defaults(func=cmd_generate)
+
+    rules = sub.add_parser("rules", help="signature corpus statistics")
+    rules.add_argument("--rules")
+    rules.add_argument("--piece-length", type=int, default=8)
+    rules.add_argument("--histogram", action="store_true")
+    rules.set_defaults(func=cmd_rules)
+
+    lint = sub.add_parser("lint", help="check a rules file for Split-Detect fitness")
+    lint.add_argument("--rules")
+    lint.add_argument("--piece-length", type=int, default=8)
+    lint.add_argument("--no-model", action="store_true",
+                      help="skip the benign-traffic noisy-piece analysis")
+    lint.set_defaults(func=cmd_lint)
+
+    stats = sub.add_parser("stats", help="characterize a pcap trace")
+    stats.add_argument("pcap")
+    stats.set_defaults(func=cmd_stats)
+
+    strategies = sub.add_parser("strategies", help="list the evasion catalog")
+    strategies.set_defaults(func=cmd_strategies)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Split-Detect core: fast path, slow path, engine, and baselines."""
+
+from .alerts import Alert, AlertKind, Diversion, DivertReason
+from .conventional import ConventionalIPS, NaivePacketIPS
+from .engine import PROBATION_REASONS, EngineStats, SplitDetectIPS
+from .fastpath import FAST_FLOW_STATE_BYTES, FastPath, FastPathConfig, FastPathResult
+from .flowtable import FlowTable, fnv1a_64
+from .slowpath import SlowPath
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "ConventionalIPS",
+    "Diversion",
+    "DivertReason",
+    "EngineStats",
+    "FAST_FLOW_STATE_BYTES",
+    "FastPath",
+    "FastPathConfig",
+    "FastPathResult",
+    "FlowTable",
+    "NaivePacketIPS",
+    "PROBATION_REASONS",
+    "SlowPath",
+    "SplitDetectIPS",
+    "fnv1a_64",
+]

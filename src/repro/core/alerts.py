@@ -1,0 +1,80 @@
+"""Alert and diversion vocabulary shared by every IPS variant."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..packet import FlowKey
+
+
+class DivertReason(enum.Enum):
+    """Why the fast path handed a flow to the slow path."""
+
+    PIECE_MATCH = "piece_match"
+    """A signature piece appeared whole inside one packet."""
+
+    TINY_SEGMENT = "tiny_segment"
+    """A non-final data segment carried fewer than B payload bytes."""
+
+    OUT_OF_ORDER = "out_of_order"
+    """A data segment arrived past the expected sequence number."""
+
+    RETRANSMISSION = "retransmission"
+    """A data segment arrived at or before the expected sequence number."""
+
+    IP_FRAGMENT = "ip_fragment"
+    """The packet was an IP fragment (the fast path never defragments)."""
+
+    SHORT_SIGNATURE = "short_signature"
+    """An unsplittable (too short) signature matched whole in a packet."""
+
+    TTL_FLOOR = "ttl_floor"
+    """A data packet's TTL was low enough that it might expire between the
+    IPS and the protected host -- the precondition of insertion attacks."""
+
+
+class AlertKind(enum.Enum):
+    """What an alert asserts about the flow."""
+
+    SIGNATURE = "signature"
+    """The signature byte string was observed in the (normalized) stream."""
+
+    PARTIAL_SIGNATURE = "partial_signature"
+    """A signature suffix aligned with the diversion point was observed;
+    the prefix predates diversion and could not be re-examined."""
+
+    AMBIGUITY = "ambiguity"
+    """Overlapping data disagreed -- an evasion attempt in itself."""
+
+    RESOURCE = "resource"
+    """The slow path hit its provisioned capacity; a flow that should have
+    been diverted is running fail-open with fast-path-only coverage."""
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection, attributable to a signature and a flow."""
+
+    kind: AlertKind
+    flow: FlowKey
+    sid: int | None = None
+    msg: str = ""
+    stream_offset: int = 0
+    timestamp: float = 0.0
+    path: str = "slow"
+    """Which path raised it: "fast" or "slow"."""
+
+    def __str__(self) -> str:
+        what = f"sid={self.sid}" if self.sid is not None else self.msg
+        return f"[{self.kind.value}/{self.path}] {self.flow} {what} @{self.stream_offset}"
+
+
+@dataclass(frozen=True)
+class Diversion:
+    """The moment a flow left the fast path."""
+
+    flow: FlowKey
+    reason: DivertReason
+    timestamp: float
+    detail: str = ""

@@ -1,0 +1,182 @@
+"""Baselines: the conventional IPS and the naive per-packet matcher.
+
+``ConventionalIPS`` is the paradigm the paper breaks with: defragment,
+reassemble, and normalize *every* flow, then stream-match every signature
+over the canonical byte stream.  It detects all the evasions Split-Detect
+does; the point of the comparison is its state and processing bill.
+
+``NaivePacketIPS`` is the strawman Ptacek-Newsham attacks were aimed at:
+per-packet matching with no reassembly at all.  It exists so the evasion
+matrix (Table 3) can show exactly which attack classes defeat it.
+"""
+
+from __future__ import annotations
+
+from ..match import DualStreamMatcher
+from ..packet import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    FlowKey,
+    TimedPacket,
+    decode_tcp,
+    decode_udp,
+    flow_key_of,
+)
+from ..signatures import RuleSet
+from ..streams import OverlapPolicy, StreamEvent, StreamNormalizer
+from .alerts import Alert, AlertKind
+from .matching import SignatureMatcher, StreamMatchState
+
+_AMBIGUITY_EVENTS = frozenset(
+    {
+        StreamEvent.INCONSISTENT_OVERLAP,
+        StreamEvent.INCONSISTENT_FRAGMENT_OVERLAP,
+        StreamEvent.TTL_ANOMALY,
+    }
+)
+
+
+class ConventionalIPS:
+    """Reassemble-and-normalize-everything signature detection."""
+
+    def __init__(
+        self, rules: RuleSet, *, policy: OverlapPolicy = OverlapPolicy.BSD
+    ) -> None:
+        self.normalizer = StreamNormalizer(policy=policy)
+        self._matcher = SignatureMatcher(sorted(rules, key=lambda s: s.sid))
+        self._streams: dict[FlowKey, StreamMatchState] = {}
+        self.packets_processed = 0
+        self.bytes_normalized = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Reassembly buffers + flow table + per-direction matcher state."""
+        return (
+            self.normalizer.state_bytes()
+            + len(self._streams) * DualStreamMatcher.STATE_BYTES
+        )
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently holding reassembly state."""
+        return self.normalizer.active_flows
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> list[Alert]:
+        """Normalize one packet and match signatures over new stream bytes."""
+        self.packets_processed += 1
+        output = self.normalizer.process(packet)
+        alerts: list[Alert] = []
+        flow = output.flow
+        if flow is None:
+            return alerts
+        for record in output.events:
+            if record.event in _AMBIGUITY_EVENTS:
+                alerts.append(
+                    Alert(
+                        kind=AlertKind.AMBIGUITY,
+                        flow=flow,
+                        msg=str(record),
+                        stream_offset=record.offset,
+                        timestamp=packet.timestamp,
+                    )
+                )
+        if not self._matcher.empty:
+            for chunk in output.chunks:
+                self.bytes_normalized += len(chunk)
+                state = self._streams.get(flow)
+                if state is None:
+                    state = self._matcher.new_stream_state()
+                    self._streams[flow] = state
+                alerts.extend(
+                    self._signature_alert(hit, flow, packet.timestamp)
+                    for hit in self._matcher.match_chunk(state, chunk, flow)
+                )
+            if (
+                output.datagram is not None
+                and output.datagram.protocol == IP_PROTO_UDP
+            ):
+                try:
+                    payload = decode_udp(output.datagram).payload
+                except Exception:
+                    payload = b""
+                if payload:
+                    self.bytes_normalized += len(payload)
+                    alerts.extend(
+                        self._signature_alert(hit, flow, packet.timestamp)
+                        for hit in self._matcher.match_buffer(payload, flow)
+                    )
+        if output.flow_closed:
+            self._streams.pop(flow, None)
+            self._streams.pop(flow.reversed(), None)
+        return alerts
+
+    @staticmethod
+    def _signature_alert(hit, flow: FlowKey, timestamp: float) -> Alert:
+        return Alert(
+            kind=AlertKind.SIGNATURE,
+            flow=flow,
+            sid=hit.signature.sid,
+            msg=hit.signature.msg,
+            stream_offset=hit.end_offset,
+            timestamp=timestamp,
+        )
+
+    def evict_idle(self, now: float) -> int:
+        """Expire idle flows and their matcher state."""
+        evicted = self.normalizer.evict_idle(now)
+        if evicted:
+            live = self.normalizer.live_flows()
+            for key in list(self._streams):
+                if key.canonical() not in live:
+                    del self._streams[key]
+        return evicted
+
+
+class NaivePacketIPS:
+    """Per-packet matching with no reassembly: the evadable strawman."""
+
+    def __init__(self, rules: RuleSet) -> None:
+        self._matcher = SignatureMatcher(sorted(rules, key=lambda s: s.sid))
+        self.packets_processed = 0
+        self.bytes_scanned = 0
+
+    def state_bytes(self) -> int:
+        """The whole point: nothing per flow."""
+        return 0
+
+    def process(self, packet: TimedPacket) -> list[Alert]:
+        """Scan one packet's transport payload in isolation."""
+        self.packets_processed += 1
+        alerts: list[Alert] = []
+        ip = packet.ip
+        if ip.is_fragment or self._matcher.empty:
+            return alerts
+        try:
+            if ip.protocol == IP_PROTO_TCP:
+                payload = decode_tcp(ip).payload
+            elif ip.protocol == IP_PROTO_UDP:
+                payload = decode_udp(ip).payload
+            else:
+                return alerts
+        except Exception:
+            return alerts
+        if not payload:
+            return alerts
+        flow = flow_key_of(ip)
+        self.bytes_scanned += len(payload)
+        for hit in self._matcher.match_buffer(payload, flow):
+            alerts.append(
+                Alert(
+                    kind=AlertKind.SIGNATURE,
+                    flow=flow,
+                    sid=hit.signature.sid,
+                    msg=hit.signature.msg,
+                    stream_offset=hit.end_offset,
+                    timestamp=packet.timestamp,
+                    path="fast",
+                )
+            )
+        return alerts

@@ -1,0 +1,288 @@
+"""The Split-Detect IPS: fast path by default, slow path after diversion.
+
+Routing rules:
+
+- IP fragments always go to the slow path (the fast path never
+  defragments); the first fragment additionally diverts its flow so the
+  rest of the connection follows.
+- A flow, once diverted, stays on the slow path until the connection
+  closes there (RST, FIN in both directions, or idle eviction).
+- A diversion feeds the *diverting packet itself* into the slow path, so
+  the slow path's reassembled view starts with the packet that carried
+  the anomaly or piece.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..packet import IP_PROTO_TCP, IP_PROTO_UDP, FlowKey, TimedPacket, flow_key_of
+from ..signatures import ByteFrequencyModel, RuleSet, SplitPolicy, split_ruleset
+from ..streams import OverlapPolicy
+from .alerts import Alert, AlertKind, Diversion, DivertReason
+from .fastpath import FastPath, FastPathConfig
+from .slowpath import SlowPath
+
+#: Diversion reasons eligible for probation (return to the fast path after
+#: a clean interval).  Fragmented flows stay diverted -- fragments keep
+#: arriving and the fast path cannot handle them; tiny-segment flows are
+#: typically interactive and would bounce straight back; a short-signature
+#: hit is already a confirmed alert.
+PROBATION_REASONS = frozenset(
+    {
+        DivertReason.PIECE_MATCH,
+        DivertReason.OUT_OF_ORDER,
+        DivertReason.RETRANSMISSION,
+    }
+)
+
+
+@dataclass
+class EngineStats:
+    """Counters the evaluation harness reads after a run."""
+
+    packets_total: int = 0
+    fast_packets: int = 0
+    slow_packets: int = 0
+    fast_bytes_scanned: int = 0
+    slow_bytes_normalized: int = 0
+    diversions: int = 0
+    alerts: int = 0
+
+
+class SplitDetectIPS:
+    """The paper's system: split signatures, divert anomalies, confirm slowly."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        *,
+        split_policy: SplitPolicy | None = None,
+        fast_config: FastPathConfig | None = None,
+        overlap_policy: OverlapPolicy = OverlapPolicy.BSD,
+        model: ByteFrequencyModel | None = None,
+        probation_packets: int = 8,
+        slow_capacity_flows: int | None = None,
+        ensemble_policies: tuple[OverlapPolicy, ...] = (),
+    ) -> None:
+        self.split_rules = split_ruleset(rules, split_policy, model)
+        self.fast_path = FastPath(self.split_rules, fast_config)
+        self.slow_path = SlowPath(self.split_rules, policy=overlap_policy)
+        self.ensemble_paths: list[SlowPath] = [
+            SlowPath(self.split_rules, policy=policy)
+            for policy in ensemble_policies
+            if policy is not overlap_policy
+        ]
+        """Target-based ensemble: extra slow paths reassembling each diverted
+        flow under additional overlap policies, so a signature is confirmed
+        at SIGNATURE level no matter which policy the victim runs (a lone
+        slow path would still flag the overlap as AMBIGUITY, but could not
+        name the signature when its own policy reconstructs the decoy).
+        Costs one reassembly state set per extra policy -- the trade
+        Shankar-Paxson active mapping avoids by learning host policies."""
+        self.probation_packets = probation_packets
+        """After a probation-eligible diversion, how many clean slow-path
+        packets before the flow is handed back to the fast path.  The
+        hand-off only happens when ``SlowPath.safe_to_release`` certifies
+        that no signature occurrence can straddle it.  0 disables
+        probation (every diversion is then permanent, as in the ablation)."""
+
+        self.slow_capacity_flows = slow_capacity_flows
+        """Provisioned slow-path flow capacity.  When full, further
+        diversions run *fail-open*: the flow stays on the fast path
+        (pieces and whole patterns still scanned per packet) and a
+        RESOURCE alert records the degraded coverage.  None = unbounded
+        (the evaluation default)."""
+
+        self._diverted: set[FlowKey] = set()
+        self._probation: dict[FlowKey, int] = {}
+        self.diversions: list[Diversion] = []
+        self.divert_reasons: Counter[DivertReason] = Counter()
+        self.reinstated_flows = 0
+        self.overload_refusals = 0
+        self._refused: set[FlowKey] = set()
+        self.stats = EngineStats()
+
+    # -- accounting ------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Total per-flow state across both paths (and ensemble replicas)."""
+        return (
+            self.fast_path.state_bytes()
+            + self.slow_path.state_bytes()
+            + sum(path.state_bytes() for path in self.ensemble_paths)
+        )
+
+    @property
+    def diverted_flow_count(self) -> int:
+        """Flows currently routed to the slow path."""
+        return len(self._diverted)
+
+    def is_diverted(self, flow: FlowKey) -> bool:
+        """True when the flow is currently on the slow path."""
+        return flow.canonical() in self._diverted
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> list[Alert]:
+        """Route one packet through the fast or slow path; returns alerts."""
+        self.stats.packets_total += 1
+        ip = packet.ip
+        if ip.protocol in (IP_PROTO_TCP, IP_PROTO_UDP) and ip.is_fragment:
+            if not self.fast_path.config.divert_fragments:
+                # Ablation variant: an IPS that ignores fragmentation lets
+                # fragments through unexamined (and is evadable by them).
+                self.stats.fast_packets += 1
+                return []
+            # All fragments are slow-path work; the first one names the flow.
+            if ip.fragment_offset == 0:
+                try:
+                    frag_flow = flow_key_of(ip)
+                except ValueError:
+                    frag_flow = None
+                if frag_flow is not None:
+                    if not self._divert(
+                        frag_flow, DivertReason.IP_FRAGMENT, packet.timestamp
+                    ):
+                        # Overloaded: fail open, fragment passes unexamined.
+                        self.stats.fast_packets += 1
+                        return self._refusal_alert(frag_flow, packet.timestamp)
+                    # Hand the monitor's stream positions to the slow path,
+                    # exactly as in the TCP divert path -- the SYN (or any
+                    # in-order data) already passed through the fast path.
+                    for direction in (frag_flow, frag_flow.reversed()):
+                        expected = self.fast_path.expected_seq(direction)
+                        if expected is not None:
+                            self._hint_all(direction, expected)
+                    self.fast_path.forget_flow(frag_flow)
+            return self._to_slow(packet)
+        flow: FlowKey | None = None
+        if ip.protocol in (IP_PROTO_TCP, IP_PROTO_UDP):
+            try:
+                flow = flow_key_of(ip)
+            except ValueError:
+                flow = None
+        if flow is not None and flow.canonical() in self._diverted:
+            return self._to_slow(packet, flow)
+        self.stats.fast_packets += 1
+        before = self.fast_path.bytes_scanned
+        result = self.fast_path.process(packet)
+        self.stats.fast_bytes_scanned += self.fast_path.bytes_scanned - before
+        alerts = list(result.alerts)
+        self.stats.alerts += len(alerts)
+        if result.divert is not None and flow is not None:
+            if not self._divert(flow, result.divert, packet.timestamp, result.detail):
+                alerts.extend(self._refusal_alert(flow, packet.timestamp))
+                return alerts
+            # Anchor the slow path's streams where in-order delivery stopped,
+            # so reordered data below the diverting packet is not mistaken
+            # for retransmission.
+            if result.flow_expected_seq is not None:
+                self._hint_all(flow, result.flow_expected_seq)
+            reverse_expected = self.fast_path.expected_seq(flow.reversed())
+            if reverse_expected is not None:
+                self._hint_all(flow.reversed(), reverse_expected)
+            self.fast_path.forget_flow(flow)
+            alerts.extend(self._to_slow(packet, flow))
+        return alerts
+
+    def _hint_all(self, direction: FlowKey, expected: int) -> None:
+        self.slow_path.hint_stream_start(direction, expected)
+        for path in self.ensemble_paths:
+            path.hint_stream_start(direction, expected)
+
+    def _refusal_alert(self, flow: FlowKey, timestamp: float) -> list[Alert]:
+        """One RESOURCE alert per refused flow, so overload is visible."""
+        canonical = flow.canonical()
+        if canonical in self._refused:
+            return []
+        self._refused.add(canonical)
+        return [
+            Alert(
+                kind=AlertKind.RESOURCE,
+                flow=flow,
+                msg=f"slow path at capacity ({self.slow_capacity_flows} flows); fail-open",
+                timestamp=timestamp,
+                path="fast",
+            )
+        ]
+
+    def _divert(
+        self, flow: FlowKey, reason: DivertReason, timestamp: float, detail: str = ""
+    ) -> bool:
+        """Move a flow to the slow path; False when refused for capacity."""
+        canonical = flow.canonical()
+        if canonical in self._diverted:
+            return True
+        if (
+            self.slow_capacity_flows is not None
+            and self.slow_path.active_flows >= self.slow_capacity_flows
+        ):
+            self.overload_refusals += 1
+            return False
+        self._diverted.add(canonical)
+        if self.probation_packets and reason in PROBATION_REASONS:
+            self._probation[canonical] = self.probation_packets
+        self.diversions.append(
+            Diversion(flow=flow, reason=reason, timestamp=timestamp, detail=detail)
+        )
+        self.divert_reasons[reason] += 1
+        self.stats.diversions += 1
+        return True
+
+    def _to_slow(self, packet: TimedPacket, flow: FlowKey | None = None) -> list[Alert]:
+        self.stats.slow_packets += 1
+        before = self.slow_path.bytes_normalized
+        alerts = self.slow_path.process(packet)
+        self.stats.slow_bytes_normalized += self.slow_path.bytes_normalized - before
+        if self.ensemble_paths:
+            seen = {(a.kind, a.sid, a.flow, a.stream_offset) for a in alerts}
+            for path in self.ensemble_paths:
+                for alert in path.process(packet):
+                    key = (alert.kind, alert.sid, alert.flow, alert.stream_offset)
+                    if key not in seen:
+                        seen.add(key)
+                        alerts.append(alert)
+        self.stats.alerts += len(alerts)
+        if flow is not None:
+            canonical = flow.canonical()
+            if canonical in self._diverted and canonical not in self.slow_path.normalizer.live_flows():
+                # The connection ended on the slow path; a future flow with
+                # the same five-tuple starts fresh on the fast path.
+                self._diverted.discard(canonical)
+                self._probation.pop(canonical, None)
+            elif canonical in self._probation:
+                self._tick_probation(canonical, alerts)
+        return alerts
+
+    def _tick_probation(self, canonical: FlowKey, alerts: list[Alert]) -> None:
+        """Count down a diverted flow's probation; reinstate when clean.
+
+        Any alert makes the diversion permanent.  Reinstatement waits for
+        the slow path to certify that no pattern occurrence straddles the
+        hand-off (open automaton prefixes, buffered out-of-order bytes).
+        """
+        if any(a.flow is not None and a.flow.canonical() == canonical for a in alerts):
+            del self._probation[canonical]
+            return
+        self._probation[canonical] -= 1
+        if self._probation[canonical] > 0:
+            return
+        if not self.slow_path.safe_to_release(canonical):
+            return  # re-check on the next packet
+        del self._probation[canonical]
+        self._diverted.discard(canonical)
+        for direction, expected in self.slow_path.release_flow(canonical).items():
+            self.fast_path.seed_flow(direction, expected)
+        for path in self.ensemble_paths:
+            path.release_flow(canonical)
+        self.reinstated_flows += 1
+
+    def evict_idle(self, now: float) -> None:
+        """Expire idle state everywhere (long-run housekeeping)."""
+        self.slow_path.evict_idle(now)
+        for path in self.ensemble_paths:
+            path.evict_idle(now)
+        live = self.slow_path.normalizer.live_flows()
+        self._diverted &= live

@@ -1,0 +1,320 @@
+"""The Split-Detect fast path: per-packet piece matching + anomaly monitor.
+
+The fast path never reassembles and never buffers payload.  Per flow
+direction it keeps only an expected sequence number and a flag byte --
+:data:`FAST_FLOW_STATE_BYTES` bytes in a hardware implementation -- and
+per packet it does exactly one automaton scan over the payload.  Every
+transport behaviour that could hide a signature from per-packet matching
+(small segments, reordering, retransmission/overlap, IP fragments) causes
+the flow to be *diverted*; the detection theorem guarantees this covers
+all byte-string evasions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..match import DualAutomaton
+from ..packet import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    FlowKey,
+    TcpSegment,
+    TimedPacket,
+    decode_tcp,
+    decode_udp,
+    flow_key_of,
+    seq_diff,
+)
+from ..signatures import Piece, Signature, SplitRuleSet
+from .alerts import Alert, AlertKind, DivertReason
+from .flowtable import FlowTable
+
+#: Per-flow-direction fast-path state in a hardware realization:
+#: a 12-byte five-tuple fingerprint, a 4-byte expected sequence number,
+#: and a flag byte, padded to an 8-byte-aligned table entry.
+FAST_FLOW_STATE_BYTES = 24
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Fast-path behaviour knobs (the ablation surface of Table 8)."""
+
+    check_tiny: bool = True
+    """Divert flows sending non-final data segments below the threshold."""
+
+    check_order: bool = True
+    """Divert flows sending data out of order or re-sending delivered data."""
+
+    divert_fragments: bool = True
+    """Divert flows that use IP fragmentation at all."""
+
+    min_ttl: int = 8
+    """Divert data packets whose TTL is below this floor (Handley-Paxson):
+    such a packet may expire between the IPS and the protected host, the
+    delivery trick insertion attacks rely on.  The deployment assumption
+    is that every protected host is fewer than ``min_ttl`` hops behind
+    the IPS.  0 disables the check."""
+
+    scan_short_signatures: bool = True
+    """Best-effort whole-pattern scan for unsplittable signatures."""
+
+    scan_whole_signatures: bool = True
+    """Also match complete split signatures per packet, so an occurrence
+    wholly inside one packet is confirmed immediately (no slow-path round
+    trip) even when the packet is about to be dropped from slow-path view
+    as pre-diversion retransmitted data."""
+
+    threshold_override: int | None = None
+    """Replace the ruleset-derived small-packet threshold B (testing only)."""
+
+    table_buckets: int | None = None
+    """When set, flow state lives in a fixed set-associative
+    :class:`~repro.core.flowtable.FlowTable` of this many buckets
+    (power of two) instead of an unbounded map -- the hardware-faithful
+    configuration.  Evicted flows restart in midstream-pickup mode."""
+
+    table_ways: int = 4
+    """Associativity of the fixed flow table."""
+
+
+def _flow_key_bytes(flow: FlowKey) -> bytes:
+    """Serialize a five-tuple for the hardware hash unit."""
+    return (
+        f"{flow.src}|{flow.dst}|{flow.src_port}|{flow.dst_port}|{flow.protocol}"
+    ).encode()
+
+
+@dataclass
+class _FlowState:
+    """What the fast path remembers about one flow direction."""
+
+    expected_seq: int | None = None
+
+
+@dataclass
+class FastPathResult:
+    """Outcome of one packet through the fast path."""
+
+    divert: DivertReason | None = None
+    alerts: list[Alert] = field(default_factory=list)
+    piece_hits: list[Piece] = field(default_factory=list)
+    detail: str = ""
+    flow_expected_seq: int | None = None
+    """The monitor's expected sequence number for this packet's direction,
+    snapshotted *before* this packet advanced it -- i.e. where in-order
+    delivery stood when the divert decision was made.  The engine anchors
+    the slow path's stream here."""
+
+
+class FastPath:
+    """Stateless-per-packet matcher with a minimal per-flow monitor."""
+
+    def __init__(
+        self, split_rules: SplitRuleSet, config: FastPathConfig | None = None
+    ) -> None:
+        self.config = config or FastPathConfig()
+        self.split_rules = split_rules
+        self.threshold = (
+            self.config.threshold_override
+            if self.config.threshold_override is not None
+            else split_rules.small_packet_threshold
+        )
+        # One automaton over every piece, plus (optionally) whole short
+        # signatures; ids map back to their sources.
+        self._entries: list[Piece | Signature] = list(split_rules.all_pieces())
+        if self.config.scan_short_signatures:
+            self._entries.extend(split_rules.unsplittable)
+        if self.config.scan_whole_signatures:
+            self._entries.extend(
+                split_rules.splits[sid].signature for sid in sorted(split_rules.splits)
+            )
+        # UDP signatures are always matched whole (no stream to split).
+        self._entries.extend(split_rules.udp_whole)
+        patterns = [
+            (entry.signature.fold(entry.data), entry.signature.nocase)
+            if isinstance(entry, Piece)
+            else (entry.pattern, entry.nocase)
+            for entry in self._entries
+        ]
+        self.automaton = DualAutomaton(patterns) if patterns else None
+        if self.config.table_buckets is not None:
+            self._flows: FlowTable[FlowKey, _FlowState] | dict[FlowKey, _FlowState] = (
+                FlowTable(
+                    self.config.table_buckets,
+                    self.config.table_ways,
+                    key_bytes=_flow_key_bytes,
+                )
+            )
+        else:
+            self._flows = {}
+        # Counters the evaluation reads.
+        self.packets_processed = 0
+        self.bytes_scanned = 0
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def tracked_flows(self) -> int:
+        """Flow directions currently occupying monitor entries."""
+        return len(self._flows)
+
+    def state_bytes(self) -> int:
+        """Fast-path per-flow state footprint (excludes the shared automaton).
+
+        With a fixed flow table configured, this is the *provisioned*
+        table size, as a hardware design would count it.
+        """
+        if isinstance(self._flows, FlowTable):
+            return self._flows.capacity * FAST_FLOW_STATE_BYTES
+        return len(self._flows) * FAST_FLOW_STATE_BYTES
+
+    @property
+    def table_evictions(self) -> int:
+        """Fixed-table evictions so far (0 in the unbounded configuration)."""
+        return self._flows.evictions if isinstance(self._flows, FlowTable) else 0
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> FastPathResult:
+        """Classify one packet: pass silently, alert, and/or divert its flow."""
+        self.packets_processed += 1
+        result = FastPathResult()
+        ip = packet.ip
+        if ip.protocol not in (IP_PROTO_TCP, IP_PROTO_UDP):
+            return result
+        if ip.is_fragment:
+            if self.config.divert_fragments:
+                result.divert = DivertReason.IP_FRAGMENT
+            return result
+        if ip.protocol == IP_PROTO_UDP:
+            # No stream, no monitor: one stateless scan per datagram.
+            try:
+                datagram = decode_udp(ip)
+            except Exception:
+                return result
+            if datagram.payload and self.automaton is not None:
+                self._scan(flow_key_of(ip), datagram.payload, packet.timestamp, result)
+            return result
+        try:
+            segment = decode_tcp(ip)
+        except Exception:
+            return result
+        flow = flow_key_of(ip)
+        if self.config.min_ttl and segment.payload and ip.ttl < self.config.min_ttl:
+            result.divert = DivertReason.TTL_FLOOR
+            result.detail = f"ttl={ip.ttl} < floor={self.config.min_ttl}"
+        self._monitor(flow, segment, result)
+        if segment.payload and self.automaton is not None:
+            self._scan(flow, segment.payload, packet.timestamp, result)
+        if segment.rst or segment.fin:
+            self._flows.pop(flow, None)
+        return result
+
+    def expected_seq(self, flow: FlowKey) -> int | None:
+        """The monitor's next expected sequence number for one direction.
+
+        Handed to the slow path at diversion time so its reassembled
+        stream starts exactly where in-order fast-path delivery stopped.
+        """
+        state = self._flows.get(flow)
+        return state.expected_seq if state else None
+
+    def seed_flow(self, flow: FlowKey, expected_seq: int) -> None:
+        """Prime the monitor with a known stream position (used when a
+        probationed flow returns from the slow path)."""
+        self._flows[flow] = _FlowState(expected_seq=expected_seq)
+
+    def forget_flow(self, flow: FlowKey) -> None:
+        """Drop monitor state for both directions (called after diversion)."""
+        self._flows.pop(flow, None)
+        self._flows.pop(flow.reversed(), None)
+
+    def evict_all(self) -> None:
+        """Flush the monitor table (idle sweep hook for long runs)."""
+        self._flows.clear()
+
+    # -- internals --------------------------------------------------------
+
+    def _monitor(
+        self, flow: FlowKey, segment: TcpSegment, result: FastPathResult
+    ) -> None:
+        """Sequence-progression and segment-size anomaly checks."""
+        state = self._flows.get(flow)
+        if state is None:
+            state = _FlowState()
+            self._flows[flow] = state
+        result.flow_expected_seq = state.expected_seq
+        if segment.syn:
+            state.expected_seq = segment.end_seq
+            return
+        if not segment.payload:
+            return
+        if (
+            self.config.check_tiny
+            and not segment.fin
+            and len(segment.payload) < self.threshold
+            and result.divert is None
+        ):
+            result.divert = DivertReason.TINY_SEGMENT
+            result.detail = f"{len(segment.payload)} < B={self.threshold}"
+        if state.expected_seq is None:
+            state.expected_seq = segment.end_seq  # midstream pickup
+            return
+        if self.config.check_order and segment.seq != state.expected_seq:
+            if result.divert is None:
+                ahead = seq_diff(segment.seq, state.expected_seq) > 0
+                result.divert = (
+                    DivertReason.OUT_OF_ORDER if ahead else DivertReason.RETRANSMISSION
+                )
+                result.detail = f"seq={segment.seq} expected={state.expected_seq}"
+            return
+        state.expected_seq = segment.end_seq
+
+    def _scan(
+        self,
+        flow: FlowKey,
+        payload: bytes,
+        timestamp: float,
+        result: FastPathResult,
+    ) -> None:
+        """One automaton pass over the payload; state resets per packet."""
+        self.bytes_scanned += len(payload)
+        for entry_id, _end in self.automaton.find_all(payload):
+            entry = self._entries[entry_id]
+            if isinstance(entry, Piece):
+                if not entry.signature.applies_to_flow(flow):
+                    continue
+                result.piece_hits.append(entry)
+                if result.divert is None:
+                    result.divert = DivertReason.PIECE_MATCH
+                    result.detail = (
+                        f"sid={entry.signature.sid} piece={entry.index}"
+                    )
+            else:  # whole signature occurrence within one packet
+                if not entry.applies_to_flow(flow):
+                    continue
+                folded = entry.fold(payload)
+                extras_here = all(
+                    extra in folded for extra in entry.match_extras
+                )
+                if extras_here:
+                    result.alerts.append(
+                        Alert(
+                            kind=AlertKind.SIGNATURE,
+                            flow=flow,
+                            sid=entry.sid,
+                            msg=entry.msg,
+                            timestamp=timestamp,
+                            path="fast",
+                        )
+                    )
+                elif flow.protocol == IP_PROTO_TCP and result.divert is None:
+                    # The extra contents may arrive elsewhere in the
+                    # stream; let the slow path track completion.
+                    result.divert = DivertReason.PIECE_MATCH
+                    result.detail = f"sid={entry.sid} awaiting extra contents"
+                # A UDP datagram is self-contained: the verdict is final and
+                # there is no stream to hand to the slow path.
+                if result.divert is None and flow.protocol == IP_PROTO_TCP:
+                    result.divert = DivertReason.SHORT_SIGNATURE

@@ -1,0 +1,133 @@
+"""Fixed-capacity, set-associative flow table for the fast path.
+
+The paper's state argument is about *hardware*: fast-path per-flow state
+lives in a fixed SRAM table, not a growable hash map.  This table models
+that honestly -- power-of-two buckets, a small number of ways per bucket,
+FNV-1a hashing of the five-tuple, LRU replacement within a bucket -- and
+counts the evictions, because an evicted flow's monitor restarts in
+midstream-pickup mode (its expected sequence number is forgotten).
+
+Detection is *not* broken by eviction: the piece matcher is stateless per
+packet, the small-packet rule needs no history, and an out-of-order
+segment after re-insertion simply re-arms from the new packet.  What
+eviction costs is sensitivity of the order monitor immediately after the
+evicted flow returns -- exactly the degradation a hardware designer sizes
+the table to bound, which `bench_fig10_flowtable.py` measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterator
+from typing import Generic, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash -- cheap enough to model a hardware hash unit."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class FlowTable(Generic[K, V]):
+    """A set-associative table with per-bucket LRU replacement.
+
+    ``buckets`` must be a power of two; total capacity is
+    ``buckets * ways`` entries.  ``key_bytes`` serializes a key for
+    hashing (defaults to ``repr(key).encode()``, override for speed).
+    """
+
+    def __init__(
+        self,
+        buckets: int = 1024,
+        ways: int = 4,
+        *,
+        key_bytes: Callable[[K], bytes] | None = None,
+    ) -> None:
+        if buckets <= 0 or buckets & (buckets - 1):
+            raise ValueError(f"buckets must be a power of two, got {buckets}")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.bucket_count = buckets
+        self.ways = ways
+        self._key_bytes = key_bytes or (lambda key: repr(key).encode())
+        # Each bucket is an LRU-ordered list of (key, value); index 0 is
+        # the least recently used entry (the replacement victim).
+        self._buckets: list[list[tuple[K, V]]] = [[] for _ in range(buckets)]
+        self._size = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.bucket_count * self.ways
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bucket_of(self, key: K) -> list[tuple[K, V]]:
+        index = fnv1a_64(self._key_bytes(key)) & (self.bucket_count - 1)
+        return self._buckets[index]
+
+    def get(self, key: K) -> V | None:
+        """Look up ``key``, refreshing its LRU position on a hit."""
+        bucket = self._bucket_of(key)
+        for i, (existing, value) in enumerate(bucket):
+            if existing == key:
+                bucket.append(bucket.pop(i))
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: K, value: V) -> K | None:
+        """Insert or update ``key``; returns the evicted key, if any."""
+        bucket = self._bucket_of(key)
+        for i, (existing, _) in enumerate(bucket):
+            if existing == key:
+                bucket.pop(i)
+                bucket.append((key, value))
+                return None
+        evicted: K | None = None
+        if len(bucket) >= self.ways:
+            evicted, _ = bucket.pop(0)
+            self.evictions += 1
+            self._size -= 1
+        bucket.append((key, value))
+        self._size += 1
+        return evicted
+
+    def __setitem__(self, key: K, value: V) -> None:
+        """dict-style insert; the eviction (if any) is counted internally."""
+        self.put(key, value)
+
+    def pop(self, key: K, default: V | None = None) -> V | None:
+        """Remove ``key`` and return its value (dict-compatible default)."""
+        bucket = self._bucket_of(key)
+        for i, (existing, value) in enumerate(bucket):
+            if existing == key:
+                bucket.pop(i)
+                self._size -= 1
+                return value
+        return default
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            bucket.clear()
+        self._size = 0
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.capacity

@@ -1,0 +1,281 @@
+"""The Split-Detect slow path: conventional processing for diverted flows.
+
+A diverted flow gets the full treatment a conventional IPS gives every
+flow -- IP defragmentation, TCP reassembly with normalization, streaming
+signature matching -- plus one extra matcher the paper's architecture
+needs: a *suffix* matcher.  Because the bytes a flow sent before
+diversion are gone, a signature whose prefix predates the diversion can
+only be recognized by its remaining pieces; the suffix matcher watches
+for any signature tail that begins at a piece boundary, and an occurrence
+is accepted only if it starts close enough to the diversion point that
+the missing prefix plausibly fits before it (``start < prefix_len``).
+Suffixes belonging to fully-visible occurrences fail that test, so they
+are reported by the full matcher alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..match import DualAutomaton, DualStreamMatcher
+from ..packet import IP_PROTO_UDP, FlowKey, TimedPacket, decode_udp
+from ..signatures import SplitRuleSet
+from ..streams import OverlapPolicy, StreamEvent, StreamNormalizer
+from .alerts import Alert, AlertKind
+from .matching import SignatureMatcher, StreamMatchState
+
+_AMBIGUITY_EVENTS = frozenset(
+    {
+        StreamEvent.INCONSISTENT_OVERLAP,
+        StreamEvent.INCONSISTENT_FRAGMENT_OVERLAP,
+        StreamEvent.TTL_ANOMALY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class _SuffixEntry:
+    """One signature tail starting at a piece boundary."""
+
+    sid: int
+    msg: str
+    prefix_len: int
+    pattern: bytes
+    dst_port: int | None
+    protocol_number: int = 6
+
+    def applies_to_flow(self, flow: FlowKey) -> bool:
+        return flow.protocol == self.protocol_number and (
+            self.dst_port is None or self.dst_port == flow.dst_port
+        )
+
+
+class SlowPath:
+    """Conventional reassembly + matching, for diverted flows only."""
+
+    def __init__(
+        self,
+        split_rules: SplitRuleSet,
+        *,
+        policy: OverlapPolicy = OverlapPolicy.BSD,
+    ) -> None:
+        self.split_rules = split_rules
+        self.normalizer = StreamNormalizer(policy=policy)
+        signatures = (
+            [split.signature for split in split_rules.splits.values()]
+            + list(split_rules.unsplittable)
+            + list(split_rules.udp_whole)
+        )
+        signatures.sort(key=lambda s: s.sid)
+        self._signatures = signatures
+        self._matcher = SignatureMatcher(signatures)
+        self._suffixes: list[_SuffixEntry] = []
+        for sid in sorted(split_rules.splits):
+            split = split_rules.splits[sid]
+            for piece in split.pieces[1:]:  # j >= 1; j = 0 is the full pattern
+                self._suffixes.append(
+                    _SuffixEntry(
+                        sid=sid,
+                        msg=split.signature.msg,
+                        prefix_len=piece.offset,
+                        pattern=split.signature.pattern[piece.offset :],
+                        dst_port=split.signature.dst_port,
+                        protocol_number=split.signature.protocol_number,
+                    )
+                )
+        suffix_sigs = {sid: split_rules.splits[sid].signature for sid in split_rules.splits}
+        self._suffix_automaton = (
+            DualAutomaton(
+                [
+                    (e.pattern, suffix_sigs[e.sid].nocase)
+                    for e in self._suffixes
+                ]
+            )
+            if self._suffixes
+            else None
+        )
+        self._max_prefix_len = max((e.prefix_len for e in self._suffixes), default=0)
+        self._matchers: dict[FlowKey, tuple[StreamMatchState, DualStreamMatcher | None]] = {}
+        self.packets_processed = 0
+        self.bytes_normalized = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Reassembly state plus per-direction matcher state."""
+        per_matcher = DualStreamMatcher.STATE_BYTES
+        matcher_bytes = sum(
+            per_matcher * (1 if suffix is None else 2)
+            for _, suffix in self._matchers.values()
+        )
+        return self.normalizer.state_bytes() + matcher_bytes
+
+    @property
+    def active_flows(self) -> int:
+        """Diverted flows currently holding reassembly state."""
+        return self.normalizer.active_flows
+
+    def hint_stream_start(self, direction: FlowKey, first_byte_seq: int) -> None:
+        """Anchor a diverted direction's stream at the fast path's expected
+        sequence number (see ``StreamNormalizer.hint_stream_start``)."""
+        self.normalizer.hint_stream_start(direction, first_byte_seq)
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> list[Alert]:
+        """Run one diverted-flow packet through the conventional pipeline."""
+        self.packets_processed += 1
+        output = self.normalizer.process(packet)
+        alerts: list[Alert] = []
+        flow = output.flow
+        if flow is not None:
+            for record in output.events:
+                if record.event in _AMBIGUITY_EVENTS:
+                    alerts.append(
+                        Alert(
+                            kind=AlertKind.AMBIGUITY,
+                            flow=flow,
+                            msg=str(record),
+                            stream_offset=record.offset,
+                            timestamp=packet.timestamp,
+                        )
+                    )
+            for chunk in output.chunks:
+                alerts.extend(self._match(flow, chunk, packet.timestamp))
+            if output.datagram is not None:
+                alerts.extend(
+                    self._match_datagram(flow, output.datagram, packet.timestamp)
+                )
+            if output.flow_closed:
+                self._forget(flow)
+        return alerts
+
+    def _match_datagram(self, flow: FlowKey, ip, timestamp: float) -> list[Alert]:
+        """Whole-datagram matching for defragmented non-TCP traffic (UDP)."""
+        if ip.protocol != IP_PROTO_UDP or self._matcher.empty:
+            return []
+        try:
+            payload = decode_udp(ip).payload
+        except Exception:
+            return []
+        if not payload:
+            return []
+        self.bytes_normalized += len(payload)
+        return [
+            Alert(
+                kind=AlertKind.SIGNATURE,
+                flow=flow,
+                sid=hit.signature.sid,
+                msg=hit.signature.msg,
+                stream_offset=hit.end_offset,
+                timestamp=timestamp,
+            )
+            for hit in self._matcher.match_buffer(payload, flow)
+        ]
+
+    def _match(self, flow: FlowKey, chunk: bytes, timestamp: float) -> list[Alert]:
+        self.bytes_normalized += len(chunk)
+        full, suffix = self._matchers.get(flow, (None, None))
+        if full is None:
+            if self._matcher.empty:
+                return []
+            full = self._matcher.new_stream_state()
+            suffix = (
+                DualStreamMatcher(self._suffix_automaton)
+                if self._suffix_automaton is not None
+                else None
+            )
+            self._matchers[flow] = (full, suffix)
+        alerts: list[Alert] = []
+        for hit in self._matcher.match_chunk(full, chunk, flow):
+            alerts.append(
+                Alert(
+                    kind=AlertKind.SIGNATURE,
+                    flow=flow,
+                    sid=hit.signature.sid,
+                    msg=hit.signature.msg,
+                    stream_offset=hit.end_offset,
+                    timestamp=timestamp,
+                )
+            )
+        if suffix is not None:
+            for match in suffix.feed(chunk):
+                entry = self._suffixes[match.pattern_id]
+                if not entry.applies_to_flow(flow):
+                    continue
+                start = match.end_offset - len(entry.pattern)
+                if start >= entry.prefix_len:
+                    # A fully-visible occurrence; the full matcher owns it.
+                    continue
+                alerts.append(
+                    Alert(
+                        kind=AlertKind.PARTIAL_SIGNATURE,
+                        flow=flow,
+                        sid=entry.sid,
+                        msg=entry.msg,
+                        stream_offset=match.end_offset,
+                        timestamp=timestamp,
+                    )
+                )
+        return alerts
+
+    def safe_to_release(self, flow: FlowKey) -> bool:
+        """True when handing this flow back to the fast path cannot hide a
+        signature occurrence.
+
+        Two conditions, both checked at the current stream position:
+
+        1. No pattern prefix (full or suffix automaton) is open at either
+           direction's stream tail -- otherwise an occurrence could
+           straddle the release point, its head scanned here and its tail
+           never stream-matched again.
+        2. No out-of-order bytes are buffered -- buffered-but-undelivered
+           bytes have not been matched, and releasing would drop them
+           while the victim still eventually reads them.
+        """
+        if self.normalizer.buffered_bytes_for(flow) > 0:
+            return False
+        for direction in (flow, flow.reversed()):
+            matchers = self._matchers.get(direction)
+            if matchers is None:
+                continue
+            full, suffix = matchers
+            if full.open_prefix_len > 0:
+                return False
+            if suffix is not None and suffix.open_prefix_len > 0:
+                # An open suffix prefix only matters while its would-be
+                # occurrence could still start before the diversion origin
+                # plus the longest missing prefix; far past that point the
+                # anchoring filter would discard the match anyway.
+                start = suffix.stream_offset - suffix.open_prefix_len
+                if start < self._max_prefix_len:
+                    return False
+        return True
+
+    def release_flow(self, flow: FlowKey) -> dict[FlowKey, int]:
+        """Drop all slow-path state for a flow returning to the fast path.
+
+        Returns each direction's next expected sequence number so the
+        caller can seed the fast-path monitor -- the hand-off must
+        preserve stream position in *both* directions of travel, or a
+        later re-diversion anchors at the wrong place and discards
+        legitimate out-of-order data as pre-stream retransmission.
+        """
+        positions = self.normalizer.stream_positions(flow)
+        self.normalizer.release(flow)
+        self._forget(flow)
+        return positions
+
+    def _forget(self, flow: FlowKey) -> None:
+        self._matchers.pop(flow, None)
+        self._matchers.pop(flow.reversed(), None)
+
+    def evict_idle(self, now: float) -> int:
+        """Expire idle flows in the underlying normalizer."""
+        evicted = self.normalizer.evict_idle(now)
+        if evicted:
+            live = self.normalizer.live_flows()
+            for key in list(self._matchers):
+                if key.canonical() not in live:
+                    del self._matchers[key]
+        return evicted

@@ -1,0 +1,24 @@
+"""FragRoute-style evasion toolkit: plans, strategies, victim emulation."""
+
+from .plan import Seg, even_segments, plan_coverage, plan_to_packets
+from .strategies import (
+    GARBAGE_BYTE,
+    STRATEGIES,
+    AttackSpec,
+    EvasionStrategy,
+    build_attack,
+)
+from .victim import Victim
+
+__all__ = [
+    "AttackSpec",
+    "EvasionStrategy",
+    "GARBAGE_BYTE",
+    "STRATEGIES",
+    "Seg",
+    "Victim",
+    "build_attack",
+    "even_segments",
+    "plan_coverage",
+    "plan_to_packets",
+]

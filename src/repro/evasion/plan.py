@@ -1,0 +1,115 @@
+"""Segment plans: the intermediate representation of a crafted TCP flow.
+
+An attack strategy is a function from an application payload to a list of
+:class:`Seg` -- segments with explicit stream offsets, possibly
+overlapping, duplicated, reordered, or carrying garbage at a TTL the
+victim will never see.  ``plan_to_packets`` lowers a plan to real wire
+packets (SYN, data, FIN) that any of the IPS implementations and the
+victim emulator can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_SYN,
+    IPv4Packet,
+    TcpSegment,
+    TimedPacket,
+    build_tcp_packet,
+    seq_add,
+)
+
+
+@dataclass(frozen=True)
+class Seg:
+    """One planned TCP data segment in stream coordinates."""
+
+    offset: int
+    """Stream offset of the first payload byte (0 = first byte after SYN)."""
+
+    data: bytes
+    fin: bool = False
+    ttl: int | None = None
+    """Override the flow TTL (low values model IPS-visible, victim-invisible
+    chaff -- the classic insertion attack)."""
+
+
+def even_segments(payload: bytes, size: int, *, fin: bool = True) -> list[Seg]:
+    """The benign plan: in-order segments of ``size`` bytes each."""
+    if size <= 0:
+        raise ValueError("segment size must be positive")
+    segs = [
+        Seg(offset=i, data=payload[i : i + size])
+        for i in range(0, len(payload), size)
+    ]
+    if fin and segs:
+        segs[-1] = replace(segs[-1], fin=True)
+    elif fin:
+        segs = [Seg(offset=0, data=b"", fin=True)]
+    return segs
+
+
+def plan_coverage(segs: list[Seg]) -> int:
+    """Highest stream offset any segment reaches."""
+    return max((seg.offset + len(seg.data) for seg in segs), default=0)
+
+
+def plan_to_packets(
+    segs: list[Seg],
+    *,
+    src: str = "10.9.9.9",
+    dst: str = "10.0.0.2",
+    src_port: int = 44000,
+    dst_port: int = 80,
+    isn: int = 1_000_000,
+    ttl: int = 64,
+    start_time: float = 1.0,
+    gap: float = 0.001,
+    include_syn: bool = True,
+) -> list[TimedPacket]:
+    """Lower a segment plan to timed wire packets.
+
+    Stream offset 0 corresponds to sequence number ``isn + 1`` (the SYN
+    consumes ``isn``), matching real TCP numbering.
+    """
+    packets: list[TimedPacket] = []
+    clock = start_time
+    ident = 1
+    if include_syn:
+        syn = TcpSegment(
+            src_port=src_port, dst_port=dst_port, seq=isn, flags=TCP_SYN
+        )
+        packets.append(
+            TimedPacket(clock, build_tcp_packet(src, dst, syn, ttl=ttl, identification=ident))
+        )
+        clock += gap
+        ident += 1
+    for seg in segs:
+        flags = TCP_ACK | (TCP_FIN if seg.fin else 0)
+        tcp = TcpSegment(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq_add(isn + 1, seg.offset),
+            flags=flags,
+            payload=seg.data,
+        )
+        packets.append(
+            TimedPacket(
+                clock,
+                build_tcp_packet(
+                    src,
+                    dst,
+                    tcp,
+                    ttl=seg.ttl if seg.ttl is not None else ttl,
+                    identification=ident,
+                    dont_fragment=False,
+                ),
+            )
+        )
+        clock += gap
+        ident += 1
+    return packets

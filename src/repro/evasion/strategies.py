@@ -1,0 +1,343 @@
+"""The FragRoute / Ptacek-Newsham evasion catalog as composable builders.
+
+Each :class:`EvasionStrategy` turns an application payload (which embeds
+the attack signature) into a wire packet sequence designed to deliver the
+payload to the victim while hiding it from a per-packet or
+wrongly-configured matcher.  The catalog mirrors the classic fragroute
+configurations the paper cites: tiny TCP segments, reordering,
+duplication, inconsistent overlap in both polarities, low-TTL insertion
+chaff, and the IP-fragmentation equivalents.
+
+``victim_policy``/``victim_hops`` describe the end host against which the
+strategy actually works; tests use :class:`~repro.evasion.victim.Victim`
+to verify each strategy really delivers its payload under those
+conditions (an "evasion" that corrupts the attack is no evasion).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+from ..packet import TimedPacket, fragment
+from ..streams import OverlapPolicy
+from .plan import Seg, even_segments, plan_to_packets
+
+GARBAGE_BYTE = 0x2E  # '.' -- innocuous filler for chaff/overlay segments
+
+
+@dataclass
+class AttackSpec:
+    """Everything a strategy needs to build one attack flow."""
+
+    payload: bytes
+    rng: random.Random = field(default_factory=lambda: random.Random(7))
+    conn: dict = field(default_factory=dict)
+    """Keyword overrides for :func:`plan_to_packets` (src, ports, isn...)."""
+
+    segment_size: int = 512
+    """Nominal data segment size for strategies that do not dictate one."""
+
+    signature_span: tuple[int, int] | None = None
+    """(offset, length) of the signature within the payload, when the
+    attacker knows it (the strongest adversary the theorem defends against)."""
+
+
+Builder = Callable[[AttackSpec], list[TimedPacket]]
+
+
+@dataclass(frozen=True)
+class EvasionStrategy:
+    """One catalog entry."""
+
+    name: str
+    description: str
+    build: Builder
+    victim_policy: OverlapPolicy = OverlapPolicy.FIRST
+    victim_hops: int = 0
+    evades_naive: bool = True
+    """Whether the strategy hides the signature from per-packet matching
+    with no reassembly (Table 3's strawman column expectation)."""
+
+
+def _packets(spec: AttackSpec, segs: list[Seg]) -> list[TimedPacket]:
+    return plan_to_packets(segs, **spec.conn)
+
+
+# -- TCP-level strategies ---------------------------------------------------
+
+
+def _plain(spec: AttackSpec) -> list[TimedPacket]:
+    return _packets(spec, even_segments(spec.payload, 1460))
+
+
+def _mss_segments(spec: AttackSpec) -> list[TimedPacket]:
+    return _packets(spec, even_segments(spec.payload, spec.segment_size))
+
+
+def _tcp_seg(size: int) -> Builder:
+    def build(spec: AttackSpec) -> list[TimedPacket]:
+        return _packets(spec, even_segments(spec.payload, size))
+
+    return build
+
+
+def _tcp_reorder(spec: AttackSpec) -> list[TimedPacket]:
+    segs = even_segments(spec.payload, spec.segment_size)
+    shuffled = list(segs)
+    spec.rng.shuffle(shuffled)
+    return _packets(spec, shuffled)
+
+
+def _tcp_dup(spec: AttackSpec) -> list[TimedPacket]:
+    segs = even_segments(spec.payload, spec.segment_size)
+    doubled: list[Seg] = []
+    for seg in segs:
+        doubled.append(seg)
+        doubled.append(replace(seg, fin=False) if seg.fin else seg)
+    return _packets(spec, doubled)
+
+
+def _tcp_overlap_new_wins(spec: AttackSpec) -> list[TimedPacket]:
+    """Garbage mid-stream first, then the real data engulfing it.
+
+    Victims whose policy favours a new segment that starts earlier
+    (BSD, LAST, WINDOWS) apply the real bytes; an IPS that keeps the
+    first copy reconstructs garbage.
+    """
+    payload = spec.payload
+    size = spec.segment_size
+    segs: list[Seg] = []
+    for offset in range(0, len(payload), size):
+        chunk = payload[offset : offset + size]
+        if len(chunk) > 16:
+            inner = offset + 8
+            garbage = bytes([GARBAGE_BYTE]) * (len(chunk) - 8)
+            segs.append(Seg(offset=inner, data=garbage))
+        segs.append(Seg(offset=offset, data=chunk))
+    if segs:
+        segs[-1] = replace(segs[-1], fin=True)
+    return _packets(spec, segs)
+
+
+def _tcp_overlap_old_wins(spec: AttackSpec) -> list[TimedPacket]:
+    """Real data first, then garbage rewrites while it is still buffered.
+
+    Each chunk is sent with its first byte withheld, so the real bytes sit
+    in the reassembly buffer; a garbage copy then overlaps them, and only
+    afterwards does the withheld byte release delivery.  Victims keeping
+    the first copy (FIRST, LINUX) read the attack; an observer whose
+    policy lets the rewrite win reconstructs garbage.
+    """
+    segs = even_segments(spec.payload, spec.segment_size)
+    out: list[Seg] = []
+    for seg in segs:
+        if len(seg.data) <= 1:
+            out.append(seg)
+            continue
+        out.append(replace(seg, offset=seg.offset + 1, data=seg.data[1:]))
+        out.append(
+            Seg(offset=seg.offset + 1, data=bytes([GARBAGE_BYTE]) * (len(seg.data) - 1))
+        )
+        out.append(Seg(offset=seg.offset, data=seg.data[:1]))
+    return _packets(spec, out)
+
+
+def _ttl_chaff(spec: AttackSpec) -> list[TimedPacket]:
+    """Interleave low-TTL garbage that dies between the IPS and the host."""
+    segs = even_segments(spec.payload, spec.segment_size)
+    out: list[Seg] = []
+    for seg in segs:
+        if seg.data:
+            out.append(
+                Seg(
+                    offset=seg.offset,
+                    data=bytes([GARBAGE_BYTE]) * len(seg.data),
+                    ttl=2,
+                )
+            )
+        out.append(seg)
+    return _packets(spec, out)
+
+
+def _stealth_large_segments(spec: AttackSpec) -> list[TimedPacket]:
+    """Threshold-compliant segmentation cutting the signature in two.
+
+    The smartest in-order attacker: every segment is large (>= 2p for any
+    reasonable p), in order, non-overlapping -- it evades the anomaly
+    monitor entirely and splits the signature across a packet boundary,
+    defeating whole-string per-packet matching.  The detection theorem
+    says at least one *piece* still lands intact in some packet.
+    """
+    payload = spec.payload
+    size = max(spec.segment_size, 64)
+    if spec.signature_span is not None:
+        start, length = spec.signature_span
+        cut = start + length // 2
+    else:
+        cut = size // 2 + spec.rng.randrange(8)
+    bounds = sorted({0, max(1, cut - size), cut, min(len(payload), cut + size)})
+    while bounds[-1] < len(payload):
+        bounds.append(min(bounds[-1] + size, len(payload)))
+    segs = [
+        Seg(offset=a, data=payload[a:b]) for a, b in zip(bounds, bounds[1:]) if b > a
+    ]
+    segs[-1] = replace(segs[-1], fin=True)
+    return _packets(spec, segs)
+
+
+# -- IP-level strategies ------------------------------------------------------
+
+
+def _fragment_packets(
+    packets: list[TimedPacket], mtu: int, *, shuffle: random.Random | None = None
+) -> list[TimedPacket]:
+    out: list[TimedPacket] = []
+    for packet in packets:
+        if packet.ip.total_length <= mtu or packet.ip.dont_fragment:
+            out.append(packet)
+            continue
+        frags = fragment(packet.ip, mtu)
+        if shuffle is not None:
+            shuffle.shuffle(frags)
+        out.extend(TimedPacket(packet.timestamp, frag) for frag in frags)
+    return out
+
+
+def _ip_frag(mtu: int, *, reorder: bool = False) -> Builder:
+    def build(spec: AttackSpec) -> list[TimedPacket]:
+        base = _packets(spec, even_segments(spec.payload, spec.segment_size))
+        return _fragment_packets(base, mtu, shuffle=spec.rng if reorder else None)
+
+    return build
+
+
+def _ip_frag_overlap(spec: AttackSpec) -> list[TimedPacket]:
+    """Fragment, then append garbage duplicates of interior fragments.
+
+    The duplicates arrive second, so a FIRST-policy victim keeps the real
+    bytes while a LAST-policy IPS reconstructs garbage.
+    """
+    base = _packets(spec, even_segments(spec.payload, spec.segment_size))
+    fragmented = _fragment_packets(base, 256)
+    out: list[TimedPacket] = []
+    for packet in fragmented:
+        out.append(packet)
+        ip = packet.ip
+        if ip.is_fragment and ip.more_fragments:
+            garbage = ip.copy(payload=bytes([GARBAGE_BYTE]) * len(ip.payload))
+            out.append(TimedPacket(packet.timestamp, garbage))
+    return out
+
+
+# -- catalog -------------------------------------------------------------------
+
+STRATEGIES: dict[str, EvasionStrategy] = {
+    strategy.name: strategy
+    for strategy in [
+        EvasionStrategy(
+            name="plain",
+            description="single large segments, no evasion (control row)",
+            build=_plain,
+            evades_naive=False,
+        ),
+        EvasionStrategy(
+            name="mss_segments",
+            description="ordinary MSS-sized segmentation (control row)",
+            build=_mss_segments,
+            evades_naive=False,
+        ),
+        EvasionStrategy(
+            name="tcp_seg_1",
+            description="fragroute tcp_seg 1: one payload byte per segment",
+            build=_tcp_seg(1),
+        ),
+        EvasionStrategy(
+            name="tcp_seg_8",
+            description="fragroute tcp_seg 8: eight payload bytes per segment",
+            build=_tcp_seg(8),
+        ),
+        EvasionStrategy(
+            name="tcp_reorder",
+            description="segments transmitted in random order",
+            build=_tcp_reorder,
+            evades_naive=False,  # each packet still carries contiguous data
+        ),
+        EvasionStrategy(
+            name="tcp_dup",
+            description="every segment transmitted twice (consistent copies)",
+            build=_tcp_dup,
+            evades_naive=False,
+        ),
+        EvasionStrategy(
+            name="tcp_overlap_new",
+            description="garbage first, real data overlaps it (new-wins hosts)",
+            build=_tcp_overlap_new_wins,
+            victim_policy=OverlapPolicy.BSD,
+            evades_naive=False,  # the real copy crosses the wire whole
+        ),
+        EvasionStrategy(
+            name="tcp_overlap_old",
+            description="real data first, garbage rewrites it (first-wins hosts)",
+            build=_tcp_overlap_old_wins,
+            victim_policy=OverlapPolicy.FIRST,
+            evades_naive=False,
+        ),
+        EvasionStrategy(
+            name="ttl_chaff",
+            description="low-TTL garbage segments die before the host",
+            build=_ttl_chaff,
+            victim_policy=OverlapPolicy.FIRST,
+            victim_hops=4,
+            evades_naive=False,
+        ),
+        EvasionStrategy(
+            name="stealth_segments",
+            description="large in-order segments cutting the signature in two",
+            build=_stealth_large_segments,
+        ),
+        EvasionStrategy(
+            name="ip_frag_8",
+            description="fragroute ip_frag 8: 8-byte IP fragments",
+            build=_ip_frag(28),
+        ),
+        EvasionStrategy(
+            name="ip_frag_16",
+            description="16-byte IP fragments",
+            build=_ip_frag(36),
+        ),
+        EvasionStrategy(
+            name="ip_frag_reorder",
+            description="IP fragments transmitted in random order",
+            build=_ip_frag(256, reorder=True),
+        ),
+        EvasionStrategy(
+            name="ip_frag_overlap",
+            description="garbage duplicate fragments after the real ones",
+            build=_ip_frag_overlap,
+            victim_policy=OverlapPolicy.FIRST,
+        ),
+    ]
+}
+
+
+def build_attack(
+    name: str,
+    payload: bytes,
+    *,
+    seed: int = 7,
+    signature_span: tuple[int, int] | None = None,
+    segment_size: int = 512,
+    **conn,
+) -> list[TimedPacket]:
+    """Convenience: build one catalog attack against a payload."""
+    strategy = STRATEGIES[name]
+    spec = AttackSpec(
+        payload=payload,
+        rng=random.Random(seed),
+        conn=conn,
+        segment_size=segment_size,
+        signature_span=signature_span,
+    )
+    return strategy.build(spec)

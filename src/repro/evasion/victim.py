@@ -1,0 +1,85 @@
+"""End-host emulation: what the protected machine's application reads.
+
+An evasion is only interesting if the victim actually receives the attack
+bytes.  The emulator models the three behaviours Ptacek-Newsham evasions
+exploit: TTL decay on the path segment behind the IPS (low-TTL chaff
+never arrives), the host's IP fragment overlap policy, and the host's
+TCP segment overlap policy.  It is built from the same stream substrate
+the IPS uses -- deliberately, so tests compare *policies*, not engines.
+"""
+
+from __future__ import annotations
+
+from ..packet import IP_PROTO_TCP, FlowKey, TimedPacket, decode_tcp, flow_key_of
+from ..streams import IpDefragmenter, OverlapPolicy, TcpReassembler
+
+
+class _RecordingReassembler(TcpReassembler):
+    """A reassembler that also records the entire delivered stream."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.stream = bytearray()
+
+    def add(self, seq, data, *, syn=False, fin=False):
+        result = super().add(seq, data, syn=syn, fin=fin)
+        self.stream += result.delivered
+        return result
+
+
+class Victim:
+    """Replays a packet sequence as the end host would experience it."""
+
+    def __init__(
+        self,
+        *,
+        policy: OverlapPolicy = OverlapPolicy.FIRST,
+        hops_behind_ips: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.hops_behind_ips = hops_behind_ips
+        self._defrag = IpDefragmenter(policy=policy)
+        self._streams: dict[FlowKey, _RecordingReassembler] = {}
+        self.packets_dropped = 0
+
+    def deliver(self, packet: TimedPacket) -> None:
+        """Feed one packet as captured *at the IPS*."""
+        ip = packet.ip
+        if ip.ttl <= self.hops_behind_ips:
+            # The packet expires on the path between the IPS and the host.
+            self.packets_dropped += 1
+            return
+        result = self._defrag.add(ip, packet.timestamp)
+        ip = result.packet
+        if ip is None or ip.protocol != IP_PROTO_TCP:
+            return
+        try:
+            segment = decode_tcp(ip)
+        except Exception:
+            return
+        flow = flow_key_of(ip)
+        reassembler = self._streams.get(flow)
+        if reassembler is None:
+            reassembler = _RecordingReassembler(policy=self.policy)
+            self._streams[flow] = reassembler
+        reassembler.add(segment.seq, segment.payload, syn=segment.syn, fin=segment.fin)
+
+    def deliver_all(self, packets: list[TimedPacket]) -> None:
+        for packet in packets:
+            self.deliver(packet)
+
+    def stream(self, flow: FlowKey) -> bytes:
+        """The byte stream the application on ``flow`` has read so far."""
+        reassembler = self._streams.get(flow)
+        return bytes(reassembler.stream) if reassembler else b""
+
+    def received(self, needle: bytes) -> bool:
+        """True when any flow's application stream contains ``needle``."""
+        return any(needle in reassembler.stream for reassembler in self._streams.values())
+
+    def streams(self) -> dict[FlowKey, bytes]:
+        """Every flow's application stream so far."""
+        return {
+            flow: bytes(reassembler.stream)
+            for flow, reassembler in self._streams.items()
+        }

@@ -1,0 +1,17 @@
+"""String-matching engines: Aho-Corasick, Boyer-Moore-Horspool, naive."""
+
+from .aho_corasick import ROOT_STATE, AhoCorasick
+from .dual import DualAutomaton, DualStreamMatcher
+from .single import BoyerMooreHorspool, naive_find_all
+from .streaming import StreamMatch, StreamMatcher
+
+__all__ = [
+    "ROOT_STATE",
+    "AhoCorasick",
+    "BoyerMooreHorspool",
+    "DualAutomaton",
+    "DualStreamMatcher",
+    "StreamMatch",
+    "StreamMatcher",
+    "naive_find_all",
+]

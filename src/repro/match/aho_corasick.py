@@ -1,0 +1,138 @@
+"""Aho-Corasick multi-pattern matcher with resumable (streaming) state.
+
+This is the matching engine both IPS variants use: the conventional IPS
+runs it over reassembled streams (state carried across segments), and the
+Split-Detect fast path runs it over raw packet payloads (state reset per
+packet, since pieces must appear wholly inside one packet).
+
+The automaton is built once from a list of byte patterns and is immutable
+afterwards; scanning never allocates per byte.  ``scan`` returns match
+tuples ``(pattern_id, end_offset)`` where ``end_offset`` is the offset
+just past the last matched byte within the scanned buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+ROOT_STATE = 0
+
+
+class AhoCorasick:
+    """Immutable Aho-Corasick automaton over byte patterns.
+
+    Parameters
+    ----------
+    patterns:
+        The byte strings to search for.  Pattern ids are their indices.
+        Empty patterns are rejected; duplicate patterns share matches
+        (each id is reported).
+    """
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        self.patterns: tuple[bytes, ...] = tuple(bytes(p) for p in patterns)
+        for i, pattern in enumerate(self.patterns):
+            if not pattern:
+                raise ValueError(f"pattern {i} is empty")
+        # Trie construction: transitions as per-state dicts.
+        self._goto: list[dict[int, int]] = [{}]
+        self._fail: list[int] = [ROOT_STATE]
+        self._output: list[tuple[int, ...]] = [()]
+        for pattern_id, pattern in enumerate(self.patterns):
+            state = ROOT_STATE
+            for byte in pattern:
+                nxt = self._goto[state].get(byte)
+                if nxt is None:
+                    nxt = len(self._goto)
+                    self._goto[state][byte] = nxt
+                    self._goto.append({})
+                    self._fail.append(ROOT_STATE)
+                    self._output.append(())
+                state = nxt
+            self._output[state] = self._output[state] + (pattern_id,)
+        self._build_failure_links()
+        self._depth = self._compute_depths()
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for state in self._goto[ROOT_STATE].values():
+            self._fail[state] = ROOT_STATE
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for byte, nxt in self._goto[state].items():
+                queue.append(nxt)
+                fallback = self._fail[state]
+                while fallback != ROOT_STATE and byte not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(byte, ROOT_STATE)
+                if self._fail[nxt] == nxt:  # root self-loop guard
+                    self._fail[nxt] = ROOT_STATE
+                self._output[nxt] = self._output[nxt] + self._output[self._fail[nxt]]
+
+    def _compute_depths(self) -> list[int]:
+        depth = [0] * len(self._goto)
+        queue: deque[int] = deque([ROOT_STATE])
+        while queue:
+            state = queue.popleft()
+            for nxt in self._goto[state].values():
+                depth[nxt] = depth[state] + 1
+                queue.append(nxt)
+        return depth
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """Number of automaton states (trie nodes)."""
+        return len(self._goto)
+
+    def state_depth(self, state: int) -> int:
+        """Longest pattern prefix the state represents (streaming carryover)."""
+        return self._depth[state]
+
+    def scan(
+        self, data: bytes, state: int = ROOT_STATE
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Scan ``data`` starting from ``state``.
+
+        Returns ``(final_state, matches)``; feed the final state back in to
+        continue matching across buffer boundaries (streaming mode), or
+        discard it for per-packet matching.
+        """
+        goto = self._goto
+        fail = self._fail
+        output = self._output
+        matches: list[tuple[int, int]] = []
+        for offset, byte in enumerate(data):
+            nxt = goto[state].get(byte)
+            while nxt is None and state != ROOT_STATE:
+                state = fail[state]
+                nxt = goto[state].get(byte)
+            state = nxt if nxt is not None else ROOT_STATE
+            if output[state]:
+                end = offset + 1
+                matches.extend((pid, end) for pid in output[state])
+        return state, matches
+
+    def contains_match(self, data: bytes) -> bool:
+        """True when any pattern occurs in ``data`` (early exit)."""
+        goto = self._goto
+        fail = self._fail
+        output = self._output
+        state = ROOT_STATE
+        for byte in data:
+            nxt = goto[state].get(byte)
+            while nxt is None and state != ROOT_STATE:
+                state = fail[state]
+                nxt = goto[state].get(byte)
+            state = nxt if nxt is not None else ROOT_STATE
+            if output[state]:
+                return True
+        return False
+
+    def find_all(self, data: bytes) -> list[tuple[int, int]]:
+        """All matches in a self-contained buffer as (pattern_id, end_offset)."""
+        _, matches = self.scan(data)
+        return matches

@@ -1,0 +1,108 @@
+"""Case-aware matching: a case-sensitive and a case-folded automaton pair.
+
+Mixing case-sensitive and ``nocase`` patterns in one Aho-Corasick
+automaton is unsound (a shared trie state cannot represent both suffix
+sets), so the standard implementation keeps two: case-sensitive patterns
+are scanned over the raw bytes, ``nocase`` patterns (stored folded) over
+a case-folded copy.  :class:`DualAutomaton` hides the split behind the
+same ``find_all`` interface, with pattern ids stable in construction
+order; :class:`DualStreamMatcher` is the streaming counterpart.
+
+When no ``nocase`` pattern exists the folded side is absent and the cost
+is identical to a single automaton.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .aho_corasick import AhoCorasick
+from .streaming import StreamMatch, StreamMatcher
+
+
+class DualAutomaton:
+    """Two automata behind one id space.
+
+    ``patterns`` is a sequence of ``(pattern_bytes, nocase)``; nocase
+    patterns are folded at construction.
+    """
+
+    def __init__(self, patterns: Sequence[tuple[bytes, bool]]) -> None:
+        sensitive: list[bytes] = []
+        self._sensitive_ids: list[int] = []
+        folded: list[bytes] = []
+        self._folded_ids: list[int] = []
+        for index, (pattern, nocase) in enumerate(patterns):
+            if nocase:
+                folded.append(pattern.lower())
+                self._folded_ids.append(index)
+            else:
+                sensitive.append(pattern)
+                self._sensitive_ids.append(index)
+        self.sensitive = AhoCorasick(sensitive) if sensitive else None
+        self.folded = AhoCorasick(folded) if folded else None
+        self.pattern_count = len(patterns)
+
+    @property
+    def needs_folding(self) -> bool:
+        """True when a folded scan pass is required (any nocase pattern)."""
+        return self.folded is not None
+
+    def find_all(self, data: bytes) -> list[tuple[int, int]]:
+        """All matches as (global_pattern_id, end_offset)."""
+        out: list[tuple[int, int]] = []
+        if self.sensitive is not None:
+            out.extend(
+                (self._sensitive_ids[pid], end)
+                for pid, end in self.sensitive.find_all(data)
+            )
+        if self.folded is not None:
+            out.extend(
+                (self._folded_ids[pid], end)
+                for pid, end in self.folded.find_all(data.lower())
+            )
+        return out
+
+
+class DualStreamMatcher:
+    """Streaming matcher over a :class:`DualAutomaton`."""
+
+    #: Per-flow control state: two automaton state ids + offset.
+    STATE_BYTES = 12
+
+    def __init__(self, automaton: DualAutomaton) -> None:
+        self.automaton = automaton
+        self._sensitive = (
+            StreamMatcher(automaton.sensitive) if automaton.sensitive else None
+        )
+        self._folded = StreamMatcher(automaton.folded) if automaton.folded else None
+        self._offset = 0
+
+    @property
+    def stream_offset(self) -> int:
+        return self._offset
+
+    @property
+    def open_prefix_len(self) -> int:
+        """Longest open pattern prefix across both sides (release safety)."""
+        depth = 0
+        if self._sensitive is not None:
+            depth = max(depth, self._sensitive.open_prefix_len)
+        if self._folded is not None:
+            depth = max(depth, self._folded.open_prefix_len)
+        return depth
+
+    def feed(self, chunk: bytes) -> list[StreamMatch]:
+        out: list[StreamMatch] = []
+        if self._sensitive is not None:
+            out.extend(
+                StreamMatch(self.automaton._sensitive_ids[m.pattern_id], m.end_offset)
+                for m in self._sensitive.feed(chunk)
+            )
+        if self._folded is not None:
+            out.extend(
+                StreamMatch(self.automaton._folded_ids[m.pattern_id], m.end_offset)
+                for m in self._folded.feed(chunk.lower())
+            )
+        self._offset += len(chunk)
+        return out

@@ -1,0 +1,57 @@
+"""Single-pattern matchers: Boyer-Moore-Horspool and a naive reference.
+
+BMH is what a slow path uses to confirm one specific signature inside a
+reassembled stream; the naive matcher exists for differential testing of
+both BMH and Aho-Corasick.
+"""
+
+from __future__ import annotations
+
+
+class BoyerMooreHorspool:
+    """Boyer-Moore-Horspool search for one byte pattern.
+
+    Precomputes the bad-character shift table once; ``find_all`` then
+    skips ahead by the table amount on mismatches, touching a sublinear
+    number of bytes on typical payloads.
+    """
+
+    def __init__(self, pattern: bytes) -> None:
+        if not pattern:
+            raise ValueError("pattern is empty")
+        self.pattern = bytes(pattern)
+        m = len(pattern)
+        self._shift = [m] * 256
+        for i, byte in enumerate(pattern[:-1]):
+            self._shift[byte] = m - 1 - i
+
+    def find(self, data: bytes, start: int = 0) -> int:
+        """Offset of the first occurrence at or after ``start``, or -1."""
+        pattern = self.pattern
+        m = len(pattern)
+        n = len(data)
+        shift = self._shift
+        i = start
+        while i + m <= n:
+            if data[i : i + m] == pattern:
+                return i
+            i += shift[data[i + m - 1]]
+        return -1
+
+    def find_all(self, data: bytes) -> list[int]:
+        """Start offsets of every (possibly overlapping) occurrence."""
+        out: list[int] = []
+        i = self.find(data)
+        while i != -1:
+            out.append(i)
+            i = self.find(data, i + 1)
+        return out
+
+
+def naive_find_all(pattern: bytes, data: bytes) -> list[int]:
+    """Reference quadratic search; ground truth for differential tests."""
+    if not pattern:
+        raise ValueError("pattern is empty")
+    return [
+        i for i in range(len(data) - len(pattern) + 1) if data[i : i + len(pattern)] == pattern
+    ]

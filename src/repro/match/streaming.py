@@ -1,0 +1,66 @@
+"""Streaming wrapper: carry Aho-Corasick state across stream chunks.
+
+A conventional IPS matches signatures over the *reassembled* stream, so a
+signature may straddle arbitrarily many segments.  ``StreamMatcher`` holds
+the automaton state plus the running stream offset for one direction of
+one flow, and reports matches in absolute stream coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aho_corasick import ROOT_STATE, AhoCorasick
+
+
+@dataclass(frozen=True)
+class StreamMatch:
+    """One pattern occurrence located in stream coordinates."""
+
+    pattern_id: int
+    end_offset: int
+    """Stream offset just past the last byte of the occurrence."""
+
+
+class StreamMatcher:
+    """Resumable matcher over one byte stream.
+
+    The per-instance state is deliberately tiny -- an automaton state id
+    and a byte offset -- because this is exactly the state a conventional
+    IPS must keep per flow direction *in addition to* reassembly buffers,
+    and the evaluation accounts for it.
+    """
+
+    #: Bytes of per-flow control state a hardware implementation would
+    #: spend on this object (state id + offset), used by the cost model.
+    STATE_BYTES = 8
+
+    def __init__(self, automaton: AhoCorasick) -> None:
+        self.automaton = automaton
+        self._state = ROOT_STATE
+        self._offset = 0
+
+    @property
+    def stream_offset(self) -> int:
+        """How many stream bytes have been scanned so far."""
+        return self._offset
+
+    @property
+    def open_prefix_len(self) -> int:
+        """Length of the longest pattern prefix ending exactly at the
+        stream tail.  Zero means no pattern occurrence can straddle this
+        point -- the safety condition for handing the stream off to a
+        different matcher."""
+        return self.automaton.state_depth(self._state)
+
+    def feed(self, chunk: bytes) -> list[StreamMatch]:
+        """Scan the next contiguous chunk of the stream."""
+        state, matches = self.automaton.scan(chunk, self._state)
+        base = self._offset
+        self._state = state
+        self._offset += len(chunk)
+        return [StreamMatch(pid, base + end) for pid, end in matches]
+
+    def reset(self) -> None:
+        """Forget carried state (e.g. after a stream gap is declared lost)."""
+        self._state = ROOT_STATE

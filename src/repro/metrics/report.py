@@ -1,0 +1,150 @@
+"""Run harness: drive an IPS over a trace and collect evaluation numbers.
+
+This is the shared machinery under every benchmark: it feeds packets,
+samples state periodically (state comparisons use the *peak*, since that
+is what a box must provision), and assembles the per-run summary the
+tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import Alert, ConventionalIPS, SplitDetectIPS
+from ..core.fastpath import FAST_FLOW_STATE_BYTES
+from ..packet import TimedPacket
+from ..streams import FLOW_OVERHEAD_BYTES
+from .cost import CostReport, HardwareModel, conventional_cost, split_detect_cost
+
+#: Reassembly buffering a conventional IPS must provision per connection
+#: (the paper's standards point: 1M connections, each able to buffer an
+#: out-of-order window).  Used for extrapolation, not measurement.
+PROVISIONED_BUFFER_PER_FLOW = 4096
+
+
+@dataclass
+class RunReport:
+    """Everything one trace run produced."""
+
+    label: str
+    packets: int = 0
+    payload_bytes: int = 0
+    alerts: list[Alert] = field(default_factory=list)
+    peak_state_bytes: int = 0
+    peak_flows: int = 0
+    # Split-Detect specific:
+    diverted_flows: int = 0
+    divert_reasons: dict[str, int] = field(default_factory=dict)
+    fast_bytes: int = 0
+    slow_bytes: int = 0
+    fast_packets: int = 0
+    slow_packets: int = 0
+
+    @property
+    def diversion_byte_fraction(self) -> float:
+        total = self.fast_bytes + self.slow_bytes
+        return self.slow_bytes / total if total else 0.0
+
+
+def run_split_detect(
+    ips: SplitDetectIPS,
+    trace: list[TimedPacket],
+    *,
+    label: str = "split-detect",
+    sample_every: int = 200,
+) -> RunReport:
+    """Feed a trace through a Split-Detect engine, sampling peak state."""
+    report = RunReport(label=label)
+    for index, packet in enumerate(trace):
+        report.alerts.extend(ips.process(packet))
+        if index % sample_every == 0:
+            report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
+            flows = ips.fast_path.tracked_flows + ips.slow_path.active_flows
+            report.peak_flows = max(report.peak_flows, flows)
+    report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
+    report.packets = ips.stats.packets_total
+    report.fast_packets = ips.stats.fast_packets
+    report.slow_packets = ips.stats.slow_packets
+    report.fast_bytes = ips.stats.fast_bytes_scanned
+    report.slow_bytes = ips.stats.slow_bytes_normalized
+    report.payload_bytes = report.fast_bytes + report.slow_bytes
+    report.diverted_flows = len(ips.diversions)
+    report.divert_reasons = {
+        reason.value: count for reason, count in ips.divert_reasons.items()
+    }
+    return report
+
+
+def run_conventional(
+    ips: ConventionalIPS,
+    trace: list[TimedPacket],
+    *,
+    label: str = "conventional",
+    sample_every: int = 200,
+) -> RunReport:
+    """Feed a trace through the conventional baseline, sampling peak state."""
+    report = RunReport(label=label)
+    for index, packet in enumerate(trace):
+        report.alerts.extend(ips.process(packet))
+        if index % sample_every == 0:
+            report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
+            report.peak_flows = max(report.peak_flows, ips.active_flows)
+    report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
+    report.packets = ips.packets_processed
+    report.payload_bytes = ips.bytes_normalized
+    return report
+
+
+def state_per_flow(report: RunReport) -> float:
+    """Average peak state per concurrently tracked flow."""
+    return report.peak_state_bytes / report.peak_flows if report.peak_flows else 0.0
+
+
+def extrapolate_state(per_flow_bytes: float, connections: int = 1_000_000) -> int:
+    """Scale a per-flow footprint to the paper's 1M-connection standard."""
+    return int(per_flow_bytes * connections)
+
+
+def provisioned_conventional_state(connections: int = 1_000_000) -> int:
+    """What a conventional IPS must *provision* per the 1M-connection
+    requirement: flow record plus reassembly buffer per connection."""
+    return connections * (FLOW_OVERHEAD_BYTES + PROVISIONED_BUFFER_PER_FLOW)
+
+
+def provisioned_fastpath_state(connections: int = 1_000_000) -> int:
+    """What the Split-Detect fast path provisions: two direction records."""
+    return connections * 2 * FAST_FLOW_STATE_BYTES
+
+
+def throughput_comparison(
+    split_report: RunReport,
+    conventional_report: RunReport,
+    *,
+    hardware: HardwareModel | None = None,
+    connections: int = 1_000_000,
+) -> list[CostReport]:
+    """Figure 6's rows: conventional vs fast/slow/blended Split-Detect.
+
+    State footprints use the provisioned 1M-connection figures (that is
+    the regime the paper argues about); measured diversion fractions from
+    the runs split the byte volume between the two paths.
+    """
+    hardware = hardware or HardwareModel()
+    conv = conventional_cost(
+        conventional_report.payload_bytes,
+        max(conventional_report.packets, 1),
+        provisioned_conventional_state(connections),
+        hardware,
+    )
+    diverted_fraction = split_report.diverted_flows / max(split_report.peak_flows, 1)
+    slow_connections = max(1, int(connections * min(1.0, diverted_fraction)))
+    fast, slow, blended = split_detect_cost(
+        split_report.fast_bytes,
+        split_report.fast_packets,
+        split_report.slow_bytes,
+        split_report.slow_packets,
+        provisioned_fastpath_state(connections),
+        slow_connections * (FLOW_OVERHEAD_BYTES + PROVISIONED_BUFFER_PER_FLOW),
+        hardware,
+    )
+    return [conv, fast, slow, blended]

@@ -1,0 +1,31 @@
+"""Exceptions raised by the packet-parsing layer."""
+
+
+class PacketError(Exception):
+    """Base class for all packet parsing/serialization errors."""
+
+
+class TruncatedPacketError(PacketError):
+    """Raised when the byte buffer ends before the header/payload it promises."""
+
+    def __init__(self, what: str, needed: int, got: int) -> None:
+        super().__init__(f"truncated {what}: need {needed} bytes, got {got}")
+        self.what = what
+        self.needed = needed
+        self.got = got
+
+
+class MalformedPacketError(PacketError):
+    """Raised when a field holds a value the protocol forbids."""
+
+
+class ChecksumError(PacketError):
+    """Raised (only under strict parsing) when a checksum does not verify."""
+
+    def __init__(self, what: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"bad {what} checksum: header says 0x{expected:04x}, computed 0x{actual:04x}"
+        )
+        self.what = what
+        self.expected = expected
+        self.actual = actual

@@ -1,0 +1,58 @@
+"""Minimal Ethernet II framing, enough to write/read valid pcap files."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import MalformedPacketError, TruncatedPacketError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+_ETH_FMT = struct.Struct("!6s6sH")
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """Convert ``aa:bb:cc:dd:ee:ff`` notation to 6 raw bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise MalformedPacketError(f"not a MAC address: {mac!r}")
+    try:
+        return bytes(int(p, 16) for p in parts)
+    except ValueError as exc:
+        raise MalformedPacketError(f"not a MAC address: {mac!r}") from exc
+
+
+def bytes_to_mac(raw: bytes) -> str:
+    """Convert 6 raw bytes to colon-separated hex notation."""
+    if len(raw) != 6:
+        raise MalformedPacketError(f"MAC address must be 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame; ``payload`` is the layer-3 packet bytes."""
+
+    dst: str = "ff:ff:ff:ff:ff:ff"
+    src: str = "02:00:00:00:00:01"
+    ethertype: int = ETHERTYPE_IPV4
+    payload: bytes = b""
+
+    def serialize(self) -> bytes:
+        """Render the frame to wire bytes (no FCS; pcap omits it too)."""
+        return _ETH_FMT.pack(mac_to_bytes(self.dst), mac_to_bytes(self.src), self.ethertype) + self.payload
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "EthernetFrame":
+        """Parse wire bytes into an ``EthernetFrame``."""
+        if len(raw) < 14:
+            raise TruncatedPacketError("Ethernet header", 14, len(raw))
+        dst_raw, src_raw, ethertype = _ETH_FMT.unpack_from(raw)
+        return cls(
+            dst=bytes_to_mac(dst_raw),
+            src=bytes_to_mac(src_raw),
+            ethertype=ethertype,
+            payload=bytes(raw[14:]),
+        )

@@ -1,0 +1,249 @@
+"""TCP segment model: header fields, flags, options, checksum over pseudo-header.
+
+The model keeps sequence/ack numbers as plain ints (mod 2**32 on the wire)
+and exposes the option kinds an IPS meets in practice (MSS, window scale,
+SACK-permitted, timestamps, NOP/EOL) as parsed tuples while preserving the
+raw option bytes for re-serialization.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from .checksum import internet_checksum, pseudo_header
+from .errors import ChecksumError, MalformedPacketError, TruncatedPacketError
+from .ip import IP_PROTO_TCP, ip_to_bytes
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_URG = 0x20
+
+_TCP_FMT = struct.Struct("!HHIIBBHHH")
+
+_OPT_EOL = 0
+_OPT_NOP = 1
+_OPT_MSS = 2
+_OPT_WSCALE = 3
+_OPT_SACK_PERMITTED = 4
+_OPT_TIMESTAMP = 8
+
+SEQ_MOD = 2**32
+
+
+def seq_add(seq: int, delta: int) -> int:
+    """Add ``delta`` to a sequence number modulo 2**32."""
+    return (seq + delta) % SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed distance from ``b`` to ``a`` in sequence space (RFC 793 wraparound).
+
+    Positive when ``a`` is after ``b``; the result lies in [-2**31, 2**31).
+    """
+    d = (a - b) % SEQ_MOD
+    if d >= SEQ_MOD // 2:
+        d -= SEQ_MOD
+    return d
+
+
+def flags_to_str(flags: int) -> str:
+    """Render a flag byte as the conventional letter string, e.g. ``"SA"``."""
+    letters = []
+    for bit, letter in (
+        (TCP_FIN, "F"),
+        (TCP_SYN, "S"),
+        (TCP_RST, "R"),
+        (TCP_PSH, "P"),
+        (TCP_ACK, "A"),
+        (TCP_URG, "U"),
+    ):
+        if flags & bit:
+            letters.append(letter)
+    return "".join(letters) or "."
+
+
+@dataclass
+class TcpSegment:
+    """A parsed (or to-be-serialized) TCP segment without the IP layer."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_ACK
+    window: int = 65535
+    urgent: int = 0
+    payload: bytes = b""
+    options: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, value, limit in (
+            ("src_port", self.src_port, 0xFFFF),
+            ("dst_port", self.dst_port, 0xFFFF),
+            ("window", self.window, 0xFFFF),
+            ("urgent", self.urgent, 0xFFFF),
+        ):
+            if not 0 <= value <= limit:
+                raise MalformedPacketError(f"{name} {value} out of range")
+        self.seq %= SEQ_MOD
+        self.ack %= SEQ_MOD
+        if len(self.options) % 4:
+            raise MalformedPacketError("TCP options must pad to a 4-byte multiple")
+        if len(self.options) > 40:
+            raise MalformedPacketError("TCP options exceed 40 bytes")
+
+    @property
+    def header_length(self) -> int:
+        """Header length in bytes (20 plus options)."""
+        return 20 + len(self.options)
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & TCP_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & TCP_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & TCP_RST)
+
+    @property
+    def ack_set(self) -> bool:
+        return bool(self.flags & TCP_ACK)
+
+    @property
+    def seq_len(self) -> int:
+        """Sequence-space length: payload bytes plus one each for SYN and FIN."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's data."""
+        return seq_add(self.seq, self.seq_len)
+
+    def serialize(self, src_ip: str | None = None, dst_ip: str | None = None) -> bytes:
+        """Render to wire bytes.
+
+        When both IP addresses are given, the checksum is computed over the
+        RFC 793 pseudo-header; otherwise the checksum field is left zero
+        (useful when the caller recomputes checksums at the IP layer).
+        """
+        data_offset = self.header_length // 4
+        header = _TCP_FMT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        ) + self.options
+        segment = header + self.payload
+        if src_ip is not None and dst_ip is not None:
+            pseudo = pseudo_header(
+                ip_to_bytes(src_ip), ip_to_bytes(dst_ip), IP_PROTO_TCP, len(segment)
+            )
+            checksum = internet_checksum(pseudo + segment)
+            segment = segment[:16] + checksum.to_bytes(2, "big") + segment[18:]
+        return segment
+
+    @classmethod
+    def parse(
+        cls,
+        raw: bytes,
+        *,
+        src_ip: str | None = None,
+        dst_ip: str | None = None,
+        strict: bool = False,
+    ) -> "TcpSegment":
+        """Parse wire bytes into a ``TcpSegment``.
+
+        With ``strict=True`` (and both IP addresses supplied) the
+        pseudo-header checksum must verify.
+        """
+        if len(raw) < 20:
+            raise TruncatedPacketError("TCP header", 20, len(raw))
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_byte,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = _TCP_FMT.unpack_from(raw)
+        header_len = (offset_byte >> 4) * 4
+        if header_len < 20:
+            raise MalformedPacketError(f"TCP data offset {header_len} below 20")
+        if len(raw) < header_len:
+            raise TruncatedPacketError("TCP options", header_len, len(raw))
+        if strict and src_ip is not None and dst_ip is not None:
+            pseudo = pseudo_header(
+                ip_to_bytes(src_ip), ip_to_bytes(dst_ip), IP_PROTO_TCP, len(raw)
+            )
+            if internet_checksum(pseudo + raw) != 0:
+                raise ChecksumError("TCP", checksum, 0)
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            payload=bytes(raw[header_len:]),
+            options=bytes(raw[20:header_len]),
+        )
+
+    def parsed_options(self) -> list[tuple[int, bytes]]:
+        """Decode the option blob into (kind, data) tuples.
+
+        NOP options are skipped; EOL terminates the list.  Malformed
+        lengths raise ``MalformedPacketError``.
+        """
+        out: list[tuple[int, bytes]] = []
+        i = 0
+        opts = self.options
+        while i < len(opts):
+            kind = opts[i]
+            if kind == _OPT_EOL:
+                break
+            if kind == _OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(opts):
+                raise MalformedPacketError("TCP option truncated before length byte")
+            length = opts[i + 1]
+            if length < 2 or i + length > len(opts):
+                raise MalformedPacketError(f"TCP option kind {kind} bad length {length}")
+            out.append((kind, bytes(opts[i + 2 : i + length])))
+            i += length
+        return out
+
+    def mss_option(self) -> int | None:
+        """Return the MSS value if the segment carries an MSS option."""
+        for kind, data in self.parsed_options():
+            if kind == _OPT_MSS and len(data) == 2:
+                return int.from_bytes(data, "big")
+        return None
+
+    def copy(self, **changes) -> "TcpSegment":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def mss_option_bytes(mss: int) -> bytes:
+    """Build an MSS option blob padded to 4 bytes (it already is 4 bytes)."""
+    if not 0 <= mss <= 0xFFFF:
+        raise MalformedPacketError(f"MSS {mss} out of range")
+    return bytes((_OPT_MSS, 4)) + mss.to_bytes(2, "big")

@@ -1,0 +1,113 @@
+"""UDP datagram model with pseudo-header checksum.
+
+UDP matters to the reproduction for two reasons: real rule sets contain
+UDP signatures (DNS, RPC, worm payloads like Slammer), and UDP has no
+stream to reassemble -- the only byte-string evasion channel is IP
+fragmentation, which Split-Detect handles by diverting fragments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from .checksum import internet_checksum, pseudo_header
+from .errors import ChecksumError, MalformedPacketError, TruncatedPacketError
+from .ip import IP_PROTO_UDP, IPv4Packet, ip_to_bytes
+
+_UDP_FMT = struct.Struct("!HHHH")
+
+
+@dataclass
+class UdpDatagram:
+    """A parsed (or to-be-serialized) UDP datagram without the IP layer."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, value in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not 0 <= value <= 0xFFFF:
+                raise MalformedPacketError(f"{name} {value} out of range")
+        if 8 + len(self.payload) > 0xFFFF:
+            raise MalformedPacketError("UDP datagram exceeds 65535 bytes")
+
+    @property
+    def length(self) -> int:
+        """Wire length field: header plus payload."""
+        return 8 + len(self.payload)
+
+    def serialize(self, src_ip: str | None = None, dst_ip: str | None = None) -> bytes:
+        """Render to wire bytes; checksum included when IPs are given."""
+        header = _UDP_FMT.pack(self.src_port, self.dst_port, self.length, 0)
+        datagram = header + self.payload
+        if src_ip is not None and dst_ip is not None:
+            pseudo = pseudo_header(
+                ip_to_bytes(src_ip), ip_to_bytes(dst_ip), IP_PROTO_UDP, self.length
+            )
+            checksum = internet_checksum(pseudo + datagram)
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: transmitted zero means "none"
+            datagram = datagram[:6] + checksum.to_bytes(2, "big") + datagram[8:]
+        return datagram
+
+    @classmethod
+    def parse(
+        cls,
+        raw: bytes,
+        *,
+        src_ip: str | None = None,
+        dst_ip: str | None = None,
+        strict: bool = False,
+    ) -> "UdpDatagram":
+        """Parse wire bytes; with ``strict`` the checksum must verify."""
+        if len(raw) < 8:
+            raise TruncatedPacketError("UDP header", 8, len(raw))
+        src_port, dst_port, length, checksum = _UDP_FMT.unpack_from(raw)
+        if length < 8:
+            raise MalformedPacketError(f"UDP length field {length} below header size")
+        if len(raw) < length:
+            raise TruncatedPacketError("UDP payload", length, len(raw))
+        if strict and checksum and src_ip is not None and dst_ip is not None:
+            pseudo = pseudo_header(
+                ip_to_bytes(src_ip), ip_to_bytes(dst_ip), IP_PROTO_UDP, length
+            )
+            if internet_checksum(pseudo + raw[:length]) != 0:
+                raise ChecksumError("UDP", checksum, 0)
+        return cls(src_port=src_port, dst_port=dst_port, payload=bytes(raw[8:length]))
+
+    def copy(self, **changes) -> "UdpDatagram":
+        return replace(self, **changes)
+
+
+def build_udp_packet(
+    src: str,
+    dst: str,
+    datagram: UdpDatagram,
+    *,
+    ttl: int = 64,
+    identification: int = 0,
+    dont_fragment: bool = False,
+) -> IPv4Packet:
+    """Wrap a ``UdpDatagram`` in an IPv4 packet with a valid checksum."""
+    return IPv4Packet(
+        src=src,
+        dst=dst,
+        protocol=IP_PROTO_UDP,
+        payload=datagram.serialize(src, dst),
+        ttl=ttl,
+        identification=identification,
+        dont_fragment=dont_fragment,
+    )
+
+
+def decode_udp(packet: IPv4Packet, *, strict: bool = False) -> UdpDatagram:
+    """Parse the UDP datagram out of a non-fragmented IPv4 packet."""
+    if packet.protocol != IP_PROTO_UDP:
+        raise ValueError(f"not a UDP packet (protocol {packet.protocol})")
+    if packet.is_fragment:
+        raise ValueError("cannot decode UDP from an IP fragment; defragment first")
+    return UdpDatagram.parse(
+        packet.payload, src_ip=packet.src, dst_ip=packet.dst, strict=strict
+    )

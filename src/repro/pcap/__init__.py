@@ -1,0 +1,21 @@
+"""Classic libpcap savefile reader/writer."""
+
+from .format import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IP,
+    PcapFormatError,
+    PcapHeader,
+)
+from .io import PcapReader, PcapWriter, read_trace, trace_to_bytes, write_trace
+
+__all__ = [
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW_IP",
+    "PcapFormatError",
+    "PcapHeader",
+    "PcapReader",
+    "PcapWriter",
+    "read_trace",
+    "trace_to_bytes",
+    "write_trace",
+]

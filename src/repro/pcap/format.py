@@ -1,0 +1,122 @@
+"""Classic libpcap savefile format: global header and per-record headers.
+
+Implements the original ``.pcap`` container (not pcapng): a 24-byte global
+header followed by records, each with a 16-byte header carrying seconds,
+microseconds, captured length, and original length.  Both byte orders are
+read; files are written native little-endian with magic 0xa1b2c3d4.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_MAGIC_NS = 0xA1B23C4D
+PCAP_MAGIC_NS_SWAPPED = 0x4D3CB2A1
+PCAP_VERSION_MAJOR = 2
+PCAP_VERSION_MINOR = 4
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW_IP = 101
+
+_GLOBAL_FMT = "IHHiIII"
+_RECORD_FMT = "IIII"
+GLOBAL_HEADER_SIZE = struct.calcsize("<" + _GLOBAL_FMT)
+RECORD_HEADER_SIZE = struct.calcsize("<" + _RECORD_FMT)
+
+
+class PcapFormatError(Exception):
+    """Raised when a savefile violates the pcap container format."""
+
+
+@dataclass(frozen=True)
+class PcapHeader:
+    """Decoded global header of a savefile."""
+
+    linktype: int
+    snaplen: int
+    byte_order: str  # "<" or ">"
+    version: tuple[int, int] = (PCAP_VERSION_MAJOR, PCAP_VERSION_MINOR)
+    nanosecond: bool = False
+    """True when the magic declares nanosecond-resolution timestamps."""
+
+
+def encode_global_header(linktype: int, snaplen: int = 65535) -> bytes:
+    """Build the 24-byte global header (native little-endian)."""
+    return struct.pack(
+        "<" + _GLOBAL_FMT,
+        PCAP_MAGIC,
+        PCAP_VERSION_MAJOR,
+        PCAP_VERSION_MINOR,
+        0,  # thiszone: GMT
+        0,  # sigfigs: always 0 in practice
+        snaplen,
+        linktype,
+    )
+
+
+def decode_global_header(raw: bytes) -> PcapHeader:
+    """Decode and validate the 24-byte global header, detecting byte order."""
+    if len(raw) < GLOBAL_HEADER_SIZE:
+        raise PcapFormatError(
+            f"truncated global header: {len(raw)} < {GLOBAL_HEADER_SIZE} bytes"
+        )
+    magic = struct.unpack_from("<I", raw)[0]
+    nanosecond = False
+    if magic == PCAP_MAGIC:
+        order = "<"
+    elif magic == PCAP_MAGIC_SWAPPED:
+        order = ">"
+    elif magic == PCAP_MAGIC_NS:
+        order = "<"
+        nanosecond = True
+    elif magic == PCAP_MAGIC_NS_SWAPPED:
+        order = ">"
+        nanosecond = True
+    else:
+        raise PcapFormatError(f"bad magic 0x{magic:08x}; not a pcap file")
+    (
+        _magic,
+        major,
+        minor,
+        _thiszone,
+        _sigfigs,
+        snaplen,
+        linktype,
+    ) = struct.unpack_from(order + _GLOBAL_FMT, raw)
+    if major != PCAP_VERSION_MAJOR:
+        raise PcapFormatError(f"unsupported pcap version {major}.{minor}")
+    return PcapHeader(
+        linktype=linktype,
+        snaplen=snaplen,
+        byte_order=order,
+        version=(major, minor),
+        nanosecond=nanosecond,
+    )
+
+
+def encode_record_header(timestamp: float, captured: int, original: int) -> bytes:
+    """Build a 16-byte record header from a float timestamp and lengths."""
+    sec = int(timestamp)
+    usec = int(round((timestamp - sec) * 1_000_000))
+    if usec >= 1_000_000:  # rounding can spill into the next second
+        sec += 1
+        usec -= 1_000_000
+    return struct.pack("<" + _RECORD_FMT, sec, usec, captured, original)
+
+
+def decode_record_header(
+    raw: bytes, byte_order: str, *, nanosecond: bool = False
+) -> tuple[float, int, int]:
+    """Decode a record header into (timestamp, captured_len, original_len)."""
+    if len(raw) < RECORD_HEADER_SIZE:
+        raise PcapFormatError(
+            f"truncated record header: {len(raw)} < {RECORD_HEADER_SIZE} bytes"
+        )
+    sec, frac, captured, original = struct.unpack_from(byte_order + _RECORD_FMT, raw)
+    scale = 1_000_000_000 if nanosecond else 1_000_000
+    if frac >= scale:
+        raise PcapFormatError(f"record sub-second field {frac} out of range")
+    return sec + frac / scale, captured, original

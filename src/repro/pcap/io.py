@@ -1,0 +1,162 @@
+"""Reading and writing pcap savefiles at the raw-record and IPv4-packet level.
+
+``PcapWriter``/``PcapReader`` move (timestamp, bytes) records; the
+``write_trace``/``read_trace`` helpers convert to and from the library's
+``TimedPacket`` view, handling both raw-IP and Ethernet link types.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from typing import BinaryIO
+
+from ..packet import ETHERTYPE_IPV4, EthernetFrame, IPv4Packet, TimedPacket
+from .format import (
+    GLOBAL_HEADER_SIZE,
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IP,
+    RECORD_HEADER_SIZE,
+    PcapFormatError,
+    PcapHeader,
+    decode_global_header,
+    decode_record_header,
+    encode_global_header,
+    encode_record_header,
+)
+
+
+class PcapWriter:
+    """Streams (timestamp, packet bytes) records into a savefile.
+
+    Usable as a context manager; the global header is written on
+    construction so even an empty capture is a valid file.
+    """
+
+    def __init__(
+        self,
+        stream: BinaryIO | str | os.PathLike,
+        *,
+        linktype: int = LINKTYPE_RAW_IP,
+        snaplen: int = 65535,
+    ) -> None:
+        if isinstance(stream, (str, os.PathLike)):
+            self._stream: BinaryIO = open(stream, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = stream
+            self._owns_stream = False
+        self.linktype = linktype
+        self.snaplen = snaplen
+        self.records_written = 0
+        self._stream.write(encode_global_header(linktype, snaplen))
+
+    def write_record(self, timestamp: float, data: bytes) -> None:
+        """Append one record, truncating to the snaplen if necessary."""
+        captured = data[: self.snaplen]
+        self._stream.write(encode_record_header(timestamp, len(captured), len(data)))
+        self._stream.write(captured)
+        self.records_written += 1
+
+    def write_packet(self, packet: TimedPacket) -> None:
+        """Append an IPv4 packet, framing it to match the file's linktype."""
+        raw = packet.ip.serialize()
+        if self.linktype == LINKTYPE_ETHERNET:
+            raw = EthernetFrame(ethertype=ETHERTYPE_IPV4, payload=raw).serialize()
+        self.write_record(packet.timestamp, raw)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates (timestamp, captured bytes) records out of a savefile."""
+
+    def __init__(self, stream: BinaryIO | str | os.PathLike) -> None:
+        if isinstance(stream, (str, os.PathLike)):
+            self._stream: BinaryIO = open(stream, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = stream
+            self._owns_stream = False
+        self.header: PcapHeader = decode_global_header(
+            self._stream.read(GLOBAL_HEADER_SIZE)
+        )
+
+    @property
+    def linktype(self) -> int:
+        return self.header.linktype
+
+    def __iter__(self) -> Iterator[tuple[float, bytes]]:
+        while True:
+            header = self._stream.read(RECORD_HEADER_SIZE)
+            if not header:
+                return
+            timestamp, captured, _original = decode_record_header(
+                header, self.header.byte_order, nanosecond=self.header.nanosecond
+            )
+            data = self._stream.read(captured)
+            if len(data) < captured:
+                raise PcapFormatError(
+                    f"truncated record body: need {captured} bytes, got {len(data)}"
+                )
+            yield timestamp, data
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_trace(
+    path: str | os.PathLike,
+    packets: Iterable[TimedPacket],
+    *,
+    linktype: int = LINKTYPE_RAW_IP,
+) -> int:
+    """Write a sequence of timed IPv4 packets to ``path``; returns the count."""
+    with PcapWriter(path, linktype=linktype) as writer:
+        for packet in packets:
+            writer.write_packet(packet)
+        return writer.records_written
+
+
+def read_trace(path: str | os.PathLike) -> Iterator[TimedPacket]:
+    """Yield timed IPv4 packets from a savefile, unwrapping Ethernet frames.
+
+    Records that do not contain IPv4 (e.g. ARP) are skipped silently, as
+    tools like tcpdump do when filtering on ``ip``.
+    """
+    with PcapReader(path) as reader:
+        ethernet = reader.linktype == LINKTYPE_ETHERNET
+        if not ethernet and reader.linktype != LINKTYPE_RAW_IP:
+            raise PcapFormatError(f"unsupported linktype {reader.linktype}")
+        for timestamp, data in reader:
+            if ethernet:
+                frame = EthernetFrame.parse(data)
+                if frame.ethertype != ETHERTYPE_IPV4:
+                    continue
+                data = frame.payload
+            yield TimedPacket(timestamp, IPv4Packet.parse(data))
+
+
+def trace_to_bytes(packets: Iterable[TimedPacket]) -> bytes:
+    """Render a trace to an in-memory pcap image (handy for tests)."""
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    for packet in packets:
+        writer.write_packet(packet)
+    return buffer.getvalue()

@@ -1,0 +1,55 @@
+"""Signatures: model, rule parsing, bundled corpus, and the splitter."""
+
+from .corpus import load_bundled_rules, regenerate_bundled_file, synthesize_corpus
+from .lint import LintFinding, LintLevel, lint_ruleset
+from .model import Piece, RuleSet, Signature, SplitSignature
+from .ngram import ByteFrequencyModel, uniform_model
+from .rules import (
+    RuleParseError,
+    decode_content,
+    dump_rules,
+    encode_content,
+    format_rule,
+    load_rules,
+    parse_rule,
+    parse_rules,
+)
+from .splitter import (
+    ABSOLUTE_MIN_PIECE,
+    SplitPolicy,
+    SplitRuleSet,
+    UnsplittableSignatureError,
+    effective_piece_length,
+    split_ruleset,
+    split_signature,
+)
+
+__all__ = [
+    "ABSOLUTE_MIN_PIECE",
+    "ByteFrequencyModel",
+    "Piece",
+    "RuleParseError",
+    "RuleSet",
+    "Signature",
+    "SplitPolicy",
+    "SplitRuleSet",
+    "SplitSignature",
+    "UnsplittableSignatureError",
+    "LintFinding",
+    "LintLevel",
+    "decode_content",
+    "dump_rules",
+    "lint_ruleset",
+    "effective_piece_length",
+    "encode_content",
+    "format_rule",
+    "load_bundled_rules",
+    "load_rules",
+    "parse_rule",
+    "parse_rules",
+    "regenerate_bundled_file",
+    "split_ruleset",
+    "split_signature",
+    "synthesize_corpus",
+    "uniform_model",
+]

@@ -1,0 +1,210 @@
+"""The bundled signature corpus and its deterministic generator.
+
+The paper evaluates against a Snort signature set.  Snort's rules are not
+redistributable here, so the package ships a synthetic corpus with the
+same relevant statistics: ~300 exact-content strings whose length
+distribution, byte composition (text vs binary), and port skew mirror the
+classic web/shellcode/backdoor rule categories.  ``load_bundled_rules``
+reads the shipped file; ``synthesize_corpus`` regenerates it (and is what
+produced it -- the corpus is a reproducible artifact, not a fixture).
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+import random
+
+from .model import RuleSet, Signature
+from .rules import dump_rules, parse_rules
+
+BUNDLED_RULES_FILE = "community.rules"
+
+# Base content strings in the style of the classic public rule categories.
+# Each entry: (category, port or None, content bytes).
+_BASES: list[tuple[str, int | None, bytes]] = [
+    ("WEB-IIS cmd.exe access", 80, b"cmd.exe"),
+    ("WEB-IIS unicode directory traversal", 80, b"/..%c0%af../winnt/system32/"),
+    ("WEB-IIS ISAPI .ida access", 80, b"GET /default.ida?NNNNNNNNNNNNNNNN"),
+    ("WEB-CGI phf access", 80, b"GET /cgi-bin/phf?Qalias=x%0a/bin/cat"),
+    ("WEB-MISC robots.txt probe chain", 80, b"GET /robots.txt HTTP/1.0#probe-chain"),
+    ("WEB-PHP remote include", 80, b"GET /index.php?page=http://"),
+    ("WEB-ATTACKS /etc/passwd retrieval", 80, b"cat /etc/passwd | mail"),
+    ("WEB-FRONTPAGE _vti_bin access", 80, b"POST /_vti_bin/shtml.exe/_vti_rpc"),
+    ("WEB-COLDFUSION admin probe", 80, b"GET /cfdocs/expeval/openfile.cfm"),
+    ("WEB-MISC Apache chunked overflow", 80, b"Transfer-Encoding: chunked#overflow-xx"),
+    ("SHELLCODE x86 NOP sled", None, b"\x90" * 14),
+    ("SHELLCODE x86 setuid(0)", None, b"\x31\xc0\x31\xdb\xb0\x17\xcd\x80\x31\xc0\xb0\x2e\xcd\x80"),
+    ("SHELLCODE /bin/sh execve", None, b"\x31\xc0\x50\x68//sh\x68/bin\x89\xe3\xcd\x80"),
+    ("SHELLCODE sparc NOP", None, b"\x80\x1c\x40\x11\x80\x1c\x40\x11\x80\x1c\x40\x11"),
+    ("EXPLOIT named overflow ADMROCKS", 53, b"ADMROCKS-xx"),
+    ("EXPLOIT wu-ftpd SITE EXEC format", 21, b"SITE EXEC %020d|%.f%.f|"),
+    ("EXPLOIT ssh CRC32 compensation", 22, b"\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x98"),
+    ("BACKDOOR BackOrifice header", None, b"\xce\x63\xd1\xd2\x16\xe7\x13\xcf\x38\xa5\xa5\x86"),
+    ("BACKDOOR SubSeven banner", 27374, b"connected. time/date:"),
+    ("BACKDOOR netbus getinfo", 12345, b"GetInfo\r\nNetBus"),
+    ("TROJAN typot covert channel", None, b"\x55\xaaINVOKE\x55\xaaRETURN\x55\xaa"),
+    ("FTP site exec attempt", 21, b"SITE EXEC /bin/sh -c"),
+    ("SMTP expn root probe chain", 25, b"EXPN root@localhost#probe"),
+    ("SMTP sendmail 8.6.9 pipe", 25, b"MAIL FROM: |/usr/bin/tail"),
+    ("DNS version.bind probe chain", 53, b"\x07version\x04bind\x00#chain"),
+    ("RPC portmap sadmind request", 111, b"\x01\x86\xa0\x00\x00\x00\x02\x00\x00\x00\x03\x00\x01"),
+    ("NETBIOS SMB trans2 overflow", 139, b"\x00\x00\x00\x90\xffSMB\x32\x00\x00\x00\x00"),
+    ("POLICY VNC server response", 5900, b"RFB 003.00x-probe"),
+    ("SCAN cybercop os probe", None, b"AAAAAAAAAAAAAAAAAAA-cybercop"),
+    ("MISC gopher proxy chain", 70, b"gopher://probe-chain:70/"),
+    ("WORM CodeRed II payload marker", 80, b"CODERED-II-XXXX-INFECT-MARKER"),
+    ("WORM slammer payload head", None, b"\x04\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01\x01sock"),
+    ("WORM nimda readme.eml", 80, b"readme.eml-autoload-window"),
+    ("P2P kazaa download request", None, b"GET /.hash=d41d8cd98f00b204"),
+    ("IMAP login overflow", 143, b"LOGIN {4096}AAAAAAAAAAAAAAAA"),
+    ("POP3 user overflow", 110, b"USER AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"),
+    ("X11 open permission probe", 6000, b"\x6c\x00\x0b\x00\x00\x00\x00\x00xopen"),
+    ("ORACLE tns listener stop", 1521, b"(CONNECT_DATA=(COMMAND=stop))"),
+    ("MSSQL xp_cmdshell exec", 1433, b"x\x00p\x00_\x00c\x00m\x00d\x00s\x00h\x00e\x00l\x00l\x00"),
+    ("TELNET solaris login -f root", 23, b"login: -froot\x00probe"),
+]
+
+# Suffix/prefix mutators used to expand the bases into families, the way
+# real rule sets contain many variants of one exploit string.
+_VARIANT_TAGS = [b"", b"/v2", b"-gen2", b".asp", b"%20", b"\x90\x90", b"?id=", b"~bak"]
+
+
+def synthesize_corpus(
+    *,
+    families: int = 8,
+    seed: int = 20060811,  # SIGCOMM 2006 publication date
+) -> RuleSet:
+    """Build the deterministic synthetic corpus (~``len(_BASES) * families``).
+
+    Variant patterns append/prepend short decorations and, for binary
+    content, splice random rare bytes, producing the heavy mid-length
+    distribution real rule sets show (most patterns 10-40 bytes, a text
+    majority, a long tail past 100 bytes).
+    """
+    rng = random.Random(seed)
+    rules = RuleSet()
+    sid = 1000001
+    for msg, port, content in _BASES:
+        for variant in range(families):
+            pattern = content
+            if variant:
+                tag = _VARIANT_TAGS[variant % len(_VARIANT_TAGS)]
+                pattern = (pattern + tag) if variant % 2 else (tag + pattern)
+                if rng.random() < 0.3:
+                    splice = bytes([rng.randrange(1, 255) for _ in range(rng.randrange(2, 6))])
+                    pattern = pattern + splice
+            rules.add(
+                Signature(
+                    sid=sid,
+                    pattern=pattern,
+                    msg=msg if not variant else f"{msg} (variant {variant})",
+                    dst_port=port,
+                )
+            )
+            sid += 1
+    # A long tail of big signatures (worm payloads, encoded blobs).
+    for i in range(12):
+        size = rng.randrange(80, 220)
+        pattern = bytes([rng.randrange(33, 127) for _ in range(size)])
+        rules.add(
+            Signature(
+                sid=sid,
+                pattern=pattern,
+                msg=f"WORM long payload blob {i}",
+                dst_port=rng.choice([80, 445, None]),
+            )
+        )
+        sid += 1
+    # A handful of too-short signatures to exercise the unsplittable path.
+    for i, short in enumerate([b"JJ-probe", b"\x90\x90\x90\x90\x90", b"root::0:0", b"+ +\n"]):
+        rules.add(
+            Signature(
+                sid=sid,
+                pattern=short,
+                msg=f"SHORT legacy signature {i}",
+                dst_port=None,
+            )
+        )
+        sid += 1
+    # UDP rules (matched whole per datagram; see SplitRuleSet.udp_whole).
+    udp_bases: list[tuple[str, int | None, bytes]] = [
+        ("DNS named version attempt", 53, b"\x07version\x04bind\x00\x00\x10\x00\x03"),
+        ("DNS named iquery attempt", 53, b"\x00\x00\x10\x00\x00\x00\x00\x00\x01iquery"),
+        ("RPC sadmind UDP ping", 111, b"\x01\x86\xa0\x00\x00\x00\x02\x00\x00\x00\x00udp"),
+        ("MS-SQL Slammer worm propagation", 1434, b"\x04\x01\x01\x01\x01\x01\x01\x01\x01\x01sockf"),
+        ("SNMP public community probe", 161, b"\x04\x06public\xa0"),
+        ("TFTP GET passwd", 69, b"\x00\x01/etc/passwd\x00octet\x00"),
+        ("BACKDOOR DeepThroat response", 2140, b"My Mouth is Open-dt"),
+        ("DDOS trin00 daemon to master", 31335, b"l44adsl-trin00-pong"),
+    ]
+    for msg, port, content in udp_bases:
+        rules.add(
+            Signature(sid=sid, pattern=content, msg=msg, dst_port=port, protocol="udp")
+        )
+        sid += 1
+    # Case-insensitive rules (HTTP methods/headers are case-insensitive on
+    # many servers, so web rules are typically nocase).
+    nocase_bases: list[tuple[str, int | None, bytes]] = [
+        ("WEB-SQL union select attempt", 80, b"union select password from"),
+        ("WEB-IIS cmd.exe nocase access", 80, b"cmd.exe?/c+dir+c:\\"),
+        ("WEB-MISC etc/shadow nocase", 80, b"../../etc/shadow%00.html"),
+        ("SMTP vrfy decode nocase", 25, b"vrfy decode@localhost"),
+    ]
+    for msg, port, content in nocase_bases:
+        rules.add(
+            Signature(
+                sid=sid, pattern=content, msg=msg, dst_port=port, nocase=True
+            )
+        )
+        sid += 1
+    # Multi-content rules: every content must appear in the stream.
+    multi_bases: list[tuple[str, int | None, bytes, tuple[bytes, ...]]] = [
+        (
+            "WEB-CGI formmail with recipient pipe",
+            80,
+            b"GET /cgi-bin/formmail.pl?recipient=",
+            (b"|sendmail", b"-oi%20-t"),
+        ),
+        (
+            "FTP authenticated site exec chain",
+            21,
+            b"SITE EXEC /usr/bin/perl -e",
+            (b"PASS ", b"USER "),
+        ),
+        (
+            "SMTP content-type overflow combo",
+            25,
+            b"Content-Type: audio/x-midi; name=",
+            (b"MAIL FROM:", b"\x90\x90\x90\x90"),
+        ),
+    ]
+    for msg, port, content, extras in multi_bases:
+        rules.add(
+            Signature(
+                sid=sid,
+                pattern=content,
+                msg=msg,
+                dst_port=port,
+                extra_contents=extras,
+            )
+        )
+        sid += 1
+    return rules
+
+
+def load_bundled_rules() -> RuleSet:
+    """Load the corpus shipped inside the package."""
+    resource = importlib.resources.files(__package__).joinpath(
+        "data", BUNDLED_RULES_FILE
+    )
+    return parse_rules(resource.read_text(encoding="utf-8"))
+
+
+def regenerate_bundled_file(path) -> int:
+    """Write the synthetic corpus to ``path``; returns the rule count."""
+    rules = synthesize_corpus()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# Synthetic Split-Detect evaluation corpus (auto-generated)\n")
+        handle.write("# Regenerate with repro.signatures.corpus.regenerate_bundled_file\n")
+        handle.write(dump_rules(rules))
+    return len(rules)

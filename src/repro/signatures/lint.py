@@ -1,0 +1,125 @@
+"""Rule-set linting: will these signatures work well under Split-Detect?
+
+A rule author (or an operator importing a vendor feed) wants to know
+before deployment: which rules cannot be split (and thus fall back to
+best-effort whole matching), which produce pieces so common they will
+divert benign traffic, and which are redundant.  ``lint_ruleset`` returns
+structured findings; the CLI renders them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .model import RuleSet, Signature
+from .ngram import ByteFrequencyModel
+from .splitter import SplitPolicy, UnsplittableSignatureError, split_signature
+
+
+class LintLevel(enum.Enum):
+    """Severity of a lint finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One issue with one rule."""
+
+    level: LintLevel
+    sid: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.level.value}] sid {self.sid} {self.code}: {self.message}"
+
+
+#: Expected benign occurrences per scanned MiB above which a piece is
+#: considered noisy enough to flag.
+NOISY_PIECE_THRESHOLD = 0.5
+
+
+def lint_ruleset(
+    rules: RuleSet,
+    policy: SplitPolicy | None = None,
+    model: ByteFrequencyModel | None = None,
+) -> list[LintFinding]:
+    """Check every rule; returns findings ordered by (severity, sid)."""
+    policy = policy or SplitPolicy()
+    findings: list[LintFinding] = []
+    seen_sids: dict[int, Signature] = {}
+    seen_patterns: dict[tuple, int] = {}
+    for signature in rules:
+        if signature.sid in seen_sids:
+            findings.append(
+                LintFinding(
+                    LintLevel.ERROR,
+                    signature.sid,
+                    "duplicate-sid",
+                    "sid already used by another rule",
+                )
+            )
+        seen_sids[signature.sid] = signature
+        fingerprint = (
+            signature.pattern,
+            signature.dst_port,
+            signature.protocol,
+            signature.nocase,
+            signature.extra_contents,
+        )
+        if fingerprint in seen_patterns:
+            findings.append(
+                LintFinding(
+                    LintLevel.WARNING,
+                    signature.sid,
+                    "duplicate-pattern",
+                    f"identical to sid {seen_patterns[fingerprint]}",
+                )
+            )
+        else:
+            seen_patterns[fingerprint] = signature.sid
+        if signature.protocol == "udp":
+            if len(signature.pattern) < 4:
+                findings.append(
+                    LintFinding(
+                        LintLevel.WARNING,
+                        signature.sid,
+                        "short-udp-pattern",
+                        f"{len(signature.pattern)}-byte UDP pattern will be noisy",
+                    )
+                )
+            continue
+        try:
+            split = split_signature(signature, policy, model)
+        except UnsplittableSignatureError:
+            findings.append(
+                LintFinding(
+                    LintLevel.WARNING,
+                    signature.sid,
+                    "unsplittable",
+                    f"{len(signature.pattern)}-byte pattern cannot form 3 pieces; "
+                    "falls back to best-effort whole-packet matching",
+                )
+            )
+            continue
+        if model is not None:
+            for piece in split.pieces:
+                expected = model.expected_matches(piece.data, 2**20)
+                if expected > NOISY_PIECE_THRESHOLD:
+                    findings.append(
+                        LintFinding(
+                            LintLevel.INFO,
+                            signature.sid,
+                            "noisy-piece",
+                            f"piece {piece.index} ({piece.data[:16]!r}) expected "
+                            f"{expected:.1f} benign hits/MiB; consider "
+                            "skip_common_prefix or a longer pattern",
+                        )
+                    )
+    order = {LintLevel.ERROR: 0, LintLevel.WARNING: 1, LintLevel.INFO: 2}
+    findings.sort(key=lambda f: (order[f.level], f.sid))
+    return findings

@@ -1,0 +1,75 @@
+"""Background byte-frequency model for estimating piece commonness.
+
+A split piece that happens to be a common substring of benign traffic
+("HTTP/1.1", runs of zero bytes, ...) would fire the fast-path matcher
+constantly and divert benign flows.  The splitter therefore scores
+candidate pieces against a model of benign payload bytes and nudges split
+points towards rarer content.
+
+The model is a first-order (bigram) Markov model with add-one smoothing,
+trained on sample payloads.  ``log_probability`` of a piece estimates how
+likely it is to occur at a random stream position; ``expected_matches``
+converts that into an expected false-match count per scanned byte.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+class ByteFrequencyModel:
+    """First-order Markov model over bytes, trained on benign payloads."""
+
+    def __init__(self) -> None:
+        self._unigram = [0] * 256
+        self._bigram: dict[int, list[int]] = {}
+        self._total = 0
+
+    def train(self, payload: bytes) -> None:
+        """Accumulate counts from one benign payload."""
+        for byte in payload:
+            self._unigram[byte] += 1
+        self._total += len(payload)
+        for a, b in zip(payload, payload[1:]):
+            row = self._bigram.get(a)
+            if row is None:
+                row = [0] * 256
+                self._bigram[a] = row
+            row[b] += 1
+
+    def train_many(self, payloads: Iterable[bytes]) -> None:
+        for payload in payloads:
+            self.train(payload)
+
+    @property
+    def trained_bytes(self) -> int:
+        return self._total
+
+    def _p_unigram(self, byte: int) -> float:
+        return (self._unigram[byte] + 1) / (self._total + 256)
+
+    def _p_bigram(self, a: int, b: int) -> float:
+        row = self._bigram.get(a)
+        if row is None:
+            return self._p_unigram(b)
+        row_total = sum(row)
+        return (row[b] + 1) / (row_total + 256)
+
+    def log_probability(self, piece: bytes) -> float:
+        """Natural-log probability of ``piece`` at a given stream position."""
+        if not piece:
+            return 0.0
+        logp = math.log(self._p_unigram(piece[0]))
+        for a, b in zip(piece, piece[1:]):
+            logp += math.log(self._p_bigram(a, b))
+        return logp
+
+    def expected_matches(self, piece: bytes, scanned_bytes: int) -> float:
+        """Expected occurrences of ``piece`` in ``scanned_bytes`` of traffic."""
+        return scanned_bytes * math.exp(self.log_probability(piece))
+
+
+def uniform_model() -> ByteFrequencyModel:
+    """An untrained model: every byte uniform (P(piece) = 256^-len)."""
+    return ByteFrequencyModel()

@@ -1,0 +1,210 @@
+"""Parser and writer for a Snort-style exact-content rule dialect.
+
+Supported grammar (one rule per line)::
+
+    alert tcp any any -> any 80 (msg:"WEB-IIS cmd.exe access"; \
+        content:"cmd.exe"; sid:1002;)
+
+- Only ``alert tcp`` rules are modelled; the destination port is either a
+  number or ``any``.
+- ``content`` uses Snort escaping: ``|41 42|`` embeds hex bytes, ``\\|``,
+  ``\\"`` and ``\\\\`` escape the specials.
+- Rules may carry several ``content`` options: the longest becomes the
+  primary pattern (the one Split-Detect splits); the rest must also
+  appear in the same stream/datagram for the rule to fire.
+- ``nocase`` applies to the whole rule (Snort scopes it per content; the
+  simplification is conservative -- it only widens matching).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from .model import RuleSet, Signature
+
+_RULE_RE = re.compile(
+    r"^alert\s+(?P<proto>tcp|udp)\s+\S+\s+\S+\s+->\s+\S+\s+(?P<port>\S+)\s*"
+    r"\((?P<opts>.*)\)\s*$"
+)
+
+
+class RuleParseError(ValueError):
+    """Raised when a rule line cannot be parsed."""
+
+    def __init__(self, line_no: int, line: str, why: str) -> None:
+        super().__init__(f"line {line_no}: {why}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+def decode_content(text: str) -> bytes:
+    """Decode a Snort content string (between its quotes) to raw bytes.
+
+    >>> decode_content('abc')
+    b'abc'
+    >>> decode_content('|41 42|C')
+    b'ABC'
+    """
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "|":
+            end = text.find("|", i + 1)
+            if end == -1:
+                raise ValueError(f"unterminated hex block in content: {text!r}")
+            hex_body = text[i + 1 : end].replace(" ", "")
+            if len(hex_body) % 2:
+                raise ValueError(f"odd-length hex block in content: {text!r}")
+            out += bytes.fromhex(hex_body)
+            i = end + 1
+        elif ch == "\\":
+            if i + 1 >= len(text):
+                raise ValueError(f"dangling escape in content: {text!r}")
+            out.append(ord(text[i + 1]))
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)
+
+
+def encode_content(pattern: bytes) -> str:
+    """Render raw bytes as a Snort content string (inverse of decode)."""
+    out: list[str] = []
+    hex_run: list[int] = []
+
+    def flush() -> None:
+        if hex_run:
+            out.append("|" + " ".join(f"{b:02X}" for b in hex_run) + "|")
+            hex_run.clear()
+
+    for byte in pattern:
+        if 0x20 <= byte <= 0x7E and chr(byte) not in '|"\\;':
+            flush()
+            out.append(chr(byte))
+        else:
+            hex_run.append(byte)
+    flush()
+    return "".join(out)
+
+
+def _split_options(opts: str) -> list[tuple[str, str]]:
+    """Split the option body on unquoted semicolons into (key, value)."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    i = 0
+    while i < len(opts):
+        ch = opts[i]
+        if ch == "\\" and in_quote and i + 1 < len(opts):
+            current.append(ch)
+            current.append(opts[i + 1])
+            i += 2
+            continue
+        if ch == '"':
+            in_quote = not in_quote
+        if ch == ";" and not in_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if "".join(current).strip():
+        parts.append("".join(current))
+    pairs: list[tuple[str, str]] = []
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition(":")
+        pairs.append((key.strip(), value.strip()))
+    return pairs
+
+
+def parse_rule(line: str, line_no: int = 0) -> Signature:
+    """Parse one rule line into a :class:`Signature`."""
+    match = _RULE_RE.match(line.strip())
+    if not match:
+        raise RuleParseError(line_no, line, "not an 'alert tcp/udp' rule")
+    port_text = match.group("port")
+    if port_text.lower() == "any":
+        dst_port: int | None = None
+    else:
+        try:
+            dst_port = int(port_text)
+        except ValueError as exc:
+            raise RuleParseError(line_no, line, f"bad port {port_text!r}") from exc
+    msg = ""
+    sid: int | None = None
+    nocase = False
+    contents: list[bytes] = []
+    for key, value in _split_options(match.group("opts")):
+        if key == "msg":
+            msg = value.strip('"')
+        elif key == "sid":
+            try:
+                sid = int(value)
+            except ValueError as exc:
+                raise RuleParseError(line_no, line, f"bad sid {value!r}") from exc
+        elif key == "nocase":
+            nocase = True
+        elif key == "content":
+            body = value.strip()
+            if not (body.startswith('"') and body.endswith('"') and len(body) >= 2):
+                raise RuleParseError(line_no, line, "content not quoted")
+            contents.append(decode_content(body[1:-1]))
+    if sid is None:
+        raise RuleParseError(line_no, line, "missing sid")
+    if not contents:
+        raise RuleParseError(line_no, line, "missing content")
+    pattern = max(contents, key=len)
+    extras = tuple(c for c in contents if c is not pattern)
+    return Signature(
+        sid=sid,
+        pattern=pattern,
+        msg=msg,
+        dst_port=dst_port,
+        protocol=match.group("proto"),
+        nocase=nocase,
+        extra_contents=extras,
+    )
+
+
+def parse_rules(text: str) -> RuleSet:
+    """Parse a rules file body; blank lines and ``#`` comments are skipped."""
+    rules = RuleSet()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.add(parse_rule(stripped, line_no))
+    return rules
+
+
+def load_rules(path) -> RuleSet:
+    """Parse a rules file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_rules(handle.read())
+
+
+def format_rule(signature: Signature) -> str:
+    """Render a :class:`Signature` back to rule syntax."""
+    port = "any" if signature.dst_port is None else str(signature.dst_port)
+    msg = signature.msg.replace('"', "'")
+    options = [f'msg:"{msg}"', f'content:"{encode_content(signature.pattern)}"']
+    options.extend(
+        f'content:"{encode_content(extra)}"' for extra in signature.extra_contents
+    )
+    if signature.nocase:
+        options.append("nocase")
+    options.append(f"sid:{signature.sid}")
+    return (
+        f"alert {signature.protocol} any any -> any {port} "
+        f"({'; '.join(options)};)"
+    )
+
+
+def dump_rules(rules: Iterable[Signature]) -> str:
+    """Render many signatures as a rules file body."""
+    return "\n".join(format_rule(signature) for signature in rules) + "\n"

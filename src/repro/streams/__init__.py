@@ -1,0 +1,33 @@
+"""TCP reassembly, IP defragmentation, and traffic normalization.
+
+The substrate a conventional IPS stands on -- and the slow path of
+Split-Detect.  See DESIGN.md for how the pieces fit.
+"""
+
+from .active import ActiveNormalizer, ShadowStream
+from .defrag import DefragResult, IpDefragmenter
+from .events import StreamEvent, StreamEventRecord
+from .normalizer import (
+    FLOW_OVERHEAD_BYTES,
+    NormalizedOutput,
+    StreamNormalizer,
+)
+from .policies import OverlapPolicy, ambiguous_policies, resolve_overlap
+from .reassembly import ReassemblyResult, TcpReassembler
+
+__all__ = [
+    "ActiveNormalizer",
+    "DefragResult",
+    "FLOW_OVERHEAD_BYTES",
+    "IpDefragmenter",
+    "NormalizedOutput",
+    "OverlapPolicy",
+    "ReassemblyResult",
+    "ShadowStream",
+    "StreamEvent",
+    "StreamEventRecord",
+    "StreamNormalizer",
+    "TcpReassembler",
+    "ambiguous_policies",
+    "resolve_overlap",
+]

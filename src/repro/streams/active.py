@@ -1,0 +1,186 @@
+"""Active (inline) traffic normalization à la Handley-Paxson.
+
+This is the "classic defense" the paper's abstract cites: an inline
+element that *rewrites* the packet stream so that every host behind it --
+whatever its overlap policy -- reconstructs exactly the same bytes,
+eliminating the ambiguity evasions exploit.  Split-Detect exists because
+doing this for a million flows is expensive; the class therefore also
+exposes its state footprint, which the evaluation compares against.
+
+Normalization rules (TCP):
+
+- IP fragments are reassembled and forwarded as whole datagrams;
+  overlapping fragment content is resolved first-copy-wins.
+- Data packets whose TTL could expire before the host are dropped
+  (forcing the sender to retransmit at a deliverable TTL).
+- Every stream byte is pinned to the *first copy* the normalizer saw:
+  retransmissions and overlaps are rewritten to that copy before
+  forwarding, so conflicting copies never reach a host.
+
+The defining invariant -- behind the normalizer, victims of every overlap
+policy read identical streams -- is property-tested against the full
+adversarial strategy in ``tests/test_streams_active.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..packet import (
+    IP_PROTO_TCP,
+    FlowKey,
+    IPv4Packet,
+    TimedPacket,
+    build_tcp_packet,
+    decode_tcp,
+    flow_key_of,
+    seq_add,
+    seq_diff,
+)
+from .defrag import IpDefragmenter
+from .policies import OverlapPolicy
+
+
+class ShadowStream:
+    """First-copy-wins record of every stream byte seen so far.
+
+    Stores disjoint, coalesced (offset, bytes) intervals.  ``pin`` inserts
+    new bytes where nothing was recorded and returns the canonical copy
+    for the whole queried range; previously recorded bytes always win.
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._chunks: list[bytearray] = []
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+    def pin(self, offset: int, data: bytes) -> bytes:
+        """Record ``data`` at ``offset`` (first copy wins); return canonical bytes."""
+        if not data:
+            return b""
+        end = offset + len(data)
+        lo = bisect.bisect_right(self._starts, offset)
+        while lo > 0 and self._starts[lo - 1] + len(self._chunks[lo - 1]) > offset:
+            lo -= 1
+        hi = lo
+        while hi < len(self._starts) and self._starts[hi] < end:
+            hi += 1
+        merged_start = min([offset] + self._starts[lo:hi])
+        merged_end = max(
+            [end]
+            + [s + len(c) for s, c in zip(self._starts[lo:hi], self._chunks[lo:hi])]
+        )
+        merged = bytearray(merged_end - merged_start)
+        have = bytearray(merged_end - merged_start)
+        for start, chunk in zip(self._starts[lo:hi], self._chunks[lo:hi]):
+            at = start - merged_start
+            merged[at : at + len(chunk)] = chunk
+            for i in range(at, at + len(chunk)):
+                have[i] = 1
+        for i, byte in enumerate(data):
+            at = offset - merged_start + i
+            if not have[at]:
+                merged[at] = byte
+                have[at] = 1
+        del self._starts[lo:hi]
+        del self._chunks[lo:hi]
+        self._starts.insert(lo, merged_start)
+        self._chunks.insert(lo, merged)
+        at = offset - merged_start
+        return bytes(merged[at : at + len(data)])
+
+
+@dataclass
+class _NormFlow:
+    """Per-direction normalization state."""
+
+    shadow: ShadowStream = field(default_factory=ShadowStream)
+    base_seq: int | None = None
+
+
+class ActiveNormalizer:
+    """Inline element enforcing one consistent interpretation per flow."""
+
+    def __init__(self, *, min_ttl: int = 8, mtu: int = 65535) -> None:
+        self.min_ttl = min_ttl
+        self.mtu = mtu
+        self.defragmenter = IpDefragmenter(policy=OverlapPolicy.FIRST)
+        self._flows: dict[FlowKey, _NormFlow] = {}
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.bytes_rewritten = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """The classic defense's bill: a full shadow copy per direction."""
+        return sum(flow.shadow.stored_bytes + 32 for flow in self._flows.values())
+
+    @property
+    def active_flows(self) -> int:
+        """Flow directions holding shadow state."""
+        return len(self._flows)
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> list[TimedPacket]:
+        """Normalize one packet; returns the packets to forward (0 or 1)."""
+        self.packets_in += 1
+        result = self.defragmenter.add(packet.ip, packet.timestamp)
+        ip = result.packet
+        if ip is None:
+            return []  # fragment swallowed until its datagram completes
+        if ip.protocol != IP_PROTO_TCP:
+            return self._forward(packet.timestamp, ip)
+        try:
+            segment = decode_tcp(ip)
+        except Exception:
+            self.packets_dropped += 1
+            return []
+        if segment.payload and ip.ttl < self.min_ttl:
+            # Would-be insertion chaff: drop rather than guess.
+            self.packets_dropped += 1
+            return []
+        if not segment.payload:
+            return self._forward(packet.timestamp, ip)
+        direction = flow_key_of(ip)
+        flow = self._flows.get(direction)
+        if flow is None:
+            flow = _NormFlow()
+            self._flows[direction] = flow
+        data_seq = seq_add(segment.seq, 1) if segment.syn else segment.seq
+        if flow.base_seq is None:
+            flow.base_seq = data_seq
+        offset = seq_diff(data_seq, flow.base_seq)
+        canonical = flow.shadow.pin(offset, segment.payload)
+        if canonical != segment.payload:
+            self.bytes_rewritten += sum(
+                1 for a, b in zip(canonical, segment.payload) if a != b
+            )
+            segment = segment.copy(payload=canonical)
+            ip = build_tcp_packet(
+                ip.src,
+                ip.dst,
+                segment,
+                ttl=ip.ttl,
+                identification=ip.identification,
+                dont_fragment=ip.dont_fragment,
+            )
+        if segment.rst or segment.fin:
+            # Connection ending: the shadow can be released lazily; we keep
+            # it until both directions close in a fuller implementation.
+            pass
+        return self._forward(packet.timestamp, ip)
+
+    def _forward(self, timestamp: float, ip: IPv4Packet) -> list[TimedPacket]:
+        self.packets_out += 1
+        return [TimedPacket(timestamp, ip)]
+
+    def release_flow(self, direction: FlowKey) -> None:
+        """Free the shadow copy for one direction (post-connection sweep)."""
+        self._flows.pop(direction, None)

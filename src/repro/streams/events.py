@@ -1,0 +1,64 @@
+"""Anomaly events surfaced by the reassembly/normalization layer.
+
+These are exactly the transport-level behaviours Ptacek-Newsham evasions
+must exhibit; the Split-Detect fast path treats any of them as grounds to
+divert a flow to the slow path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StreamEvent(enum.Enum):
+    """Transport-layer behaviours that indicate possible evasion."""
+
+    OUT_OF_ORDER = "out_of_order"
+    """A segment arrived with data beyond the next expected sequence number."""
+
+    RETRANSMISSION = "retransmission"
+    """A segment re-sent bytes that were already delivered, with identical data."""
+
+    OVERLAP = "overlap"
+    """A segment overlapped buffered or delivered bytes (consistent data)."""
+
+    INCONSISTENT_OVERLAP = "inconsistent_overlap"
+    """Overlapping bytes disagreed -- the classic Ptacek-Newsham ambiguity."""
+
+    TINY_SEGMENT = "tiny_segment"
+    """A non-final data segment smaller than the configured threshold."""
+
+    TINY_FRAGMENT = "tiny_fragment"
+    """An IP fragment smaller than the configured threshold."""
+
+    FRAGMENT_OVERLAP = "fragment_overlap"
+    """IP fragments overlapped (consistent or not)."""
+
+    INCONSISTENT_FRAGMENT_OVERLAP = "inconsistent_fragment_overlap"
+    """Overlapping IP fragments disagreed on payload bytes."""
+
+    OUT_OF_WINDOW = "out_of_window"
+    """Data fell outside the receiver window / reassembly horizon."""
+
+    BUFFER_OVERFLOW = "buffer_overflow"
+    """Out-of-order buffering exceeded its memory budget."""
+
+    TTL_ANOMALY = "ttl_anomaly"
+    """TTL varied suspiciously within one flow (insertion-attack indicator)."""
+
+
+@dataclass(frozen=True)
+class StreamEventRecord:
+    """One anomaly occurrence with enough context to explain an alert."""
+
+    event: StreamEvent
+    offset: int
+    """Stream offset (TCP) or datagram offset (IP) where the anomaly sits."""
+
+    length: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"@{self.offset}" + (f"+{self.length}" if self.length else "")
+        return f"{self.event.value}{where}" + (f" ({self.detail})" if self.detail else "")

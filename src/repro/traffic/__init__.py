@@ -1,0 +1,35 @@
+"""Synthetic benign/attack traffic generation (the trace substitute)."""
+
+from .generator import (
+    GeneratedFlow,
+    TrafficProfile,
+    generate_flow,
+    generate_trace,
+    inject_attacks,
+    merge_streams,
+)
+from .payloads import (
+    benign_payload,
+    binary_blob,
+    html_body,
+    http_request,
+    http_response,
+    interactive_echo,
+    smtp_session,
+)
+
+__all__ = [
+    "GeneratedFlow",
+    "TrafficProfile",
+    "benign_payload",
+    "binary_blob",
+    "generate_flow",
+    "generate_trace",
+    "html_body",
+    "http_request",
+    "http_response",
+    "inject_attacks",
+    "interactive_echo",
+    "merge_streams",
+    "smtp_session",
+]

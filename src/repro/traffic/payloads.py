@@ -1,0 +1,112 @@
+"""Benign application payload synthesis.
+
+The evaluation's trace-dependent numbers (false piece matches, diversion
+rates) depend on what benign bytes look like, so the generator produces a
+realistic mixture: HTTP requests/responses with plausible headers and
+HTML/binary bodies, SMTP dialogue, TLS-like high-entropy records, and SSH
+interactive echo.  All draws are deterministic in the supplied RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+_HOSTS = ["example.com", "intranet.corp", "files.example.org", "www.shop.test"]
+_PATHS = [
+    "/", "/index.html", "/images/logo.gif", "/api/v1/items", "/search?q=network",
+    "/static/app.js", "/downloads/report.pdf", "/cgi-bin/status",
+]
+_AGENTS = [
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+    "Mozilla/5.0 (X11; U; Linux i686; en-US)",
+    "Wget/1.10.2",
+]
+_WORDS = (
+    "the quick brown fox jumps over a lazy dog while routers forward "
+    "packets across autonomous systems and caches fill with pages"
+).split()
+
+
+def http_request(rng: random.Random) -> bytes:
+    """One plausible HTTP/1.1 request."""
+    lines = [
+        f"GET {rng.choice(_PATHS)} HTTP/1.1",
+        f"Host: {rng.choice(_HOSTS)}",
+        f"User-Agent: {rng.choice(_AGENTS)}",
+        "Accept: */*",
+        "Connection: keep-alive",
+        "",
+        "",
+    ]
+    return "\r\n".join(lines).encode()
+
+
+def html_body(rng: random.Random, size: int) -> bytes:
+    """Word-salad HTML of roughly ``size`` bytes."""
+    out = ["<html><body>"]
+    length = len(out[0])
+    while length < size:
+        sentence = " ".join(rng.choices(_WORDS, k=rng.randrange(5, 12)))
+        chunk = f"<p>{sentence}</p>"
+        out.append(chunk)
+        length += len(chunk)
+    out.append("</body></html>")
+    return "".join(out).encode()[:size]
+
+
+def http_response(rng: random.Random, body_size: int) -> bytes:
+    """An HTTP/1.1 200 response with an HTML body of ``body_size`` bytes."""
+    body = html_body(rng, body_size)
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Server: Apache/2.0.52\r\n"
+        "Content-Type: text/html\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode()
+    return head + body
+
+
+def smtp_session(rng: random.Random) -> bytes:
+    """One side of a short SMTP exchange."""
+    user = rng.choice(["alice", "bob", "carol", "mallory"])
+    lines = [
+        "HELO client.example.com",
+        f"MAIL FROM:<{user}@example.com>",
+        "RCPT TO:<postmaster@example.org>",
+        "DATA",
+        "Subject: weekly report",
+        "",
+        " ".join(rng.choices(_WORDS, k=60)),
+        ".",
+        "QUIT",
+    ]
+    return "\r\n".join(lines).encode()
+
+
+def binary_blob(rng: random.Random, size: int) -> bytes:
+    """High-entropy bytes, the shape of TLS records or compressed data."""
+    return rng.randbytes(size)
+
+
+def interactive_echo(rng: random.Random, keystrokes: int) -> bytes:
+    """SSH/telnet-style traffic: many tiny application writes."""
+    return bytes(rng.randrange(97, 123) for _ in range(keystrokes))
+
+
+def benign_payload(rng: random.Random, size: int) -> bytes:
+    """A size-respecting draw from the benign application mixture."""
+    kind = rng.random()
+    if kind < 0.35:
+        payload = http_response(rng, max(1, size - 120))
+    elif kind < 0.55:
+        payload = http_request(rng)
+    elif kind < 0.70:
+        payload = smtp_session(rng)
+    elif kind < 0.90:
+        payload = binary_blob(rng, size)
+    else:
+        payload = interactive_echo(rng, size)
+    if len(payload) < size:
+        payload = payload + html_body(rng, size - len(payload))
+    return payload[:size]

@@ -1,0 +1,38 @@
+"""Shared fixtures-as-functions for core/evasion/integration tests."""
+
+from __future__ import annotations
+
+from repro.packet import FlowKey
+from repro.signatures import RuleSet, Signature
+
+ATTACK_SIGNATURE = b"EVIL/shellcode\x90\x90\x90:run/bin/sh"  # 31 bytes
+SIGNATURE_OFFSET = 100
+
+CLIENT = "10.9.9.9"
+SERVER = "10.0.0.2"
+CLIENT_PORT = 44000
+SERVER_PORT = 80
+
+ATTACK_FLOW = FlowKey(CLIENT, SERVER, CLIENT_PORT, SERVER_PORT)
+
+
+def attack_ruleset(extra: list[Signature] | None = None) -> RuleSet:
+    """A small ruleset containing the canonical attack signature."""
+    rules = RuleSet()
+    rules.add(Signature(sid=5001, pattern=ATTACK_SIGNATURE, msg="test attack", dst_port=80))
+    rules.add(Signature(sid=5002, pattern=b"OTHER-SIGNATURE-NOT-PRESENT-xx", msg="decoy"))
+    for signature in extra or []:
+        rules.add(signature)
+    return rules
+
+
+def attack_payload(total: int = 2000, offset: int = SIGNATURE_OFFSET) -> bytes:
+    """Benign-looking filler with the attack signature embedded at ``offset``."""
+    filler = (b"GET /index.html HTTP/1.1\r\nHost: example.com\r\nUser-Agent: x\r\n" * 40)[:total]
+    body = bytearray(filler)
+    body[offset : offset + len(ATTACK_SIGNATURE)] = ATTACK_SIGNATURE
+    return bytes(body)
+
+
+def signature_span() -> tuple[int, int]:
+    return (SIGNATURE_OFFSET, len(ATTACK_SIGNATURE))

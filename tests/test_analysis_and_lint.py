@@ -1,0 +1,143 @@
+"""Tests for trace characterization and rule linting."""
+
+import pytest
+
+from repro.analysis import characterize, format_stats
+from repro.cli import main
+from repro.evasion import build_attack
+from repro.signatures import (
+    ByteFrequencyModel,
+    LintLevel,
+    RuleSet,
+    Signature,
+    SplitPolicy,
+    lint_ruleset,
+    load_bundled_rules,
+)
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+
+class TestCharacterize:
+    def trace(self, **kw):
+        profile = TrafficProfile(flows=30, **kw)
+        return generate_trace(profile, seed=17)
+
+    def test_counts_add_up(self):
+        trace = self.trace()
+        stats = characterize(trace)
+        assert stats.packets == len(trace)
+        assert (
+            stats.tcp_packets + stats.udp_packets + stats.other_packets + stats.fragments
+            == stats.packets
+        )
+
+    def test_flow_count(self):
+        stats = characterize(self.trace(udp_fraction=0, fragment_rate=0))
+        assert stats.flows == 30
+
+    def test_duration_and_rate(self):
+        stats = characterize(self.trace())
+        assert stats.duration > 0
+        assert stats.mean_mbps > 0
+
+    def test_reordering_detected(self):
+        quiet = characterize(self.trace(reorder_rate=0, retransmit_rate=0, fragment_rate=0))
+        noisy = characterize(self.trace(reorder_rate=0.2, retransmit_rate=0.1, fragment_rate=0))
+        assert quiet.reorder_rate == 0
+        assert noisy.reorder_rate > 0
+        assert noisy.retransmit_rate > 0
+
+    def test_fragments_counted(self):
+        stats = characterize(self.trace(fragment_rate=0.2))
+        assert stats.fragments > 0
+        assert 0 < stats.fragment_fraction < 1
+
+    def test_histogram_covers_all_data_packets(self):
+        stats = characterize(self.trace(fragment_rate=0))
+        assert sum(stats.payload_size_histogram.values()) == (
+            stats.tcp_packets + stats.udp_packets
+        )
+
+    def test_percentiles_monotonic(self):
+        stats = characterize(self.trace())
+        assert (
+            stats.flow_size_percentile(0.5)
+            <= stats.flow_size_percentile(0.9)
+            <= stats.flow_size_percentile(0.99)
+        )
+
+    def test_empty_trace(self):
+        stats = characterize([])
+        assert stats.packets == 0 and stats.mean_mbps == 0
+
+    def test_format_is_printable(self):
+        lines = format_stats(characterize(self.trace()))
+        assert any("packets:" in line for line in lines)
+        assert any("flows:" in line for line in lines)
+
+
+class TestLint:
+    def test_bundled_corpus_has_no_errors(self):
+        findings = lint_ruleset(load_bundled_rules())
+        assert not any(f.level is LintLevel.ERROR for f in findings)
+
+    def test_duplicate_sid_is_error(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=1, pattern=b"a" * 24))
+        rules.add(Signature(sid=1, pattern=b"b" * 24))
+        findings = lint_ruleset(rules)
+        assert any(f.code == "duplicate-sid" and f.level is LintLevel.ERROR for f in findings)
+
+    def test_duplicate_pattern_is_warning(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=1, pattern=b"same-pattern-bytes-here!"))
+        rules.add(Signature(sid=2, pattern=b"same-pattern-bytes-here!"))
+        findings = lint_ruleset(rules)
+        assert any(f.code == "duplicate-pattern" and f.sid == 2 for f in findings)
+
+    def test_unsplittable_flagged(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=3, pattern=b"short"))
+        findings = lint_ruleset(rules)
+        assert any(f.code == "unsplittable" for f in findings)
+
+    def test_noisy_piece_flagged_with_model(self):
+        model = ByteFrequencyModel()
+        model.train(b"GET /index.html HTTP/1.1\r\n" * 500)
+        rules = RuleSet()
+        rules.add(Signature(sid=4, pattern=b"GET /index.html HTTP/1.1"))
+        findings = lint_ruleset(rules, SplitPolicy(piece_length=8), model)
+        assert any(f.code == "noisy-piece" for f in findings)
+
+    def test_clean_rule_has_no_findings(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=5, pattern=bytes(range(40, 80))))
+        assert lint_ruleset(rules) == []
+
+    def test_short_udp_pattern_flagged(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=6, pattern=b"ab", protocol="udp"))
+        findings = lint_ruleset(rules)
+        assert any(f.code == "short-udp-pattern" for f in findings)
+
+    def test_findings_ordered_by_severity(self):
+        rules = RuleSet()
+        rules.add(Signature(sid=9, pattern=b"short"))
+        rules.add(Signature(sid=9, pattern=b"other-pattern-long-enough!"))
+        findings = lint_ruleset(rules)
+        levels = [f.level for f in findings]
+        assert levels == sorted(levels, key=lambda lv: {LintLevel.ERROR: 0, LintLevel.WARNING: 1, LintLevel.INFO: 2}[lv])
+
+
+class TestCliIntegration:
+    def test_lint_command(self, capsys):
+        assert main(["lint", "--no-model"]) == 0
+        out = capsys.readouterr().out
+        assert "findings" in out
+
+    def test_stats_command(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "5"])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        assert "payload size histogram" in capsys.readouterr().out

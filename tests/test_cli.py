@@ -1,0 +1,102 @@
+"""Tests for the splitdetect command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.pcap import read_trace
+from repro.signatures import dump_rules, Signature
+
+
+@pytest.fixture
+def demo_pcap(tmp_path):
+    path = tmp_path / "demo.pcap"
+    assert main(["generate", str(path), "--flows", "8", "--seed", "3"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_readable_pcap(self, demo_pcap):
+        packets = list(read_trace(demo_pcap))
+        assert packets
+
+    def test_reports_packet_count(self, tmp_path, capsys):
+        path = tmp_path / "g.pcap"
+        assert main(["generate", str(path), "--flows", "3"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_attack_injection(self, tmp_path, capsys):
+        path = tmp_path / "attack.pcap"
+        code = main(["generate", str(path), "--flows", "4", "--attack", "tcp_seg_8"])
+        assert code == 0
+        assert "1 attack flows" in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "x.pcap"), "--attack", "nonsense"])
+        assert code == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_split_engine(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        assert main(["run", str(path), "--engine", "split"]) == 0
+        out = capsys.readouterr().out
+        assert "diverted flows" in out
+        assert "alerts:" in out
+
+    def test_conventional_engine(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "plain"])
+        capsys.readouterr()
+        assert main(["run", str(path), "--engine", "conventional"]) == 0
+        out = capsys.readouterr().out
+        assert "peak state" in out
+
+    def test_naive_engine(self, demo_pcap, capsys):
+        assert main(["run", str(demo_pcap), "--engine", "naive"]) == 0
+        assert "alerts:" in capsys.readouterr().out
+
+    def test_custom_rules_file(self, tmp_path, capsys):
+        rules_path = tmp_path / "my.rules"
+        rules_path.write_text(
+            dump_rules([Signature(sid=1, pattern=b"abcdefghijklmnopqrstuvwx", msg="m")])
+        )
+        pcap = tmp_path / "t.pcap"
+        main(["generate", str(pcap), "--flows", "3"])
+        capsys.readouterr()
+        assert main(["run", str(pcap), "--rules", str(rules_path)]) == 0
+
+
+class TestRulesCommand:
+    def test_corpus_stats(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "signatures: 351" in out
+        assert "small-packet threshold" in out
+
+    def test_histogram(self, capsys):
+        assert main(["rules", "--histogram"]) == 0
+        assert "pattern-length histogram" in capsys.readouterr().out
+
+    def test_piece_length_option(self, capsys):
+        assert main(["rules", "--piece-length", "12"]) == 0
+        assert "B: 24" in capsys.readouterr().out
+
+
+class TestStrategiesCommand:
+    def test_lists_catalog(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "tcp_seg_1" in out and "ip_frag_overlap" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.pcap", "--engine", "bogus"])

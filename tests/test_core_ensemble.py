@@ -1,0 +1,87 @@
+"""Tests for the policy-ensemble slow path (target-based reassembly)."""
+
+import pytest
+
+from helpers import ATTACK_SIGNATURE, attack_payload, attack_ruleset, signature_span
+from repro.core import AlertKind, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.streams import OverlapPolicy
+
+
+def run(ips, packets):
+    alerts = []
+    for packet in packets:
+        alerts.extend(ips.process(packet))
+    return alerts
+
+
+def signature_level(alerts, sid=5001):
+    return [a for a in alerts if a.sid == sid and a.kind is AlertKind.SIGNATURE]
+
+
+class TestEnsemble:
+    def overlap_attack(self):
+        """tcp_overlap_new delivers the real bytes only to new-wins hosts."""
+        return build_attack(
+            "tcp_overlap_new", attack_payload(), signature_span=signature_span()
+        )
+
+    def test_single_policy_sees_only_ambiguity(self):
+        # A FIRST-policy slow path reconstructs the garbage copy, so it can
+        # flag the inconsistency but never name the signature.
+        ips = SplitDetectIPS(attack_ruleset(), overlap_policy=OverlapPolicy.FIRST)
+        alerts = run(ips, self.overlap_attack())
+        assert any(a.kind is AlertKind.AMBIGUITY for a in alerts)
+        assert not signature_level(alerts)
+
+    def test_ensemble_names_the_signature(self):
+        ips = SplitDetectIPS(
+            attack_ruleset(),
+            overlap_policy=OverlapPolicy.FIRST,
+            ensemble_policies=(OverlapPolicy.LAST,),
+        )
+        alerts = run(ips, self.overlap_attack())
+        assert signature_level(alerts)
+
+    def test_ensemble_deduplicates_alerts(self):
+        # A plain attack is confirmed identically by every policy; the
+        # engine must not multiply the alert.
+        ips = SplitDetectIPS(
+            attack_ruleset(),
+            ensemble_policies=(OverlapPolicy.FIRST, OverlapPolicy.LAST),
+        )
+        alerts = run(ips, build_attack("tcp_seg_8", attack_payload()))
+        assert len(signature_level(alerts)) == 1
+
+    def test_primary_policy_not_duplicated_in_ensemble(self):
+        ips = SplitDetectIPS(
+            attack_ruleset(),
+            overlap_policy=OverlapPolicy.BSD,
+            ensemble_policies=(OverlapPolicy.BSD, OverlapPolicy.LAST),
+        )
+        assert len(ips.ensemble_paths) == 1
+
+    def test_state_accounting_includes_replicas(self):
+        packets = build_attack("tcp_seg_8", attack_payload())
+        single = SplitDetectIPS(attack_ruleset())
+        run(single, packets[:-1])
+        ensembled = SplitDetectIPS(
+            attack_ruleset(), ensemble_policies=(OverlapPolicy.FIRST, OverlapPolicy.LAST)
+        )
+        run(ensembled, packets[:-1])
+        assert ensembled.state_bytes() > single.state_bytes()
+
+    def test_probation_releases_ensemble_state_too(self):
+        from repro.traffic import TrafficProfile, generate_trace
+
+        ips = SplitDetectIPS(
+            attack_ruleset(),
+            ensemble_policies=(OverlapPolicy.LAST,),
+            probation_packets=2,
+        )
+        trace = generate_trace(TrafficProfile(flows=60, udp_fraction=0), seed=2006)
+        run(ips, trace)
+        if ips.reinstated_flows:
+            live = ips.slow_path.normalizer.live_flows()
+            for path in ips.ensemble_paths:
+                assert path.normalizer.live_flows() <= live | set()

@@ -1,0 +1,198 @@
+"""Unit tests for the Split-Detect fast path."""
+
+import pytest
+
+from helpers import ATTACK_SIGNATURE, attack_ruleset
+from repro.core import FAST_FLOW_STATE_BYTES, DivertReason, FastPath, FastPathConfig
+from repro.evasion import build_attack, even_segments, plan_to_packets
+from repro.packet import TCP_ACK, TCP_RST, TcpSegment, TimedPacket, build_tcp_packet, fragment
+from repro.signatures import SplitPolicy, split_ruleset
+
+
+def make_fastpath(config=None, piece_length=8):
+    rules = attack_ruleset()
+    split = split_ruleset(rules, SplitPolicy(piece_length=piece_length))
+    return FastPath(split, config)
+
+
+def packets_for(payload, size=512, **conn):
+    return plan_to_packets(even_segments(payload, size), **conn)
+
+
+def run(fastpath, packets):
+    results = [fastpath.process(p) for p in packets]
+    diverts = [r.divert for r in results if r.divert]
+    return results, diverts
+
+
+class TestCleanTraffic:
+    def test_benign_in_order_flow_passes(self):
+        fp = make_fastpath()
+        payload = b"Nothing suspicious here at all, plain web browsing. " * 40
+        _, diverts = run(fp, packets_for(payload))
+        assert diverts == []
+
+    def test_flow_state_created_and_freed(self):
+        fp = make_fastpath()
+        packets = packets_for(b"benign data benign data benign data " * 30)
+        for packet in packets[:-1]:
+            fp.process(packet)
+        assert fp.tracked_flows == 1
+        fp.process(packets[-1])  # FIN frees the entry
+        assert fp.tracked_flows == 0
+
+    def test_rst_frees_state(self):
+        fp = make_fastpath()
+        fp.process(packets_for(b"x" * 600)[0])  # SYN
+        rst = TcpSegment(src_port=44000, dst_port=80, seq=9, flags=TCP_RST)
+        fp.process(TimedPacket(1.0, build_tcp_packet("10.9.9.9", "10.0.0.2", rst)))
+        assert fp.tracked_flows == 0
+
+    def test_state_bytes_accounting(self):
+        fp = make_fastpath()
+        packets = packets_for(b"a" * 600, src_port=1001) + packets_for(b"b" * 600, src_port=1002)
+        for packet in packets:
+            if not packet.ip.payload:
+                continue
+            fp.process(packet)
+        assert fp.state_bytes() == fp.tracked_flows * FAST_FLOW_STATE_BYTES
+
+
+class TestAnomalyMonitor:
+    def test_tiny_segment_diverts(self):
+        fp = make_fastpath()
+        _, diverts = run(fp, packets_for(b"x" * 100, size=4))
+        assert DivertReason.TINY_SEGMENT in diverts
+
+    def test_final_fin_segment_exempt_from_tiny(self):
+        fp = make_fastpath()
+        # 600 bytes at size 512: final segment is 88 bytes with FIN; 88 < B
+        # never happens with B=16, so use a 3-byte FIN tail explicitly.
+        packets = packets_for(b"x" * 515, size=512)
+        results, diverts = run(fp, packets)
+        assert diverts == []
+
+    def test_out_of_order_diverts(self):
+        fp = make_fastpath()
+        packets = packets_for(b"x" * 2000, size=500)
+        reordered = [packets[0], packets[2], packets[1]] + packets[3:]
+        _, diverts = run(fp, reordered)
+        assert DivertReason.OUT_OF_ORDER in diverts
+
+    def test_retransmission_diverts(self):
+        fp = make_fastpath()
+        packets = packets_for(b"x" * 2000, size=500)
+        replayed = packets[:3] + [packets[2]] + packets[3:]
+        _, diverts = run(fp, replayed)
+        assert DivertReason.RETRANSMISSION in diverts
+
+    def test_fragment_diverts(self):
+        fp = make_fastpath()
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=1, flags=TCP_ACK, payload=b"y" * 600)
+        big = build_tcp_packet("10.9.9.9", "10.0.0.2", seg, dont_fragment=False)
+        frags = fragment(big, 256)
+        result = fp.process(TimedPacket(0.0, frags[0]))
+        assert result.divert == DivertReason.IP_FRAGMENT
+
+    def test_monitor_checks_can_be_disabled(self):
+        config = FastPathConfig(check_tiny=False, check_order=False, divert_fragments=False)
+        fp = make_fastpath(config)
+        packets = packets_for(b"x" * 2000, size=4)
+        _, diverts = run(fp, packets)
+        assert DivertReason.TINY_SEGMENT not in diverts
+
+    def test_threshold_override(self):
+        fp = make_fastpath(FastPathConfig(threshold_override=600))
+        _, diverts = run(fp, packets_for(b"x" * 2000, size=512))
+        assert DivertReason.TINY_SEGMENT in diverts
+
+    def test_threshold_comes_from_ruleset(self):
+        fp = make_fastpath(piece_length=10)
+        assert fp.threshold == 20
+
+    def test_low_ttl_data_packet_diverts(self):
+        fp = make_fastpath()
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=1, flags=TCP_ACK, payload=b"y" * 600)
+        low = build_tcp_packet("10.9.9.9", "10.0.0.2", seg, ttl=2)
+        result = fp.process(TimedPacket(0.0, low))
+        assert result.divert == DivertReason.TTL_FLOOR
+
+    def test_low_ttl_pure_ack_tolerated(self):
+        fp = make_fastpath()
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=1, flags=TCP_ACK)
+        low = build_tcp_packet("10.9.9.9", "10.0.0.2", seg, ttl=2)
+        result = fp.process(TimedPacket(0.0, low))
+        assert result.divert is None
+
+    def test_ttl_floor_configurable(self):
+        fp = make_fastpath(FastPathConfig(min_ttl=0))
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=1, flags=TCP_ACK, payload=b"y" * 600)
+        low = build_tcp_packet("10.9.9.9", "10.0.0.2", seg, ttl=1)
+        result = fp.process(TimedPacket(0.0, low))
+        assert result.divert is None
+
+    def test_seed_flow_presets_expected_seq(self):
+        from repro.packet import FlowKey
+
+        fp = make_fastpath()
+        flow = FlowKey("10.9.9.9", "10.0.0.2", 44000, 80)
+        fp.seed_flow(flow, 5000)
+        assert fp.expected_seq(flow) == 5000
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=6000, flags=TCP_ACK, payload=b"z" * 600)
+        result = fp.process(TimedPacket(0.0, build_tcp_packet("10.9.9.9", "10.0.0.2", seg)))
+        assert result.divert == DivertReason.OUT_OF_ORDER
+        assert result.flow_expected_seq == 5000
+
+
+class TestPieceScanning:
+    def test_whole_signature_in_one_packet_diverts(self):
+        fp = make_fastpath()
+        payload = b"A" * 100 + ATTACK_SIGNATURE + b"B" * 100
+        results, diverts = run(fp, packets_for(payload, size=1460))
+        assert DivertReason.PIECE_MATCH in diverts
+        hits = [h for r in results for h in r.piece_hits]
+        assert {h.signature.sid for h in hits} == {5001}
+
+    def test_single_piece_in_packet_diverts(self):
+        fp = make_fastpath()
+        rules = attack_ruleset()
+        split = split_ruleset(rules, SplitPolicy(piece_length=8))
+        piece = split.splits[5001].pieces[1]
+        payload = b"x" * 50 + piece.data + b"y" * 50
+        _, diverts = run(fp, packets_for(payload))
+        assert DivertReason.PIECE_MATCH in diverts
+
+    def test_wrong_port_piece_does_not_divert(self):
+        fp = make_fastpath()
+        payload = b"A" * 50 + ATTACK_SIGNATURE + b"B" * 50
+        packets = packets_for(payload, dst_port=8081)  # sid 5001 is port-80 only
+        _, diverts = run(fp, packets)
+        assert DivertReason.PIECE_MATCH not in diverts
+
+    def test_bytes_scanned_counts_payload(self):
+        fp = make_fastpath()
+        payload = b"q" * 700
+        run(fp, packets_for(payload, size=512))
+        assert fp.bytes_scanned == 700
+
+    def test_short_signature_whole_match_alerts(self):
+        from repro.signatures import Signature
+
+        rules = attack_ruleset(extra=[Signature(sid=9001, pattern=b"tiny!", msg="short")])
+        split = split_ruleset(rules, SplitPolicy(piece_length=8))
+        assert any(s.sid == 9001 for s in split.unsplittable)
+        fp = FastPath(split)
+        payload = b"aaaa tiny! bbbb" + b"c" * 100
+        results, diverts = run(fp, packets_for(payload))
+        alerts = [a for r in results for a in r.alerts]
+        assert any(a.sid == 9001 and a.path == "fast" for a in alerts)
+
+    def test_short_signature_scan_can_be_disabled(self):
+        from repro.signatures import Signature
+
+        rules = attack_ruleset(extra=[Signature(sid=9001, pattern=b"tiny!", msg="short")])
+        split = split_ruleset(rules, SplitPolicy(piece_length=8))
+        fp = FastPath(split, FastPathConfig(scan_short_signatures=False))
+        payload = b"aaaa tiny! bbbb" + b"c" * 100
+        results, _ = run(fp, packets_for(payload))
+        assert all(not r.alerts for r in results)

@@ -1,0 +1,84 @@
+"""Tests for slow-path capacity limits and fail-open behaviour."""
+
+import pytest
+
+from helpers import attack_payload, attack_ruleset, signature_span
+from repro.core import AlertKind, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.traffic import inject_attacks
+
+
+def many_attacks(count, strategy="tcp_seg_8"):
+    return [
+        build_attack(
+            strategy,
+            attack_payload(),
+            signature_span=signature_span(),
+            src=f"10.77.0.{i + 1}",
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+def run(ips, packets):
+    alerts = []
+    for packet in packets:
+        alerts.extend(ips.process(packet))
+    return alerts
+
+
+class TestOverload:
+    def test_unbounded_by_default(self):
+        ips = SplitDetectIPS(attack_ruleset())
+        merged = inject_attacks([], many_attacks(6))
+        alerts = run(ips, merged)
+        assert ips.overload_refusals == 0
+        assert not any(a.kind is AlertKind.RESOURCE for a in alerts)
+
+    def test_capacity_refusals_counted_and_alerted(self):
+        ips = SplitDetectIPS(attack_ruleset(), slow_capacity_flows=2, probation_packets=0)
+        merged = inject_attacks([], many_attacks(6))
+        alerts = run(ips, merged)
+        assert ips.overload_refusals > 0
+        resource = [a for a in alerts if a.kind is AlertKind.RESOURCE]
+        assert resource, "overload must be visible"
+        # One RESOURCE alert per refused flow, not per packet.
+        assert len(resource) == len({a.flow.canonical() for a in resource})
+
+    def test_accepted_flows_still_detected(self):
+        ips = SplitDetectIPS(attack_ruleset(), slow_capacity_flows=2, probation_packets=0)
+        merged = inject_attacks([], many_attacks(6))
+        alerts = run(ips, merged)
+        caught = {
+            a.flow.canonical()
+            for a in alerts
+            if a.sid == 5001 and a.kind in (AlertKind.SIGNATURE, AlertKind.PARTIAL_SIGNATURE)
+        }
+        assert len(caught) >= 2  # at least the flows that fit the capacity
+
+    def test_fail_open_flow_keeps_fastpath_coverage(self):
+        """A refused flow is still scanned per packet: an attack that puts
+        the whole signature in one packet is caught even under overload."""
+        ips = SplitDetectIPS(attack_ruleset(), slow_capacity_flows=1, probation_packets=0)
+        # Saturate the slow path with one tiny-segment flow.
+        saturate = many_attacks(1, strategy="tcp_seg_8")[0]
+        run(ips, saturate)
+        assert ips.slow_path.active_flows >= 1
+        # Now a plain attack (whole signature in one packet) from a new flow.
+        plain = build_attack(
+            "plain", attack_payload(), signature_span=signature_span(), src="10.88.0.1"
+        )
+        alerts = run(ips, plain)
+        assert any(a.sid == 5001 and a.path == "fast" for a in alerts) or any(
+            a.sid == 5001 for a in alerts
+        )
+
+    def test_fragment_refusal_fails_open(self):
+        ips = SplitDetectIPS(attack_ruleset(), slow_capacity_flows=1, probation_packets=0)
+        run(ips, many_attacks(1, strategy="tcp_seg_8")[0])
+        frag_attack = build_attack(
+            "ip_frag_8", attack_payload(), signature_span=signature_span(), src="10.88.0.2"
+        )
+        alerts = run(ips, frag_attack)
+        assert any(a.kind is AlertKind.RESOURCE for a in alerts)

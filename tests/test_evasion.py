@@ -1,0 +1,118 @@
+"""Validity tests for the evasion catalog.
+
+Every strategy must actually *work as an attack*: the emulated victim
+(with the policy/hops the strategy targets) must receive the signature
+bytes in its application stream.  Strategies that corrupt their own
+payload would make the detection matrix meaningless.
+"""
+
+import pytest
+
+from helpers import ATTACK_SIGNATURE, attack_payload, signature_span
+from repro.evasion import (
+    STRATEGIES,
+    AttackSpec,
+    Victim,
+    build_attack,
+    even_segments,
+    plan_coverage,
+    plan_to_packets,
+)
+from repro.packet import IPv4Packet, decode_tcp
+from repro.streams import OverlapPolicy
+
+
+class TestPlan:
+    def test_even_segments_cover_payload(self):
+        segs = even_segments(b"x" * 1000, 300)
+        assert plan_coverage(segs) == 1000
+        assert [len(s.data) for s in segs] == [300, 300, 300, 100]
+        assert segs[-1].fin and not segs[0].fin
+
+    def test_even_segments_empty_payload(self):
+        segs = even_segments(b"", 300)
+        assert len(segs) == 1 and segs[0].fin and segs[0].data == b""
+
+    def test_plan_to_packets_sequence_numbers(self):
+        segs = even_segments(b"abcdef", 3)
+        packets = plan_to_packets(segs, isn=5000)
+        tcp = [decode_tcp(p.ip) for p in packets]
+        assert tcp[0].syn and tcp[0].seq == 5000
+        assert tcp[1].seq == 5001 and tcp[1].payload == b"abc"
+        assert tcp[2].seq == 5004 and tcp[2].fin
+
+    def test_packets_are_wire_valid(self):
+        packets = build_attack("plain", attack_payload())
+        for packet in packets:
+            reparsed = IPv4Packet.parse(packet.ip.serialize())
+            assert reparsed == packet.ip
+
+    def test_timestamps_monotonic(self):
+        packets = build_attack("tcp_seg_8", attack_payload())
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+
+class TestCatalogValidity:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_attack_reaches_its_victim(self, name):
+        strategy = STRATEGIES[name]
+        payload = attack_payload()
+        packets = build_attack(name, payload, signature_span=signature_span())
+        victim = Victim(policy=strategy.victim_policy, hops_behind_ips=strategy.victim_hops)
+        victim.deliver_all(packets)
+        assert victim.received(ATTACK_SIGNATURE), f"{name} failed to deliver"
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_full_payload_delivered(self, name):
+        strategy = STRATEGIES[name]
+        payload = attack_payload()
+        packets = build_attack(name, payload, signature_span=signature_span())
+        victim = Victim(policy=strategy.victim_policy, hops_behind_ips=strategy.victim_hops)
+        victim.deliver_all(packets)
+        assert victim.received(payload), f"{name} corrupted the stream"
+
+    def test_ttl_chaff_drops_at_victim(self):
+        packets = build_attack("ttl_chaff", attack_payload())
+        victim = Victim(policy=OverlapPolicy.FIRST, hops_behind_ips=4)
+        victim.deliver_all(packets)
+        assert victim.packets_dropped > 0
+
+    def test_overlap_old_blinds_last_policy_observer(self):
+        # The same packets, reassembled with the wrong policy, hide the attack.
+        payload = attack_payload()
+        packets = build_attack("tcp_overlap_old", payload)
+        blinded = Victim(policy=OverlapPolicy.LAST)
+        blinded.deliver_all(packets)
+        assert not blinded.received(ATTACK_SIGNATURE)
+
+    def test_ip_frag_overlap_blinds_last_policy_observer(self):
+        payload = attack_payload()
+        packets = build_attack("ip_frag_overlap", payload)
+        blinded = Victim(policy=OverlapPolicy.LAST)
+        blinded.deliver_all(packets)
+        assert not blinded.received(ATTACK_SIGNATURE)
+
+    def test_tiny_segments_are_actually_tiny(self):
+        packets = build_attack("tcp_seg_1", attack_payload(total=50))
+        sizes = [len(decode_tcp(p.ip).payload) for p in packets if not p.ip.is_fragment]
+        data_sizes = [s for s in sizes if s]
+        assert data_sizes and max(data_sizes) == 1
+
+    def test_ip_frag_8_produces_8_byte_fragments(self):
+        packets = build_attack("ip_frag_8", attack_payload(total=200))
+        frag_sizes = {
+            len(p.ip.payload) for p in packets if p.ip.is_fragment and p.ip.more_fragments
+        }
+        assert frag_sizes == {8}
+
+    def test_stealth_cuts_signature_across_packets(self):
+        payload = attack_payload()
+        packets = build_attack("stealth_segments", payload, signature_span=signature_span())
+        carried = [decode_tcp(p.ip).payload for p in packets if not p.ip.is_fragment]
+        assert all(ATTACK_SIGNATURE not in chunk for chunk in carried)
+
+    def test_strategies_deterministic_given_seed(self):
+        a = build_attack("tcp_reorder", attack_payload(), seed=3)
+        b = build_attack("tcp_reorder", attack_payload(), seed=3)
+        assert [p.ip for p in a] == [p.ip for p in b]

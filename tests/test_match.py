@@ -1,0 +1,187 @@
+"""Unit, differential, and property tests for the matching engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.match import (
+    AhoCorasick,
+    BoyerMooreHorspool,
+    StreamMatcher,
+    naive_find_all,
+)
+
+
+def ac_starts(automaton, data, pattern_id):
+    """Start offsets of pattern_id occurrences, derived from end offsets."""
+    length = len(automaton.patterns[pattern_id])
+    return [end - length for pid, end in automaton.find_all(data) if pid == pattern_id]
+
+
+class TestAhoCorasickBasics:
+    def test_single_pattern_single_match(self):
+        ac = AhoCorasick([b"needle"])
+        assert ac.find_all(b"hay needle hay") == [(0, 10)]
+
+    def test_multiple_patterns(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        matches = ac.find_all(b"ushers")
+        assert set(matches) == {(1, 4), (0, 4), (3, 6)}
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasick([b"aa"])
+        assert ac.find_all(b"aaaa") == [(0, 2), (0, 3), (0, 4)]
+
+    def test_no_match(self):
+        ac = AhoCorasick([b"xyz"])
+        assert ac.find_all(b"abcabcabc") == []
+
+    def test_pattern_is_substring_of_other(self):
+        ac = AhoCorasick([b"abc", b"abcdef"])
+        matches = ac.find_all(b"zabcdefz")
+        assert (0, 4) in matches and (1, 7) in matches
+
+    def test_duplicate_patterns_both_report(self):
+        ac = AhoCorasick([b"dup", b"dup"])
+        pids = {pid for pid, _ in ac.find_all(b"a dup here")}
+        assert pids == {0, 1}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b"ok", b""])
+
+    def test_binary_patterns(self):
+        ac = AhoCorasick([bytes([0, 255, 0])])
+        assert ac.find_all(bytes([1, 0, 255, 0, 1])) == [(0, 4)]
+
+    def test_contains_match_early_exit(self):
+        ac = AhoCorasick([b"bad"])
+        assert ac.contains_match(b"xxbadxx")
+        assert not ac.contains_match(b"xxgoodxx")
+
+    def test_state_count_reflects_trie(self):
+        ac = AhoCorasick([b"ab", b"ac"])
+        assert ac.state_count == 4  # root, a, ab, ac
+
+    def test_state_depth(self):
+        ac = AhoCorasick([b"abc"])
+        state, _ = ac.scan(b"ab")
+        assert ac.state_depth(state) == 2
+
+
+class TestAhoCorasickStreaming:
+    def test_match_across_chunk_boundary(self):
+        ac = AhoCorasick([b"attack"])
+        state, m1 = ac.scan(b"...att")
+        assert m1 == []
+        state, m2 = ac.scan(b"ack...", state)
+        assert [pid for pid, _ in m2] == [0]
+
+    def test_state_reset_hides_straddling_match(self):
+        # This is precisely why per-packet matching alone misses evasions.
+        ac = AhoCorasick([b"attack"])
+        _, m1 = ac.scan(b"...att")
+        _, m2 = ac.scan(b"ack...")
+        assert m1 == [] and m2 == []
+
+    def test_byte_at_a_time_equals_whole_buffer(self):
+        ac = AhoCorasick([b"abab", b"ba"])
+        data = b"abababab"
+        whole = ac.find_all(data)
+        state = 0
+        stitched = []
+        for i, byte in enumerate(data):
+            state, matches = ac.scan(bytes([byte]), state)
+            stitched.extend((pid, i + 1) for pid, _ in matches)
+        assert stitched == whole
+
+
+class TestStreamMatcher:
+    def test_absolute_offsets(self):
+        matcher = StreamMatcher(AhoCorasick([b"sig"]))
+        assert matcher.feed(b"aaaa") == []
+        matches = matcher.feed(b"bbsig")
+        assert matches[0].end_offset == 9
+        assert matcher.stream_offset == 9
+
+    def test_straddling_chunks(self):
+        matcher = StreamMatcher(AhoCorasick([b"split"]))
+        matcher.feed(b"xxsp")
+        matches = matcher.feed(b"litxx")
+        assert [m.end_offset for m in matches] == [7]  # "xxsplitxx"[2:7]
+
+    def test_reset_forgets_prefix(self):
+        matcher = StreamMatcher(AhoCorasick([b"split"]))
+        matcher.feed(b"xxsp")
+        matcher.reset()
+        assert matcher.feed(b"litxx") == []
+
+
+class TestBoyerMooreHorspool:
+    def test_find_first(self):
+        assert BoyerMooreHorspool(b"ell").find(b"hello hello") == 1
+
+    def test_find_from_offset(self):
+        assert BoyerMooreHorspool(b"ell").find(b"hello hello", 2) == 7
+
+    def test_find_missing(self):
+        assert BoyerMooreHorspool(b"zzz").find(b"hello") == -1
+
+    def test_find_all_overlapping(self):
+        assert BoyerMooreHorspool(b"aa").find_all(b"aaaa") == [0, 1, 2]
+
+    def test_pattern_at_edges(self):
+        assert BoyerMooreHorspool(b"ab").find_all(b"abxxab") == [0, 4]
+
+    def test_pattern_equals_data(self):
+        assert BoyerMooreHorspool(b"whole").find_all(b"whole") == [0]
+
+    def test_pattern_longer_than_data(self):
+        assert BoyerMooreHorspool(b"toolong").find_all(b"shrt") == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            BoyerMooreHorspool(b"")
+
+
+patterns_strategy = st.lists(
+    st.binary(min_size=1, max_size=8), min_size=1, max_size=6
+)
+
+
+@given(patterns_strategy, st.binary(max_size=300))
+@settings(max_examples=150)
+def test_aho_corasick_matches_naive(patterns, data):
+    ac = AhoCorasick(patterns)
+    for pid, pattern in enumerate(patterns):
+        expected = naive_find_all(pattern, data)
+        assert ac_starts(ac, data, pid) == expected
+
+
+@given(st.binary(min_size=1, max_size=12), st.binary(max_size=400))
+@settings(max_examples=150)
+def test_bmh_matches_naive(pattern, data):
+    assert BoyerMooreHorspool(pattern).find_all(data) == naive_find_all(pattern, data)
+
+
+@given(
+    patterns_strategy,
+    st.lists(st.binary(max_size=40), min_size=1, max_size=8),
+)
+@settings(max_examples=100)
+def test_streaming_equals_batch(patterns, chunks):
+    ac = AhoCorasick(patterns)
+    data = b"".join(chunks)
+    whole = ac.find_all(data)
+    matcher = StreamMatcher(ac)
+    stitched = []
+    for chunk in chunks:
+        stitched.extend((m.pattern_id, m.end_offset) for m in matcher.feed(chunk))
+    assert stitched == whole
+
+
+@given(st.binary(min_size=1, max_size=6), st.binary(max_size=120))
+def test_every_reported_ac_match_is_real(pattern, data):
+    ac = AhoCorasick([pattern])
+    for _, end in ac.find_all(data):
+        assert data[end - len(pattern) : end] == pattern

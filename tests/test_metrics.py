@@ -1,0 +1,123 @@
+"""Tests for the cost model and run harness."""
+
+import pytest
+
+from helpers import attack_payload, attack_ruleset, signature_span
+from repro.core import ConventionalIPS, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.metrics import (
+    CONVENTIONAL_REFS_PER_BYTE,
+    FASTPATH_REFS_PER_BYTE,
+    HardwareModel,
+    conventional_cost,
+    extrapolate_state,
+    provisioned_conventional_state,
+    provisioned_fastpath_state,
+    run_conventional,
+    run_split_detect,
+    split_detect_cost,
+    state_per_flow,
+    throughput_comparison,
+)
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+
+class TestHardwareModel:
+    def test_sram_when_state_fits(self):
+        hw = HardwareModel(sram_budget_bytes=1000)
+        assert hw.ref_ns(999) == hw.sram_ns / hw.overlap_factor
+        assert hw.ref_ns(1001) == hw.dram_ns / hw.overlap_factor
+
+    def test_conventional_cost_shape(self):
+        report = conventional_cost(10**9, 10**6, provisioned_conventional_state())
+        assert report.memory == "DRAM"
+        assert report.refs_per_byte == CONVENTIONAL_REFS_PER_BYTE
+        assert report.gbps > 0
+
+    def test_fastpath_beats_conventional(self):
+        conv = conventional_cost(10**9, 10**6, provisioned_conventional_state())
+        fast, _slow, blended = split_detect_cost(
+            10**9, 10**6, 10**7, 10**4,
+            provisioned_fastpath_state(), 10**7,
+        )
+        assert fast.gbps > conv.gbps
+        assert blended.gbps > conv.gbps
+
+    def test_fastpath_state_fits_sram(self):
+        fast, _, _ = split_detect_cost(
+            10**9, 10**6, 0, 0, provisioned_fastpath_state(), 0
+        )
+        assert fast.memory == "SRAM"
+
+    def test_paper_claims_hold_under_default_model(self):
+        """The headline: fast path >= 20 Gbps, conventional stuck below 10."""
+        conv = conventional_cost(10**9, 10**6, provisioned_conventional_state())
+        fast, _, _ = split_detect_cost(
+            10**9, 10**6, 10**7, 10**4, provisioned_fastpath_state(), 10**7
+        )
+        assert fast.gbps >= 20.0
+        assert conv.gbps < 10.0
+
+    def test_state_provisioning_ratio_close_to_paper(self):
+        """Fast-path state should be ~10% (or less) of conventional."""
+        ratio = provisioned_fastpath_state() / provisioned_conventional_state()
+        assert ratio <= 0.10
+
+    def test_per_packet_overhead_amortized(self):
+        small_packets = conventional_cost(10**6, 10**5, 10**9)  # 10B packets
+        big_packets = conventional_cost(10**6, 10**3, 10**9)  # 1000B packets
+        assert small_packets.ns_per_byte > big_packets.ns_per_byte
+
+    def test_extrapolate_state(self):
+        assert extrapolate_state(48.0, 1_000_000) == 48_000_000
+
+
+class TestRunHarness:
+    def trace(self):
+        benign = generate_trace(TrafficProfile(flows=12), seed=21)
+        attack = build_attack(
+            "tcp_seg_8", attack_payload(), signature_span=signature_span(), src="10.200.0.1"
+        )
+        return inject_attacks(benign, [attack])
+
+    def test_split_detect_run_report(self):
+        ips = SplitDetectIPS(attack_ruleset())
+        report = run_split_detect(ips, self.trace())
+        assert report.packets == len(self.trace())
+        assert report.diverted_flows >= 1
+        assert report.fast_bytes > 0 and report.slow_bytes > 0
+        assert any(a.sid == 5001 for a in report.alerts if a.sid)
+        assert 0 < report.diversion_byte_fraction < 1
+
+    def test_conventional_run_report(self):
+        ips = ConventionalIPS(attack_ruleset())
+        report = run_conventional(ips, self.trace())
+        assert report.packets == len(self.trace())
+        assert report.peak_state_bytes > 0
+        assert any(a.sid == 5001 for a in report.alerts if a.sid)
+
+    def test_peak_state_is_max_not_final(self):
+        ips = ConventionalIPS(attack_ruleset())
+        report = run_conventional(ips, self.trace(), sample_every=1)
+        assert report.peak_state_bytes >= ips.state_bytes()
+
+    def test_state_per_flow(self):
+        ips = ConventionalIPS(attack_ruleset())
+        report = run_conventional(ips, self.trace())
+        assert state_per_flow(report) > 0
+
+    def test_throughput_comparison_rows(self):
+        split_ips = SplitDetectIPS(attack_ruleset())
+        split_report = run_split_detect(split_ips, self.trace())
+        conv_ips = ConventionalIPS(attack_ruleset())
+        conv_report = run_conventional(conv_ips, self.trace())
+        rows = throughput_comparison(split_report, conv_report)
+        labels = [r.label for r in rows]
+        assert labels == [
+            "conventional",
+            "split-detect fast",
+            "split-detect slow",
+            "split-detect blended",
+        ]
+        by_label = dict(zip(labels, rows))
+        assert by_label["split-detect fast"].gbps > by_label["conventional"].gbps

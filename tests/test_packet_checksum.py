@@ -1,0 +1,73 @@
+"""Unit and property tests for the RFC 1071 Internet checksum."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import internet_checksum, pseudo_header, verify_checksum
+
+
+def test_empty_buffer_checksums_to_all_ones():
+    assert internet_checksum(b"") == 0xFFFF
+
+
+def test_known_rfc1071_example():
+    # The worked example from RFC 1071 section 3: 00 01 f2 03 f4 f5 f6 f7.
+    data = bytes.fromhex("0001f203f4f5f6f7")
+    # Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold -> 0xddf2.
+    assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+
+def test_odd_length_buffer_is_zero_padded():
+    assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+def test_embedding_checksum_makes_buffer_verify():
+    data = b"\x45\x00\x00\x28" + b"\x00" * 6 + b"\x00\x00" + b"\x0a" * 8
+    checksum = internet_checksum(data)
+    patched = data[:10] + checksum.to_bytes(2, "big") + data[12:]
+    assert verify_checksum(patched)
+
+
+def test_corruption_is_detected():
+    data = b"\x45\x00\x00\x28" + b"\x00" * 6 + b"\x00\x00" + b"\x0a" * 8
+    checksum = internet_checksum(data)
+    patched = bytearray(data[:10] + checksum.to_bytes(2, "big") + data[12:])
+    patched[0] ^= 0x01
+    assert not verify_checksum(bytes(patched))
+
+
+def test_pseudo_header_layout():
+    ph = pseudo_header(b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 6, 40)
+    assert len(ph) == 12
+    assert ph[8] == 0 and ph[9] == 6
+    assert int.from_bytes(ph[10:12], "big") == 40
+
+
+def test_pseudo_header_rejects_short_addresses():
+    with pytest.raises(ValueError):
+        pseudo_header(b"\x0a", b"\x0a\x00\x00\x02", 6, 40)
+
+
+@given(st.binary(max_size=256))
+def test_checksum_is_16_bit(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=12, max_size=256))
+def test_embedded_checksum_always_verifies(data):
+    # Zero a 16-bit field, embed the checksum there, and the whole must verify.
+    blank = data[:4] + b"\x00\x00" + data[6:]
+    checksum = internet_checksum(blank)
+    patched = blank[:4] + checksum.to_bytes(2, "big") + blank[6:]
+    assert verify_checksum(patched)
+
+
+@given(st.binary(max_size=128), st.binary(max_size=128))
+def test_checksum_commutes_over_16bit_word_swap(a, b):
+    # Ones'-complement addition is commutative, so swapping aligned halves
+    # of an even-length buffer leaves the checksum unchanged.
+    if len(a) % 2 or len(b) % 2:
+        a = a + b"\x00" * (len(a) % 2)
+        b = b + b"\x00" * (len(b) % 2)
+    assert internet_checksum(a + b) == internet_checksum(b + a)

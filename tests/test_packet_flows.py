@@ -1,0 +1,76 @@
+"""Tests for flow keys, TCP-in-IP construction, and decode helpers."""
+
+import pytest
+
+from repro.packet import (
+    FlowKey,
+    IPv4Packet,
+    TcpSegment,
+    build_tcp_packet,
+    decode_tcp,
+    flow_key_of,
+    fragment,
+)
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        key = FlowKey("1.1.1.1", "2.2.2.2", 1000, 80)
+        rev = key.reversed()
+        assert rev.src == "2.2.2.2" and rev.src_port == 80
+        assert rev.reversed() == key
+
+    def test_canonical_is_direction_insensitive(self):
+        key = FlowKey("9.9.9.9", "2.2.2.2", 1000, 80)
+        assert key.canonical() == key.reversed().canonical()
+
+    def test_canonical_of_canonical_is_identity(self):
+        key = FlowKey("2.2.2.2", "9.9.9.9", 80, 1000)
+        assert key.canonical().canonical() == key.canonical()
+
+    def test_hashable_and_str(self):
+        key = FlowKey("1.1.1.1", "2.2.2.2", 1000, 80)
+        assert key in {key}
+        assert "1.1.1.1:1000" in str(key)
+
+
+class TestBuildDecode:
+    def test_round_trip(self):
+        seg = TcpSegment(src_port=40000, dst_port=443, seq=7, payload=b"hello")
+        pkt = build_tcp_packet("10.0.0.1", "10.0.0.9", seg)
+        wire = IPv4Packet.parse(pkt.serialize())
+        decoded = decode_tcp(wire, strict=True)
+        assert decoded == seg
+
+    def test_flow_key_of_tcp(self):
+        seg = TcpSegment(src_port=40000, dst_port=443)
+        pkt = build_tcp_packet("10.0.0.1", "10.0.0.9", seg)
+        key = flow_key_of(pkt)
+        assert key == FlowKey("10.0.0.1", "10.0.0.9", 40000, 443)
+
+    def test_decode_rejects_non_tcp(self):
+        pkt = IPv4Packet(src="1.1.1.1", dst="2.2.2.2", protocol=17, payload=b"x" * 8)
+        with pytest.raises(ValueError):
+            decode_tcp(pkt)
+
+    def test_decode_rejects_fragment(self):
+        seg = TcpSegment(src_port=40000, dst_port=443, payload=b"x" * 100)
+        pkt = build_tcp_packet("10.0.0.1", "10.0.0.9", seg, dont_fragment=False)
+        frags = fragment(pkt, 68)
+        with pytest.raises(ValueError):
+            decode_tcp(frags[0])
+
+    def test_flow_key_of_nonfirst_fragment_raises(self):
+        seg = TcpSegment(src_port=40000, dst_port=443, payload=b"x" * 200)
+        pkt = build_tcp_packet("10.0.0.1", "10.0.0.9", seg, dont_fragment=False)
+        frags = fragment(pkt, 68)
+        assert len(frags) > 1
+        with pytest.raises(ValueError):
+            flow_key_of(frags[1])
+
+    def test_first_fragment_still_yields_ports(self):
+        seg = TcpSegment(src_port=40000, dst_port=443, payload=b"x" * 200)
+        pkt = build_tcp_packet("10.0.0.1", "10.0.0.9", seg, dont_fragment=False)
+        first = fragment(pkt, 68)[0]
+        key = flow_key_of(first)
+        assert key.src_port == 40000 and key.dst_port == 443

@@ -1,0 +1,193 @@
+"""Unit and property tests for the IPv4 packet model and fragmentation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    IPv4Packet,
+    MalformedPacketError,
+    TruncatedPacketError,
+    bytes_to_ip,
+    fragment,
+    internet_checksum,
+    ip_to_bytes,
+)
+
+
+def make_packet(**kw):
+    defaults = dict(src="10.0.0.1", dst="192.168.1.2", payload=b"hello world")
+    defaults.update(kw)
+    return IPv4Packet(**defaults)
+
+
+class TestAddressConversion:
+    def test_round_trip(self):
+        for addr in ("0.0.0.0", "255.255.255.255", "10.1.2.3"):
+            assert bytes_to_ip(ip_to_bytes(addr)) == addr
+
+    def test_rejects_garbage(self):
+        for bad in ("10.0.0", "10.0.0.0.0", "a.b.c.d", ""):
+            with pytest.raises(MalformedPacketError):
+                ip_to_bytes(bad)
+
+    def test_rejects_wrong_length_bytes(self):
+        with pytest.raises(MalformedPacketError):
+            bytes_to_ip(b"\x01\x02\x03")
+
+
+class TestSerializeParse:
+    def test_round_trip_plain(self):
+        pkt = make_packet(ttl=17, identification=0xBEEF, tos=0x10)
+        parsed = IPv4Packet.parse(pkt.serialize())
+        assert parsed == pkt
+
+    def test_round_trip_fragment_fields(self):
+        pkt = make_packet(more_fragments=True, fragment_offset=64)
+        parsed = IPv4Packet.parse(pkt.serialize())
+        assert parsed.more_fragments and parsed.fragment_offset == 64
+
+    def test_round_trip_df(self):
+        parsed = IPv4Packet.parse(make_packet(dont_fragment=True).serialize())
+        assert parsed.dont_fragment and not parsed.more_fragments
+
+    def test_header_checksum_is_valid(self):
+        raw = make_packet().serialize()
+        assert internet_checksum(raw[:20]) == 0
+
+    def test_options_round_trip(self):
+        pkt = make_packet(options=b"\x01\x01\x01\x00")
+        parsed = IPv4Packet.parse(pkt.serialize())
+        assert parsed.options == b"\x01\x01\x01\x00"
+        assert parsed.header_length == 24
+
+    def test_strict_parse_rejects_corrupted_header(self):
+        raw = bytearray(make_packet().serialize())
+        raw[8] ^= 0xFF  # flip TTL without fixing the checksum
+        IPv4Packet.parse(bytes(raw))  # lenient parse accepts
+        from repro.packet import ChecksumError
+
+        with pytest.raises(ChecksumError):
+            IPv4Packet.parse(bytes(raw), strict=True)
+
+    def test_parse_accepts_trailing_padding(self):
+        pkt = make_packet()
+        parsed = IPv4Packet.parse(pkt.serialize() + b"\x00" * 6)
+        assert parsed.payload == pkt.payload
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(TruncatedPacketError):
+            IPv4Packet.parse(b"\x45\x00")
+
+    def test_truncated_payload_raises(self):
+        raw = make_packet(payload=b"x" * 100).serialize()
+        with pytest.raises(TruncatedPacketError):
+            IPv4Packet.parse(raw[:50])
+
+    def test_rejects_ipv6_version(self):
+        raw = bytearray(make_packet().serialize())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(MalformedPacketError):
+            IPv4Packet.parse(bytes(raw))
+
+
+class TestValidation:
+    def test_rejects_unaligned_fragment_offset(self):
+        with pytest.raises(MalformedPacketError):
+            make_packet(fragment_offset=3)
+
+    def test_rejects_huge_fragment_offset(self):
+        with pytest.raises(MalformedPacketError):
+            make_packet(fragment_offset=0x10000)
+
+    def test_rejects_unpadded_options(self):
+        with pytest.raises(MalformedPacketError):
+            make_packet(options=b"\x01")
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(MalformedPacketError):
+            make_packet(ttl=300)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(MalformedPacketError):
+            make_packet(payload=b"x" * 65536).serialize()
+
+
+class TestFragmentation:
+    def test_packet_below_mtu_is_untouched(self):
+        pkt = make_packet(payload=b"x" * 100)
+        frags = fragment(pkt, 1500)
+        assert frags == [pkt]
+
+    def test_fragments_cover_payload_exactly(self):
+        pkt = make_packet(payload=bytes(range(256)) * 10)
+        frags = fragment(pkt, 500)
+        assert all(f.total_length <= 500 for f in frags)
+        reassembled = bytearray(len(pkt.payload))
+        for f in frags:
+            reassembled[f.fragment_offset : f.fragment_offset + len(f.payload)] = f.payload
+        assert bytes(reassembled) == pkt.payload
+
+    def test_mf_bits(self):
+        frags = fragment(make_packet(payload=b"x" * 3000), 1500)
+        assert all(f.more_fragments for f in frags[:-1])
+        assert not frags[-1].more_fragments
+
+    def test_nonfinal_fragments_are_8_byte_aligned(self):
+        frags = fragment(make_packet(payload=b"x" * 3000), 777)
+        for f in frags[:-1]:
+            assert len(f.payload) % 8 == 0
+
+    def test_refragmenting_a_fragment_preserves_mf(self):
+        middle = make_packet(payload=b"x" * 1000, more_fragments=True, fragment_offset=512)
+        frags = fragment(middle, 300)
+        assert all(f.more_fragments for f in frags)
+        assert frags[0].fragment_offset == 512
+
+    def test_df_refuses(self):
+        with pytest.raises(MalformedPacketError):
+            fragment(make_packet(payload=b"x" * 3000, dont_fragment=True), 1500)
+
+    def test_tiny_mtu_refuses(self):
+        with pytest.raises(MalformedPacketError):
+            fragment(make_packet(payload=b"x" * 3000), 24)
+
+    def test_fragment_key_groups_by_id(self):
+        a = make_packet(identification=7)
+        b = make_packet(identification=7, protocol=IP_PROTO_UDP)
+        assert a.fragment_key != b.fragment_key
+        assert a.fragment_key == make_packet(identification=7).fragment_key
+
+
+octet = st.integers(min_value=0, max_value=255)
+ip_addr = st.builds(lambda a, b, c, d: f"{a}.{b}.{c}.{d}", octet, octet, octet, octet)
+
+
+@given(
+    src=ip_addr,
+    dst=ip_addr,
+    payload=st.binary(max_size=2000),
+    ttl=st.integers(min_value=0, max_value=255),
+    ident=st.integers(min_value=0, max_value=0xFFFF),
+    proto=st.sampled_from([IP_PROTO_TCP, IP_PROTO_UDP, 47]),
+)
+def test_serialize_parse_round_trip(src, dst, payload, ttl, ident, proto):
+    pkt = IPv4Packet(
+        src=src, dst=dst, protocol=proto, payload=payload, ttl=ttl, identification=ident
+    )
+    assert IPv4Packet.parse(pkt.serialize()) == pkt
+
+
+@given(payload=st.binary(min_size=1, max_size=5000), mtu=st.integers(min_value=48, max_value=1500))
+def test_fragmentation_always_reassembles(payload, mtu):
+    pkt = IPv4Packet(src="1.2.3.4", dst="5.6.7.8", payload=payload)
+    frags = fragment(pkt, mtu)
+    rebuilt = bytearray(len(payload))
+    seen_end = 0
+    for f in frags:
+        rebuilt[f.fragment_offset : f.fragment_offset + len(f.payload)] = f.payload
+        seen_end = max(seen_end, f.fragment_offset + len(f.payload))
+    assert bytes(rebuilt) == payload
+    assert seen_end == len(payload)

@@ -1,0 +1,173 @@
+"""Unit and property tests for the TCP segment model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_SYN,
+    MalformedPacketError,
+    TcpSegment,
+    TruncatedPacketError,
+    flags_to_str,
+    internet_checksum,
+    ip_to_bytes,
+    mss_option_bytes,
+    pseudo_header,
+    seq_add,
+    seq_diff,
+)
+
+
+def make_segment(**kw):
+    defaults = dict(src_port=12345, dst_port=80, seq=1000, ack=2000, payload=b"GET /")
+    defaults.update(kw)
+    return TcpSegment(**defaults)
+
+
+class TestSequenceArithmetic:
+    def test_add_wraps(self):
+        assert seq_add(2**32 - 1, 2) == 1
+
+    def test_diff_simple(self):
+        assert seq_diff(105, 100) == 5
+        assert seq_diff(100, 105) == -5
+
+    def test_diff_across_wrap(self):
+        assert seq_diff(5, 2**32 - 5) == 10
+        assert seq_diff(2**32 - 5, 5) == -10
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=-1000, max_value=1000))
+    def test_diff_inverts_add(self, seq, delta):
+        assert seq_diff(seq_add(seq, delta), seq) == delta
+
+
+class TestFlags:
+    def test_flags_to_str(self):
+        assert flags_to_str(TCP_SYN | TCP_ACK) == "SA"
+        assert flags_to_str(0) == "."
+
+    def test_flag_properties(self):
+        seg = make_segment(flags=TCP_SYN | TCP_FIN | TCP_ACK)
+        assert seg.syn and seg.fin and seg.ack_set and not seg.rst
+
+    def test_seq_len_counts_syn_fin(self):
+        assert make_segment(flags=TCP_SYN, payload=b"").seq_len == 1
+        assert make_segment(flags=TCP_FIN | TCP_ACK, payload=b"ab").seq_len == 3
+        assert make_segment(payload=b"abc").seq_len == 3
+
+    def test_end_seq(self):
+        seg = make_segment(seq=2**32 - 1, payload=b"ab")
+        assert seg.end_seq == 1
+
+
+class TestSerializeParse:
+    def test_round_trip(self):
+        seg = make_segment(window=4096, urgent=7, flags=TCP_ACK | TCP_FIN)
+        assert TcpSegment.parse(seg.serialize()) == seg
+
+    def test_round_trip_with_checksum(self):
+        seg = make_segment()
+        raw = seg.serialize("10.0.0.1", "10.0.0.2")
+        parsed = TcpSegment.parse(raw, src_ip="10.0.0.1", dst_ip="10.0.0.2", strict=True)
+        assert parsed == seg
+
+    def test_checksum_verifies_against_pseudo_header(self):
+        raw = make_segment().serialize("10.0.0.1", "10.0.0.2")
+        ph = pseudo_header(ip_to_bytes("10.0.0.1"), ip_to_bytes("10.0.0.2"), 6, len(raw))
+        assert internet_checksum(ph + raw) == 0
+
+    def test_strict_parse_rejects_corruption(self):
+        raw = bytearray(make_segment().serialize("10.0.0.1", "10.0.0.2"))
+        raw[-1] ^= 0xFF
+        from repro.packet import ChecksumError
+
+        with pytest.raises(ChecksumError):
+            TcpSegment.parse(bytes(raw), src_ip="10.0.0.1", dst_ip="10.0.0.2", strict=True)
+
+    def test_truncated_raises(self):
+        with pytest.raises(TruncatedPacketError):
+            TcpSegment.parse(b"\x00" * 10)
+
+    def test_bad_data_offset_raises(self):
+        raw = bytearray(make_segment().serialize())
+        raw[12] = 2 << 4  # offset 8 bytes < 20
+        with pytest.raises(MalformedPacketError):
+            TcpSegment.parse(bytes(raw))
+
+    def test_seq_normalized_mod_2_32(self):
+        assert TcpSegment(src_port=1, dst_port=2, seq=2**32 + 5).seq == 5
+
+
+class TestOptions:
+    def test_mss_round_trip(self):
+        seg = make_segment(options=mss_option_bytes(1460), flags=TCP_SYN)
+        parsed = TcpSegment.parse(seg.serialize())
+        assert parsed.mss_option() == 1460
+
+    def test_no_mss_returns_none(self):
+        assert make_segment().mss_option() is None
+
+    def test_nop_padding_is_skipped(self):
+        seg = make_segment(options=b"\x01\x01" + mss_option_bytes(536) + b"\x01\x01")
+        assert seg.mss_option() == 536
+
+    def test_eol_terminates(self):
+        seg = make_segment(options=b"\x00\x00\x00\x00")
+        assert seg.parsed_options() == []
+
+    def test_malformed_length_raises(self):
+        seg = make_segment(options=b"\x02\x01\x00\x00")  # MSS with length 1
+        with pytest.raises(MalformedPacketError):
+            seg.parsed_options()
+
+    def test_truncated_option_raises(self):
+        seg = make_segment(options=b"\x01\x01\x01\x02")  # length byte missing
+        with pytest.raises(MalformedPacketError):
+            seg.parsed_options()
+
+    def test_unpadded_options_rejected_at_construction(self):
+        with pytest.raises(MalformedPacketError):
+            make_segment(options=b"\x01\x01\x01")
+
+
+class TestValidation:
+    def test_port_range(self):
+        with pytest.raises(MalformedPacketError):
+            make_segment(src_port=70000)
+
+    def test_window_range(self):
+        with pytest.raises(MalformedPacketError):
+            make_segment(window=-1)
+
+
+@given(
+    src_port=st.integers(min_value=0, max_value=0xFFFF),
+    dst_port=st.integers(min_value=0, max_value=0xFFFF),
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    ack=st.integers(min_value=0, max_value=2**32 - 1),
+    flags=st.integers(min_value=0, max_value=0x3F),
+    window=st.integers(min_value=0, max_value=0xFFFF),
+    payload=st.binary(max_size=1460),
+)
+def test_serialize_parse_round_trip(src_port, dst_port, seq, ack, flags, window, payload):
+    seg = TcpSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        payload=payload,
+    )
+    assert TcpSegment.parse(seg.serialize()) == seg
+
+
+@given(payload=st.binary(max_size=512))
+def test_checksummed_serialization_always_verifies(payload):
+    seg = make_segment(payload=payload)
+    raw = seg.serialize("172.16.0.1", "172.16.0.2")
+    ph = pseudo_header(ip_to_bytes("172.16.0.1"), ip_to_bytes("172.16.0.2"), 6, len(raw))
+    assert internet_checksum(ph + raw) == 0

@@ -1,0 +1,111 @@
+"""Tests for the UDP datagram model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    IPv4Packet,
+    MalformedPacketError,
+    TruncatedPacketError,
+    UdpDatagram,
+    build_udp_packet,
+    decode_udp,
+    flow_key_of,
+    fragment,
+    internet_checksum,
+    ip_to_bytes,
+    pseudo_header,
+)
+
+
+def make_datagram(**kw):
+    defaults = dict(src_port=5353, dst_port=53, payload=b"\x07version\x04bind\x00")
+    defaults.update(kw)
+    return UdpDatagram(**defaults)
+
+
+class TestSerializeParse:
+    def test_round_trip(self):
+        dgram = make_datagram()
+        assert UdpDatagram.parse(dgram.serialize()) == dgram
+
+    def test_round_trip_with_checksum(self):
+        dgram = make_datagram()
+        raw = dgram.serialize("10.0.0.1", "10.0.0.2")
+        parsed = UdpDatagram.parse(raw, src_ip="10.0.0.1", dst_ip="10.0.0.2", strict=True)
+        assert parsed == dgram
+
+    def test_checksum_verifies(self):
+        raw = make_datagram().serialize("10.0.0.1", "10.0.0.2")
+        ph = pseudo_header(ip_to_bytes("10.0.0.1"), ip_to_bytes("10.0.0.2"), 17, len(raw))
+        assert internet_checksum(ph + raw) == 0
+
+    def test_strict_rejects_corruption(self):
+        from repro.packet import ChecksumError
+
+        raw = bytearray(make_datagram().serialize("10.0.0.1", "10.0.0.2"))
+        raw[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            UdpDatagram.parse(bytes(raw), src_ip="10.0.0.1", dst_ip="10.0.0.2", strict=True)
+
+    def test_zero_checksum_means_unchecked(self):
+        raw = make_datagram().serialize()  # no IPs -> checksum field zero
+        parsed = UdpDatagram.parse(raw, src_ip="10.0.0.1", dst_ip="10.0.0.2", strict=True)
+        assert parsed.dst_port == 53
+
+    def test_length_field(self):
+        assert make_datagram(payload=b"abc").length == 11
+
+    def test_truncated_raises(self):
+        with pytest.raises(TruncatedPacketError):
+            UdpDatagram.parse(b"\x00\x01\x02")
+
+    def test_bad_length_field_raises(self):
+        raw = bytearray(make_datagram().serialize())
+        raw[4:6] = (4).to_bytes(2, "big")
+        with pytest.raises(MalformedPacketError):
+            UdpDatagram.parse(bytes(raw))
+
+    def test_port_validation(self):
+        with pytest.raises(MalformedPacketError):
+            UdpDatagram(src_port=-1, dst_port=53)
+
+
+class TestIpIntegration:
+    def test_build_and_decode(self):
+        pkt = build_udp_packet("10.0.0.1", "10.0.0.9", make_datagram())
+        wire = IPv4Packet.parse(pkt.serialize())
+        assert decode_udp(wire, strict=True) == make_datagram()
+
+    def test_flow_key(self):
+        pkt = build_udp_packet("10.0.0.1", "10.0.0.9", make_datagram())
+        key = flow_key_of(pkt)
+        assert (key.src_port, key.dst_port, key.protocol) == (5353, 53, 17)
+
+    def test_decode_rejects_fragment(self):
+        pkt = build_udp_packet("10.0.0.1", "10.0.0.9", make_datagram(payload=b"z" * 600))
+        frags = fragment(pkt, 256)
+        with pytest.raises(ValueError):
+            decode_udp(frags[0])
+
+    def test_fragmented_udp_defragments(self):
+        from repro.streams import IpDefragmenter
+
+        pkt = build_udp_packet("10.0.0.1", "10.0.0.9", make_datagram(payload=b"z" * 600))
+        d = IpDefragmenter()
+        result = None
+        for frag in fragment(pkt, 256):
+            result = d.add(frag)
+        assert result.packet is not None
+        assert decode_udp(result.packet).payload == b"z" * 600
+
+
+@given(
+    src_port=st.integers(min_value=0, max_value=0xFFFF),
+    dst_port=st.integers(min_value=0, max_value=0xFFFF),
+    payload=st.binary(max_size=1400),
+)
+def test_round_trip_property(src_port, dst_port, payload):
+    dgram = UdpDatagram(src_port=src_port, dst_port=dst_port, payload=payload)
+    assert UdpDatagram.parse(dgram.serialize()) == dgram

@@ -1,0 +1,130 @@
+"""Tests for the active normalizer, including its defining invariant:
+behind it, victims of every overlap policy read identical streams."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from test_end_to_end_detection import SIGNATURE, adversarial_delivery
+from repro.evasion import Seg, Victim, build_attack, plan_to_packets
+from repro.packet import decode_tcp, flow_key_of
+from repro.streams import ActiveNormalizer, OverlapPolicy, ShadowStream
+
+
+class TestShadowStream:
+    def test_first_copy_wins(self):
+        shadow = ShadowStream()
+        assert shadow.pin(0, b"REAL") == b"REAL"
+        assert shadow.pin(0, b"FAKE") == b"REAL"
+
+    def test_partial_overlap(self):
+        shadow = ShadowStream()
+        shadow.pin(4, b"WXYZ")
+        assert shadow.pin(2, b"abcd") == b"abWX"
+        assert shadow.pin(6, b"qqqq") == b"YZqq"
+
+    def test_disjoint_regions(self):
+        shadow = ShadowStream()
+        assert shadow.pin(10, b"bb") == b"bb"
+        assert shadow.pin(0, b"aa") == b"aa"
+        assert shadow.stored_bytes == 4
+
+    def test_negative_offsets(self):
+        shadow = ShadowStream()
+        assert shadow.pin(-5, b"head") == b"head"
+        assert shadow.pin(-5, b"HEAD") == b"head"
+
+    def test_coalescing(self):
+        shadow = ShadowStream()
+        shadow.pin(0, b"ab")
+        shadow.pin(2, b"cd")
+        shadow.pin(4, b"ef")
+        assert shadow.stored_bytes == 6
+        assert shadow.pin(0, b"xxxxxx") == b"abcdef"
+
+    def test_empty_pin(self):
+        assert ShadowStream().pin(0, b"") == b""
+
+
+class TestActiveNormalizer:
+    def run(self, packets, **kw):
+        normalizer = ActiveNormalizer(**kw)
+        out = []
+        for packet in packets:
+            out.extend(normalizer.process(packet))
+        return normalizer, out
+
+    def test_clean_traffic_passes_unmodified(self):
+        packets = build_attack("mss_segments", b"plain web content " * 50)
+        normalizer, out = self.run(packets)
+        assert [p.ip for p in out] == [p.ip for p in packets]
+        assert normalizer.bytes_rewritten == 0
+
+    def test_inconsistent_retransmission_rewritten(self):
+        segs = [
+            Seg(offset=0, data=b"REAL-DATA-HERE!!"),
+            Seg(offset=0, data=b"fake-data-here??"),
+            Seg(offset=16, data=b"tail", fin=True),
+        ]
+        normalizer, out = self.run(plan_to_packets(segs))
+        payloads = [decode_tcp(p.ip).payload for p in out if not p.ip.is_fragment]
+        data = [p for p in payloads if p]
+        assert data[0] == data[1] == b"REAL-DATA-HERE!!"
+        assert normalizer.bytes_rewritten > 0
+
+    def test_low_ttl_chaff_dropped(self):
+        segs = [
+            Seg(offset=0, data=b"." * 20, ttl=2),
+            Seg(offset=0, data=b"real-data-real-data!"),
+        ]
+        normalizer, out = self.run(plan_to_packets(segs))
+        payloads = [decode_tcp(p.ip).payload for p in out if decode_tcp(p.ip).payload]
+        assert payloads == [b"real-data-real-data!"]
+        assert normalizer.packets_dropped == 1
+
+    def test_fragments_reassembled_before_forwarding(self):
+        packets = build_attack("ip_frag_8", b"x" * 40 + SIGNATURE + b"y" * 40)
+        _, out = self.run(packets)
+        assert all(not p.ip.is_fragment for p in out)
+        victim = Victim(policy=OverlapPolicy.LAST)
+        victim.deliver_all(out)
+        assert victim.received(SIGNATURE)
+
+    def test_state_grows_with_stream(self):
+        normalizer, _ = self.run(build_attack("mss_segments", b"z" * 5000))
+        # The classic defense holds a full shadow copy of the stream.
+        assert normalizer.state_bytes() >= 5000
+
+    def test_forwarded_packets_are_wire_valid(self):
+        from repro.packet import IPv4Packet
+
+        segs = [
+            Seg(offset=0, data=b"REAL-DATA-HERE!!"),
+            Seg(offset=0, data=b"fake-data-here??"),
+        ]
+        _, out = self.run(plan_to_packets(segs))
+        for packet in out:
+            reparsed = IPv4Packet.parse(packet.ip.serialize())
+            assert reparsed == packet.ip
+
+
+@given(case=adversarial_delivery())
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_all_policies_agree_behind_the_normalizer(case):
+    """The normalizer's defining invariant, adversarially tested."""
+    packets, _hops = case
+    normalizer = ActiveNormalizer()
+    forwarded = []
+    for packet in packets:
+        forwarded.extend(normalizer.process(packet))
+    streams = set()
+    for policy in OverlapPolicy:
+        victim = Victim(policy=policy)
+        victim.deliver_all(forwarded)
+        flow_streams = tuple(sorted(victim.streams().values()))
+        streams.add(flow_streams)
+    assert len(streams) == 1, "policies disagreed behind the normalizer"

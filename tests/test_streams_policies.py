@@ -1,0 +1,56 @@
+"""Tests for target-based overlap resolution policies."""
+
+import pytest
+
+from repro.streams import OverlapPolicy, ambiguous_policies, resolve_overlap
+
+
+class TestResolveOverlap:
+    def test_first_always_keeps_old(self):
+        assert not resolve_overlap(OverlapPolicy.FIRST, 0, 10, 5, 15)
+        assert not resolve_overlap(OverlapPolicy.FIRST, 5, 15, 0, 10)
+
+    def test_last_always_takes_new(self):
+        assert resolve_overlap(OverlapPolicy.LAST, 0, 10, 5, 15)
+        assert resolve_overlap(OverlapPolicy.LAST, 5, 15, 0, 10)
+
+    def test_bsd_new_wins_only_when_starting_earlier(self):
+        assert resolve_overlap(OverlapPolicy.BSD, 5, 15, 0, 10)
+        assert not resolve_overlap(OverlapPolicy.BSD, 0, 10, 5, 15)
+        assert not resolve_overlap(OverlapPolicy.BSD, 0, 10, 0, 10)
+
+    def test_linux_always_keeps_old_in_contested_region(self):
+        assert not resolve_overlap(OverlapPolicy.LINUX, 5, 15, 0, 10)
+
+    def test_windows_requires_full_engulfment(self):
+        assert resolve_overlap(OverlapPolicy.WINDOWS, 5, 10, 0, 15)
+        assert not resolve_overlap(OverlapPolicy.WINDOWS, 5, 10, 0, 10)
+        assert not resolve_overlap(OverlapPolicy.WINDOWS, 5, 10, 5, 15)
+
+    def test_solaris_new_wins_when_reaching_old_end(self):
+        assert resolve_overlap(OverlapPolicy.SOLARIS, 0, 10, 5, 10)
+        assert resolve_overlap(OverlapPolicy.SOLARIS, 0, 10, 5, 15)
+        assert not resolve_overlap(OverlapPolicy.SOLARIS, 0, 10, 2, 8)
+
+    def test_rejects_disjoint_ranges(self):
+        with pytest.raises(ValueError):
+            resolve_overlap(OverlapPolicy.BSD, 0, 5, 5, 10)
+
+
+class TestAmbiguity:
+    def test_every_overlap_is_ambiguous_across_the_full_policy_set(self):
+        # FIRST and LAST always disagree, so any overlap is exploitable
+        # when the protected hosts' policies are unknown.
+        assert ambiguous_policies(0, 10, 5, 15)
+        assert ambiguous_policies(5, 10, 0, 15)
+        assert ambiguous_policies(0, 10, 0, 10)
+
+    def test_policies_split_on_classic_ptacek_newsham_shape(self):
+        # New segment engulfs old: BSD/WINDOWS/LAST/SOLARIS take new,
+        # FIRST/LINUX keep old -- the disagreement evasions rely on.
+        winners = {
+            p: resolve_overlap(p, 5, 10, 0, 15) for p in OverlapPolicy
+        }
+        assert winners[OverlapPolicy.LAST] and winners[OverlapPolicy.BSD]
+        assert winners[OverlapPolicy.WINDOWS] and winners[OverlapPolicy.SOLARIS]
+        assert not winners[OverlapPolicy.FIRST] and not winners[OverlapPolicy.LINUX]

@@ -1,0 +1,173 @@
+"""Executable proof of the detection theorem, including tightness.
+
+These tests are the reproduction of the paper's central formal claim:
+"under certain assumptions this scheme can detect all byte-string
+evasions".  Soundness is checked by adversarial search and random
+sampling; necessity of each assumption is demonstrated by constructing
+counterexamples when the assumption is dropped.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signatures import Piece, Signature, SplitPolicy, SplitSignature, split_signature
+from repro.theory import (
+    boundaries_of_sizes,
+    detection_holds,
+    find_evading_boundaries,
+    intact_pieces,
+    max_boundaries_inside,
+    segmentation_respects_threshold,
+)
+
+
+def make_split(length, p=8):
+    pattern = bytes((i * 37 + 11) % 256 for i in range(length))
+    return split_signature(Signature(sid=1, pattern=pattern), SplitPolicy(piece_length=p))
+
+
+def two_piece_split(length, p):
+    """A deliberately unsound k=2 split, bypassing the k>=3 validation."""
+    sig = Signature(sid=2, pattern=bytes(range(256))[:length] * (length // 256 + 1))
+    sig = Signature(sid=2, pattern=sig.pattern[:length])
+    half = length // 2
+    pieces = (
+        Piece(signature=sig, index=0, offset=0, data=sig.pattern[:half]),
+        Piece(signature=sig, index=1, offset=half, data=sig.pattern[half:]),
+    )
+    split = SplitSignature.__new__(SplitSignature)
+    object.__setattr__(split, "signature", sig)
+    object.__setattr__(split, "pieces", pieces)
+    object.__setattr__(split, "piece_length", p)
+    return split
+
+
+class TestPrimitives:
+    def test_boundaries_of_sizes(self):
+        assert boundaries_of_sizes([3, 4, 5]) == [3, 7]
+        assert boundaries_of_sizes([10]) == []
+
+    def test_max_boundaries_inside(self):
+        assert max_boundaries_inside(2, 16) == 0
+        assert max_boundaries_inside(24, 16) == 2
+        assert max_boundaries_inside(100, 16) == 7
+
+    def test_intact_pieces(self):
+        split = make_split(24, p=8)  # pieces [0,8) [8,16) [16,24)
+        assert intact_pieces(split, boundaries=[], signature_start=0) == [0, 1, 2]
+        assert intact_pieces(split, boundaries=[4], signature_start=0) == [1, 2]
+        assert intact_pieces(split, boundaries=[8], signature_start=0) == [0, 1, 2]
+        assert intact_pieces(split, boundaries=[104], signature_start=100) == [1, 2]
+
+    def test_threshold_predicate(self):
+        assert segmentation_respects_threshold([16, 20, 3], threshold=16)
+        assert not segmentation_respects_threshold([16, 3, 20], threshold=16)
+        assert not segmentation_respects_threshold([16, 20, 3], 16, final_exempt=False)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("length", [24, 25, 31, 32, 40, 64, 100, 200, 1460])
+    @pytest.mark.parametrize("p", [4, 8, 12])
+    def test_no_evading_boundaries_exist(self, length, p):
+        if length < 3 * p:
+            pytest.skip("below minimum splittable length for this p")
+        split = make_split(length, p)
+        assert find_evading_boundaries(split) is None
+
+    def test_adversarial_search_respects_gap(self):
+        # With a tiny gap requirement (no small-packet rule) evasion is easy.
+        split = make_split(24, p=8)
+        cuts = find_evading_boundaries(split, min_gap=1)
+        assert cuts is not None
+        assert intact_pieces(split, cuts) == []
+
+    @given(
+        length=st.integers(min_value=24, max_value=400),
+        p=st.sampled_from([4, 6, 8, 10, 12]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=300)
+    def test_random_compliant_segmentations_always_detected(self, length, p, seed):
+        if length < 3 * p:
+            return
+        split = make_split(length, p)
+        threshold = split.small_packet_threshold
+        rng = random.Random(seed)
+        # Random placement of the signature in a larger stream, random
+        # compliant packet sizes (final packet exempt from the threshold).
+        prefix = rng.randrange(0, 200)
+        suffix = rng.randrange(0, 200)
+        total = prefix + length + suffix
+        sizes = []
+        remaining = total
+        while remaining > 0:
+            size = rng.randrange(threshold, 3 * threshold)
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+        # The last packet may be small; that is allowed.
+        assert segmentation_respects_threshold(sizes, threshold)
+        assert detection_holds(split, sizes, signature_start=prefix)
+
+
+class TestTightness:
+    """Dropping any assumption admits a counterexample."""
+
+    def test_k2_is_evadable(self):
+        # Two pieces can both be cut when the signature is long enough.
+        split = two_piece_split(40, p=8)
+        cuts = find_evading_boundaries(split, min_gap=16)
+        assert cuts is not None
+        assert intact_pieces(split, cuts) == []
+        # And the cuts correspond to a real threshold-compliant delivery:
+        # packets [0..c1), [c1..c2), [c2..end) padded by large outer packets.
+        c1, c2 = cuts
+        sizes = [c1 + 100, c2 - c1, 100]
+        assert sizes[1] >= 16
+        assert not detection_holds(split, sizes, signature_start=100)
+
+    def test_small_packets_evade_k3(self):
+        # Without the small-packet rule, 1-byte segments cut everything.
+        split = make_split(24, p=8)
+        sizes = [1] * 24
+        assert not detection_holds(split, sizes, signature_start=0)
+        assert not segmentation_respects_threshold(sizes, split.small_packet_threshold)
+
+    def test_threshold_cannot_be_weakened_to_p(self):
+        # B = p (instead of 2p) admits evasion for some splits.
+        split = make_split(32, p=8)  # k=4, pieces of 8
+        cuts = find_evading_boundaries(split, min_gap=8)
+        assert cuts is not None
+
+    def test_theorem_bound_is_attained(self):
+        # b = floor((L-2)/B) + 1 boundaries genuinely fit inside.
+        length, p = 100, 8
+        bound = max_boundaries_inside(length, 2 * p)
+        cuts = [1 + i * 2 * p for i in range(bound)]
+        assert all(0 < c < length for c in cuts)
+        assert all(b - a >= 2 * p for a, b in zip(cuts, cuts[1:]))
+
+
+class TestEndToEndCounting:
+    @given(
+        length=st.integers(min_value=24, max_value=300),
+        p=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=100)
+    def test_intact_count_meets_theorem_lower_bound(self, length, p):
+        if length < 3 * p:
+            return
+        split = make_split(length, p)
+        b = max_boundaries_inside(length, split.small_packet_threshold)
+        cuts = find_evading_boundaries(split)
+        assert cuts is None
+        # Even the adversary's best effort leaves >= k - b pieces intact;
+        # verify with the greedy adversary capped at the theorem's b.
+        greedy = [1 + i * split.small_packet_threshold for i in range(b)]
+        greedy = [c for c in greedy if c < length - 1]
+        survivors = intact_pieces(split, greedy)
+        assert len(survivors) >= split.k - b
+        assert survivors  # and at least one survives

@@ -1,0 +1,191 @@
+"""Tests for the synthetic traffic generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evasion import Victim, build_attack
+from repro.packet import IP_PROTO_TCP, decode_tcp, flow_key_of
+from repro.streams import OverlapPolicy
+from repro.traffic import (
+    TrafficProfile,
+    benign_payload,
+    generate_flow,
+    generate_trace,
+    inject_attacks,
+    merge_streams,
+)
+
+
+class TestPayloads:
+    def test_benign_payload_respects_size(self):
+        rng = random.Random(1)
+        for size in (10, 100, 1000, 20000):
+            assert len(benign_payload(rng, size)) == size
+
+    def test_deterministic_in_seed(self):
+        a = benign_payload(random.Random(42), 500)
+        b = benign_payload(random.Random(42), 500)
+        assert a == b
+
+    def test_payload_mixture_varies(self):
+        rng = random.Random(3)
+        kinds = {benign_payload(rng, 300)[:4] for _ in range(30)}
+        assert len(kinds) > 2  # several application protocols appear
+
+
+class TestFlowGeneration:
+    def flow(self, **profile_kw):
+        profile = TrafficProfile(**profile_kw)
+        return generate_flow(
+            random.Random(5),
+            profile,
+            start_time=10.0,
+            client="10.1.1.1",
+            server="192.168.1.1",
+            client_port=2000,
+        )
+
+    def test_flow_is_wire_valid_and_reassembles(self):
+        flow = self.flow(reorder_rate=0, retransmit_rate=0, fragment_rate=0, tiny_rate=0)
+        victim = Victim(policy=OverlapPolicy.FIRST)
+        victim.deliver_all(flow.packets)
+        key = flow_key_of(flow.packets[0].ip)
+        assert len(victim.stream(key)) == flow.payload_bytes
+
+    def test_flow_survives_perturbation(self):
+        flow = self.flow(reorder_rate=0.3, retransmit_rate=0.2, fragment_rate=0.1)
+        victim = Victim(policy=OverlapPolicy.FIRST)
+        victim.deliver_all(flow.packets)
+        key = None
+        for packet in flow.packets:
+            if not packet.ip.is_fragment or packet.ip.fragment_offset == 0:
+                key = flow_key_of(packet.ip)
+                break
+        assert len(victim.stream(key)) == flow.payload_bytes
+
+    def test_interactive_flows_use_tiny_segments(self):
+        profile = TrafficProfile(tiny_rate=1.0)
+        flow = generate_flow(
+            random.Random(5), profile, start_time=0.0,
+            client="10.1.1.1", server="192.168.1.1", client_port=2000,
+        )
+        assert flow.interactive
+        sizes = [
+            len(decode_tcp(p.ip).payload)
+            for p in flow.packets
+            if not p.ip.is_fragment and p.ip.protocol == IP_PROTO_TCP
+        ]
+        data_sizes = [s for s in sizes if s]
+        assert data_sizes and max(data_sizes) < 8
+
+
+class TestTraceGeneration:
+    def test_trace_is_time_ordered(self):
+        trace = generate_trace(TrafficProfile(flows=20), seed=2)
+        times = [p.timestamp for p in trace]
+        assert times == sorted(times)
+
+    def test_trace_deterministic(self):
+        a = generate_trace(TrafficProfile(flows=10), seed=9)
+        b = generate_trace(TrafficProfile(flows=10), seed=9)
+        assert [p.ip for p in a] == [p.ip for p in b]
+
+    def test_flow_count_matches_profile(self):
+        trace = generate_trace(TrafficProfile(flows=15, fragment_rate=0, udp_fraction=0), seed=3)
+        flows = {
+            flow_key_of(p.ip).canonical()
+            for p in trace
+            if p.ip.protocol == IP_PROTO_TCP and not p.ip.is_fragment
+        }
+        assert len(flows) == 15
+
+    def test_heavy_tail_flow_sizes(self):
+        profile = TrafficProfile(flows=200, fragment_rate=0, reorder_rate=0, retransmit_rate=0, udp_fraction=0)
+        trace = generate_trace(profile, seed=11)
+        per_flow: dict = {}
+        for packet in trace:
+            if packet.ip.is_fragment:
+                continue
+            seg = decode_tcp(packet.ip)
+            key = flow_key_of(packet.ip).canonical()
+            per_flow[key] = per_flow.get(key, 0) + len(seg.payload)
+        sizes = sorted(per_flow.values())
+        # Heavy tail: the biggest flow dwarfs the median.
+        assert sizes[-1] > 5 * sizes[len(sizes) // 2]
+
+    def test_packet_size_mixture(self):
+        trace = generate_trace(TrafficProfile(flows=50, fragment_rate=0, udp_fraction=0), seed=4)
+        sizes = [len(decode_tcp(p.ip).payload) for p in trace if not p.ip.is_fragment]
+        assert any(s >= 1400 for s in sizes)
+        assert any(0 < s <= 600 for s in sizes)
+
+
+class TestUdpTraffic:
+    def test_udp_fraction_generates_udp_packets(self):
+        from repro.packet import IP_PROTO_UDP
+
+        trace = generate_trace(TrafficProfile(flows=60, udp_fraction=0.5), seed=8)
+        protocols = {p.ip.protocol for p in trace}
+        assert IP_PROTO_UDP in protocols
+        # UDP exchanges are a few packets while TCP flows are dozens, so
+        # compare flow counts, not packet counts.
+        udp_flows = {
+            (p.ip.src, p.ip.payload[:2])
+            for p in trace
+            if p.ip.protocol == IP_PROTO_UDP
+        }
+        assert 10 < len(udp_flows) <= 60
+
+    def test_udp_datagrams_are_wire_valid(self):
+        from repro.packet import IP_PROTO_UDP, decode_udp
+
+        trace = generate_trace(TrafficProfile(flows=40, udp_fraction=1.0), seed=8)
+        for packet in trace:
+            assert packet.ip.protocol == IP_PROTO_UDP
+            dgram = decode_udp(packet.ip, strict=True)
+            assert dgram.payload
+
+    def test_udp_disabled(self):
+        from repro.packet import IP_PROTO_UDP
+
+        trace = generate_trace(TrafficProfile(flows=40, udp_fraction=0), seed=8)
+        assert all(p.ip.protocol != IP_PROTO_UDP for p in trace)
+
+
+class TestInjection:
+    def test_attacks_interleaved_in_order(self):
+        trace = generate_trace(TrafficProfile(flows=10), seed=5)
+        attack = build_attack("tcp_seg_8", b"SIG" * 100, src="10.200.0.1")
+        merged = inject_attacks(trace, [attack])
+        times = [p.timestamp for p in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(trace) + len(attack)
+
+    def test_attack_packets_preserved(self):
+        trace = generate_trace(TrafficProfile(flows=5), seed=5)
+        attack = build_attack("plain", b"payload" * 50, src="10.200.0.1")
+        merged = inject_attacks(trace, [attack])
+        attack_sources = [p for p in merged if p.ip.src == "10.200.0.1"]
+        assert len(attack_sources) == len(attack)
+
+    def test_empty_trace(self):
+        attack = build_attack("plain", b"payload" * 50)
+        merged = inject_attacks([], [attack])
+        assert len(merged) == len(attack)
+
+    def test_merge_streams_stable(self):
+        a = generate_trace(TrafficProfile(flows=3), seed=1)
+        assert merge_streams([a]) == a
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None)
+def test_any_seed_generates_reassemblable_traffic(seed):
+    profile = TrafficProfile(flows=4, reorder_rate=0.1, retransmit_rate=0.05, fragment_rate=0.05)
+    trace = generate_trace(profile, seed=seed)
+    victim = Victim(policy=OverlapPolicy.FIRST)
+    victim.deliver_all(trace)  # must never raise
+    assert trace

@@ -62,7 +62,7 @@ def main() -> None:
 
         verdicts = []
         for engine in (NaivePacketIPS(ruleset()), ConventionalIPS(ruleset()), SplitDetectIPS(ruleset())):
-            alerts = [a for p in packets for a in engine.process(p)]
+            alerts = engine.process_batch(packets)
             verdicts.append(detected(alerts))
         naive, conventional, split = verdicts
         print(

@@ -50,7 +50,7 @@ def main() -> None:
     rules = RuleSet()
     rules.add(Signature(sid=1, pattern=REAL, msg="evil shell string"))
     ips = SplitDetectIPS(rules)
-    alerts = [a for p in packets for a in ips.process(p)]
+    alerts = ips.process_batch(packets)
     print("Split-Detect verdict on the same packets:")
     for alert in alerts:
         print(f"  {alert}")

@@ -30,13 +30,20 @@ def _load_ruleset(path: str | None):
     return load_rules(path) if path else load_bundled_rules()
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     rules = _load_ruleset(args.rules)
     trace = list(read_trace(args.pcap))
     print(f"loaded {len(trace)} packets, {len(rules)} signatures")
     if args.engine == "split":
         ips = SplitDetectIPS(rules, split_policy=SplitPolicy(piece_length=args.piece_length))
-        report = run_split_detect(ips, trace)
+        report = run_split_detect(ips, trace, batch_size=args.batch_size)
         print(f"diverted flows: {report.diverted_flows}  "
               f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
         for reason, count in sorted(report.divert_reasons.items()):
@@ -47,8 +54,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         ips = NaivePacketIPS(rules)
         alerts = []
-        for packet in trace:
-            alerts.extend(ips.process(packet))
+        for start in range(0, len(trace), args.batch_size):
+            alerts.extend(ips.process_batch(trace[start : start + args.batch_size]))
         print(f"alerts: {len(alerts)}")
         for alert in alerts[: args.max_alerts]:
             print(f"  {alert}")
@@ -157,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=("split", "conventional", "naive"), default="split")
     run.add_argument("--piece-length", type=int, default=8)
     run.add_argument("--max-alerts", type=int, default=20)
+    run.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=256,
+        help="packets per process_batch call (amortizes the fast-path scan)",
+    )
     run.set_defaults(func=cmd_run)
 
     gen = sub.add_parser("generate", help="synthesize a trace to pcap")

@@ -124,6 +124,18 @@ class ConventionalIPS:
             timestamp=timestamp,
         )
 
+    def process_batch(self, packets: list[TimedPacket]) -> list[Alert]:
+        """Batch driver for the conventional pipeline.
+
+        Reassembly is order-dependent per flow, so this is a plain
+        sequential sweep -- it exists so every engine exposes the same
+        batched intake surface as :class:`SplitDetectIPS.process_batch`.
+        """
+        alerts: list[Alert] = []
+        for packet in packets:
+            alerts.extend(self.process(packet))
+        return alerts
+
     def evict_idle(self, now: float) -> int:
         """Expire idle flows and their matcher state."""
         evicted = self.normalizer.evict_idle(now)
@@ -178,5 +190,47 @@ class NaivePacketIPS:
                     timestamp=packet.timestamp,
                     path="fast",
                 )
+            )
+        return alerts
+
+    def process_batch(self, packets: list[TimedPacket]) -> list[Alert]:
+        """Batched per-packet matching: one automaton sweep for the whole
+        batch (each payload is stateless, so the sweep is exact)."""
+        scannable: list[tuple[TimedPacket, FlowKey, bytes]] = []
+        for packet in packets:
+            self.packets_processed += 1
+            ip = packet.ip
+            if ip.is_fragment or self._matcher.empty:
+                continue
+            try:
+                if ip.protocol == IP_PROTO_TCP:
+                    payload = decode_tcp(ip).payload
+                elif ip.protocol == IP_PROTO_UDP:
+                    payload = decode_udp(ip).payload
+                else:
+                    continue
+            except Exception:
+                continue
+            if not payload:
+                continue
+            self.bytes_scanned += len(payload)
+            scannable.append((packet, flow_key_of(ip), payload))
+        alerts: list[Alert] = []
+        hit_lists = self._matcher.match_buffer_many(
+            [payload for _, _, payload in scannable],
+            [flow for _, flow, _ in scannable],
+        )
+        for (packet, flow, _), hits in zip(scannable, hit_lists):
+            alerts.extend(
+                Alert(
+                    kind=AlertKind.SIGNATURE,
+                    flow=flow,
+                    sid=hit.signature.sid,
+                    msg=hit.signature.msg,
+                    stream_offset=hit.end_offset,
+                    timestamp=packet.timestamp,
+                    path="fast",
+                )
+                for hit in hits
             )
         return alerts

@@ -17,7 +17,15 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from ..packet import IP_PROTO_TCP, IP_PROTO_UDP, FlowKey, TimedPacket, flow_key_of
+from ..packet import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    FlowKey,
+    TimedPacket,
+    decode_tcp,
+    decode_udp,
+    flow_key_of,
+)
 from ..signatures import ByteFrequencyModel, RuleSet, SplitPolicy, split_ruleset
 from ..streams import OverlapPolicy
 from .alerts import Alert, AlertKind, Diversion, DivertReason
@@ -125,7 +133,11 @@ class SplitDetectIPS:
 
     # -- packet intake ------------------------------------------------------
 
-    def process(self, packet: TimedPacket) -> list[Alert]:
+    def process(
+        self,
+        packet: TimedPacket,
+        _prescanned: list[tuple[int, int]] | None = None,
+    ) -> list[Alert]:
         """Route one packet through the fast or slow path; returns alerts."""
         self.stats.packets_total += 1
         ip = packet.ip
@@ -167,7 +179,7 @@ class SplitDetectIPS:
             return self._to_slow(packet, flow)
         self.stats.fast_packets += 1
         before = self.fast_path.bytes_scanned
-        result = self.fast_path.process(packet)
+        result = self.fast_path.process(packet, _prescanned)
         self.stats.fast_bytes_scanned += self.fast_path.bytes_scanned - before
         alerts = list(result.alerts)
         self.stats.alerts += len(alerts)
@@ -186,6 +198,58 @@ class SplitDetectIPS:
             self.fast_path.forget_flow(flow)
             alerts.extend(self._to_slow(packet, flow))
         return alerts
+
+    def process_batch(self, packets: list[TimedPacket]) -> list[Alert]:
+        """Route a batch of packets; returns all alerts in packet order.
+
+        Packet-for-packet identical to calling :meth:`process` in order.
+        The batch exists because the fast path's piece scan is stateless
+        per packet: every payload that would reach it is scanned up front
+        in one :meth:`~repro.match.DualAutomaton.scan_many` sweep, and
+        the per-packet routing then consumes the precomputed matches.
+        A flow that diverts mid-batch merely wastes its remaining
+        prescans; one reinstated mid-batch falls back to inline scans.
+        """
+        packets = list(packets)
+        prescanned: list[list[tuple[int, int]] | None] | None = None
+        if self.fast_path.automaton is not None and len(packets) > 1:
+            payloads: list[bytes] = []
+            slots: list[int] = []
+            for index, packet in enumerate(packets):
+                payload = self._scan_candidate(packet)
+                if payload:
+                    payloads.append(payload)
+                    slots.append(index)
+            if payloads:
+                prescanned = [None] * len(packets)
+                for slot, hits in zip(slots, self.fast_path.prescan(payloads)):
+                    prescanned[slot] = hits
+        alerts: list[Alert] = []
+        if prescanned is None:
+            for packet in packets:
+                alerts.extend(self.process(packet))
+        else:
+            for packet, hits in zip(packets, prescanned):
+                alerts.extend(self.process(packet, hits))
+        return alerts
+
+    def _scan_candidate(self, packet: TimedPacket) -> bytes | None:
+        """The payload the fast path would scan for this packet, if any."""
+        ip = packet.ip
+        if ip.protocol not in (IP_PROTO_TCP, IP_PROTO_UDP) or ip.is_fragment:
+            return None
+        try:
+            flow = flow_key_of(ip)
+        except ValueError:
+            return None
+        if flow.canonical() in self._diverted:
+            return None
+        try:
+            if ip.protocol == IP_PROTO_TCP:
+                return decode_tcp(ip).payload or None
+            return decode_udp(ip).payload or None
+        except Exception:
+            return None
 
     def _hint_all(self, direction: FlowKey, expected: int) -> None:
         self.slow_path.hint_stream_start(direction, expected)
@@ -280,9 +344,22 @@ class SplitDetectIPS:
         self.reinstated_flows += 1
 
     def evict_idle(self, now: float) -> None:
-        """Expire idle state everywhere (long-run housekeeping)."""
+        """Expire idle state everywhere (long-run housekeeping).
+
+        Besides the slow-path reassembly state this must prune every
+        engine-side per-flow record -- ``_diverted``, ``_probation``,
+        ``_refused`` -- and the fast path's monitor entries, all of which
+        otherwise grow without bound across long runs as flows die
+        without a clean close."""
         self.slow_path.evict_idle(now)
         for path in self.ensemble_paths:
             path.evict_idle(now)
-        live = self.slow_path.normalizer.live_flows()
-        self._diverted &= live
+        self.fast_path.evict_idle(now, self.slow_path.normalizer.idle_timeout)
+        slow_live = self.slow_path.normalizer.live_flows()
+        self._diverted &= slow_live
+        for canonical in [k for k in self._probation if k not in slow_live]:
+            del self._probation[canonical]
+        # A refused (fail-open) flow lives on the fast path; it is dead
+        # once neither path tracks it, and forgetting it re-arms the
+        # once-per-flow RESOURCE alert for any future five-tuple reuse.
+        self._refused &= slow_live | self.fast_path.live_flows()

@@ -85,11 +85,17 @@ def _flow_key_bytes(flow: FlowKey) -> bytes:
     ).encode()
 
 
+#: How long a monitor entry may sit idle before :meth:`FastPath.evict_idle`
+#: reclaims it (matches the slow path's normalizer default).
+FASTPATH_IDLE_TIMEOUT = 300.0
+
+
 @dataclass
 class _FlowState:
     """What the fast path remembers about one flow direction."""
 
     expected_seq: int | None = None
+    last_seen: float = 0.0
 
 
 @dataclass
@@ -176,8 +182,16 @@ class FastPath:
 
     # -- packet intake ------------------------------------------------------
 
-    def process(self, packet: TimedPacket) -> FastPathResult:
-        """Classify one packet: pass silently, alert, and/or divert its flow."""
+    def process(
+        self,
+        packet: TimedPacket,
+        prescanned: list[tuple[int, int]] | None = None,
+    ) -> FastPathResult:
+        """Classify one packet: pass silently, alert, and/or divert its flow.
+
+        ``prescanned`` carries this packet's payload matches from a prior
+        :meth:`prescan` sweep (batched intake); ``None`` means scan here.
+        """
         self.packets_processed += 1
         result = FastPathResult()
         ip = packet.ip
@@ -194,7 +208,13 @@ class FastPath:
             except Exception:
                 return result
             if datagram.payload and self.automaton is not None:
-                self._scan(flow_key_of(ip), datagram.payload, packet.timestamp, result)
+                self._scan(
+                    flow_key_of(ip),
+                    datagram.payload,
+                    packet.timestamp,
+                    result,
+                    prescanned,
+                )
             return result
         try:
             segment = decode_tcp(ip)
@@ -204,10 +224,19 @@ class FastPath:
         if self.config.min_ttl and segment.payload and ip.ttl < self.config.min_ttl:
             result.divert = DivertReason.TTL_FLOOR
             result.detail = f"ttl={ip.ttl} < floor={self.config.min_ttl}"
-        self._monitor(flow, segment, result)
+        self._monitor(flow, segment, packet.timestamp, result)
         if segment.payload and self.automaton is not None:
-            self._scan(flow, segment.payload, packet.timestamp, result)
-        if segment.rst or segment.fin:
+            self._scan(flow, segment.payload, packet.timestamp, result, prescanned)
+        if segment.rst:
+            # A reset tears down the whole connection: retire the monitor
+            # entries for *both* directions, or the reverse one lives on
+            # forever in the unbounded-table configuration.
+            self._flows.pop(flow, None)
+            self._flows.pop(flow.reversed(), None)
+        elif segment.fin:
+            # A FIN only half-closes: the sender is done sending, so only
+            # the sender's direction entry is retired; the reverse
+            # direction keeps its monitor until its own FIN or RST.
             self._flows.pop(flow, None)
         return result
 
@@ -234,16 +263,58 @@ class FastPath:
         """Flush the monitor table (idle sweep hook for long runs)."""
         self._flows.clear()
 
+    def evict_idle(
+        self, now: float, idle_timeout: float = FASTPATH_IDLE_TIMEOUT
+    ) -> int:
+        """Reclaim monitor entries idle past the timeout; returns the count.
+
+        Dead flows that never said goodbye (no FIN/RST seen, half-open
+        scans, one-sided traffic) otherwise pin entries forever in the
+        unbounded-dict configuration."""
+        stale = [
+            flow
+            for flow, state in self._flows.items()
+            if now - state.last_seen > idle_timeout
+        ]
+        for flow in stale:
+            self._flows.pop(flow, None)
+        return len(stale)
+
+    def live_flows(self) -> set[FlowKey]:
+        """Canonical keys of flows currently holding monitor entries."""
+        return {flow.canonical() for flow, _ in self._flows.items()}
+
+    def prescan(self, payloads: list[bytes]) -> list[list[tuple[int, int]]]:
+        """Batch-scan raw payloads ahead of per-packet intake.
+
+        The piece scan is stateless per packet, so a caller holding a
+        batch can run one :meth:`~repro.match.DualAutomaton.scan_many`
+        sweep and feed each packet's matches back via ``process``'s
+        ``prescanned`` argument."""
+        if self.automaton is None:
+            return [[] for _ in payloads]
+        return self.automaton.scan_many(payloads)
+
     # -- internals --------------------------------------------------------
 
     def _monitor(
-        self, flow: FlowKey, segment: TcpSegment, result: FastPathResult
+        self,
+        flow: FlowKey,
+        segment: TcpSegment,
+        timestamp: float,
+        result: FastPathResult,
     ) -> None:
         """Sequence-progression and segment-size anomaly checks."""
         state = self._flows.get(flow)
         if state is None:
+            if not segment.syn and not segment.payload:
+                # A pure ACK carries no stream evidence worth monitoring;
+                # creating an entry for it would let the final ACK of a
+                # FIN handshake resurrect an already-closed direction.
+                return
             state = _FlowState()
             self._flows[flow] = state
+        state.last_seen = timestamp
         result.flow_expected_seq = state.expected_seq
         if segment.syn:
             state.expected_seq = segment.end_seq
@@ -277,10 +348,16 @@ class FastPath:
         payload: bytes,
         timestamp: float,
         result: FastPathResult,
+        hits: list[tuple[int, int]] | None = None,
     ) -> None:
-        """One automaton pass over the payload; state resets per packet."""
+        """One automaton pass over the payload; state resets per packet.
+
+        ``hits`` short-circuits the pass with matches a batched
+        :meth:`prescan` already produced for this payload."""
         self.bytes_scanned += len(payload)
-        for entry_id, _end in self.automaton.find_all(payload):
+        if hits is None:
+            hits = self.automaton.find_all(payload)
+        for entry_id, _end in hits:
             entry = self._entries[entry_id]
             if isinstance(entry, Piece):
                 if not entry.signature.applies_to_flow(flow):

@@ -121,3 +121,18 @@ class SignatureMatcher:
             return []
         hits = sorted(self.automaton.find_all(payload), key=lambda h: h[1])
         return self._complete(hits, flow, {}, {})
+
+    def match_buffer_many(
+        self,
+        payloads: list[bytes],
+        flows: list[FlowKey | None],
+    ) -> list[list[SignatureHit]]:
+        """Batched :meth:`match_buffer`: one automaton sweep over all
+        payloads, then per-buffer completion; one result list each."""
+        if self.automaton is None:
+            return [[] for _ in payloads]
+        results: list[list[SignatureHit]] = []
+        for raw_hits, flow in zip(self.automaton.scan_many(payloads), flows):
+            hits = sorted(raw_hits, key=lambda h: h[1])
+            results.append(self._complete(hits, flow, {}, {}))
+        return results

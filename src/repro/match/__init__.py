@@ -1,11 +1,12 @@
 """String-matching engines: Aho-Corasick, Boyer-Moore-Horspool, naive."""
 
-from .aho_corasick import ROOT_STATE, AhoCorasick
+from .aho_corasick import DENSE_STATE_LIMIT, ROOT_STATE, AhoCorasick
 from .dual import DualAutomaton, DualStreamMatcher
 from .single import BoyerMooreHorspool, naive_find_all
 from .streaming import StreamMatch, StreamMatcher
 
 __all__ = [
+    "DENSE_STATE_LIMIT",
     "ROOT_STATE",
     "AhoCorasick",
     "BoyerMooreHorspool",

@@ -9,14 +9,46 @@ The automaton is built once from a list of byte patterns and is immutable
 afterwards; scanning never allocates per byte.  ``scan`` returns match
 tuples ``(pattern_id, end_offset)`` where ``end_offset`` is the offset
 just past the last matched byte within the scanned buffer.
+
+Two execution engines share one construction:
+
+- The **reference** engine walks the per-state goto dicts with explicit
+  failure links (``scan_reference``).  It is kept as the correctness
+  oracle and as the sparse fallback for very large pattern sets.
+- The **compiled** engine (built automatically when the state count is at
+  most ``dense_state_limit``) flattens goto+fail into a dense
+  ``num_states x 256`` next-state table (``array('i')``), then lifts that
+  table into linked row objects so the hot loop is two list subscripts
+  per byte with no integer boxing.  A first-byte prefilter (a one-char
+  regex class over the root's out-edges, i.e. every pattern's first byte)
+  lets payloads containing no pattern-start byte skip the state machine
+  entirely at C speed; when the start-byte set is small the scanner stays
+  in that C-speed search between root visits (anchored mode).
+
+Both engines visit the same state ids and report identical match tuples,
+so streaming state can be carried across either.
 """
 
 from __future__ import annotations
 
+import re
+from array import array
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 ROOT_STATE = 0
+
+#: Default ceiling on dense compilation.  The compiled form costs
+#: ~1 KiB (table) + ~2 KiB (linked rows, 64-bit pointers) per state, so
+#: the default caps the footprint around 50 MB; above it the automaton
+#: transparently falls back to the sparse dict representation.
+DENSE_STATE_LIMIT = 16384
+
+#: Use the anchored (skip-to-next-start-byte) scan loop only when the
+#: pattern set has at most this many distinct first bytes.  Larger start
+#: sets are dense in real payloads, where repeated regex re-anchoring
+#: costs more than stepping the table byte by byte.
+ANCHORED_MAX_START_BYTES = 8
 
 
 class AhoCorasick:
@@ -28,9 +60,19 @@ class AhoCorasick:
         The byte strings to search for.  Pattern ids are their indices.
         Empty patterns are rejected; duplicate patterns share matches
         (each id is reported).
+    dense_state_limit:
+        Compile to the dense table form when the automaton has at most
+        this many states (0 or None disables compilation, leaving the
+        sparse reference engine -- the correctness oracle benchmarks and
+        differential tests compare against).
     """
 
-    def __init__(self, patterns: Sequence[bytes]) -> None:
+    def __init__(
+        self,
+        patterns: Sequence[bytes],
+        *,
+        dense_state_limit: int | None = DENSE_STATE_LIMIT,
+    ) -> None:
         self.patterns: tuple[bytes, ...] = tuple(bytes(p) for p in patterns)
         for i, pattern in enumerate(self.patterns):
             if not pattern:
@@ -53,6 +95,15 @@ class AhoCorasick:
             self._output[state] = self._output[state] + (pattern_id,)
         self._build_failure_links()
         self._depth = self._compute_depths()
+        # Compiled (dense) form; absent above the state-count threshold.
+        self._table: array | None = None
+        self._rows: list[list] | None = None
+        self._root_row: list | None = None
+        self._start_bytes: bytes = bytes(sorted(self._goto[ROOT_STATE]))
+        self._start_re: re.Pattern[bytes] | None = None
+        self._anchored = False
+        if dense_state_limit and len(self._goto) <= dense_state_limit:
+            self._compile()
 
     def _build_failure_links(self) -> None:
         queue: deque[int] = deque()
@@ -81,12 +132,74 @@ class AhoCorasick:
                 queue.append(nxt)
         return depth
 
+    def _compile(self) -> None:
+        """Flatten goto+fail into the dense DFA table and linked rows.
+
+        ``table[state << 8 | byte]`` is the resolved next state -- the
+        exact state the reference engine's failure walk would land on, so
+        the two engines are interchangeable mid-stream.
+        """
+        goto = self._goto
+        fail = self._fail
+        n = len(goto)
+        table = array("i", [0]) * (n << 8)
+        for byte, nxt in goto[ROOT_STATE].items():
+            table[byte] = nxt
+        # BFS so a state's failure row is always resolved before its own.
+        order: list[int] = []
+        queue: deque[int] = deque(goto[ROOT_STATE].values())
+        while queue:
+            state = queue.popleft()
+            order.append(state)
+            queue.extend(goto[state].values())
+        for state in order:
+            base = state << 8
+            fail_base = fail[state] << 8
+            edges = goto[state]
+            for byte in range(256):
+                nxt = edges.get(byte)
+                table[base + byte] = nxt if nxt is not None else table[fail_base + byte]
+        # Linked rows: row[byte] is the *next row object*, so the scan
+        # loop never touches an integer state id (no boxing, no shifts).
+        # row[256] is the output tuple, row[257] the state id.
+        rows: list[list] = [[None] * 258 for _ in range(n)]
+        for state in range(n):
+            row = rows[state]
+            base = state << 8
+            for byte in range(256):
+                row[byte] = rows[table[base + byte]]
+            row[256] = self._output[state]
+            row[257] = state
+        self._table = table
+        self._rows = rows
+        self._root_row = rows[ROOT_STATE]
+        if self._start_bytes:
+            self._start_re = re.compile(b"[" + re.escape(self._start_bytes) + b"]")
+        self._anchored = 0 < len(self._start_bytes) <= ANCHORED_MAX_START_BYTES
+
     # -- public API ---------------------------------------------------------
 
     @property
     def state_count(self) -> int:
         """Number of automaton states (trie nodes)."""
         return len(self._goto)
+
+    @property
+    def compiled(self) -> bool:
+        """True when the dense table engine is active."""
+        return self._rows is not None
+
+    @property
+    def start_bytes(self) -> bytes:
+        """Sorted distinct first bytes across all patterns (prefilter set)."""
+        return self._start_bytes
+
+    def compiled_table_bytes(self) -> int:
+        """Approximate memory the compiled form spends beyond the trie:
+        the dense next-state array plus the linked-row pointer lattice."""
+        if self._table is None or self._rows is None:
+            return 0
+        return self._table.itemsize * len(self._table) + len(self._rows) * 258 * 8
 
     def state_depth(self, state: int) -> int:
         """Longest pattern prefix the state represents (streaming carryover)."""
@@ -100,6 +213,70 @@ class AhoCorasick:
         Returns ``(final_state, matches)``; feed the final state back in to
         continue matching across buffer boundaries (streaming mode), or
         discard it for per-packet matching.
+        """
+        rows = self._rows
+        if rows is None:
+            return self.scan_reference(data, state)
+        matches: list[tuple[int, int]] = []
+        base = 0
+        if state == ROOT_STATE:
+            # Prefilter: bytes outside the start set cannot leave the
+            # root, so a payload with none of them needs no scan at all.
+            if self._start_re is None:
+                return ROOT_STATE, matches
+            anchor = self._start_re.search(data)
+            if anchor is None:
+                return ROOT_STATE, matches
+            if self._anchored:
+                return self._scan_anchored(data, anchor.start(), self._root_row, matches)
+            base = anchor.start()
+            if base:
+                data = data[base:]
+        elif self._anchored:
+            return self._scan_anchored(data, 0, rows[state], matches)
+        row = rows[state]
+        for offset, byte in enumerate(data, base):
+            row = row[byte]
+            out = row[256]
+            if out:
+                end = offset + 1
+                matches.extend((pid, end) for pid in out)
+        return row[257], matches
+
+    def _scan_anchored(
+        self,
+        data: bytes,
+        index: int,
+        row: list,
+        matches: list[tuple[int, int]],
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Skip-scan: between root visits, jump straight to the next
+        start byte with one C-speed regex search instead of stepping the
+        table through match-free filler."""
+        root = self._root_row
+        search = self._start_re.search  # type: ignore[union-attr]
+        length = len(data)
+        while index < length:
+            if row is root:
+                anchor = search(data, index)
+                if anchor is None:
+                    return ROOT_STATE, matches
+                index = anchor.start()
+            row = row[data[index]]
+            index += 1
+            out = row[256]
+            if out:
+                matches.extend((pid, index) for pid in out)
+        return row[257], matches
+
+    def scan_reference(
+        self, data: bytes, state: int = ROOT_STATE
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """The sparse dict-walking scan -- the correctness oracle.
+
+        Byte-identical output to :meth:`scan`, including the final state
+        id, but without the dense table (used above ``dense_state_limit``
+        and by the differential tests and benchmarks).
         """
         goto = self._goto
         fail = self._fail
@@ -118,17 +295,48 @@ class AhoCorasick:
 
     def contains_match(self, data: bytes) -> bool:
         """True when any pattern occurs in ``data`` (early exit)."""
-        goto = self._goto
-        fail = self._fail
-        output = self._output
-        state = ROOT_STATE
-        for byte in data:
-            nxt = goto[state].get(byte)
-            while nxt is None and state != ROOT_STATE:
-                state = fail[state]
+        rows = self._rows
+        if rows is None:
+            goto = self._goto
+            fail = self._fail
+            output = self._output
+            state = ROOT_STATE
+            for byte in data:
                 nxt = goto[state].get(byte)
-            state = nxt if nxt is not None else ROOT_STATE
-            if output[state]:
+                while nxt is None and state != ROOT_STATE:
+                    state = fail[state]
+                    nxt = goto[state].get(byte)
+                state = nxt if nxt is not None else ROOT_STATE
+                if output[state]:
+                    return True
+            return False
+        if self._start_re is None:
+            return False
+        anchor = self._start_re.search(data)
+        if anchor is None:
+            return False
+        if self._anchored:
+            root = self._root_row
+            search = self._start_re.search
+            index = anchor.start()
+            length = len(data)
+            row = root
+            while index < length:
+                if row is root:
+                    found = search(data, index)
+                    if found is None:
+                        return False
+                    index = found.start()
+                row = row[data[index]]
+                index += 1
+                if row[256]:
+                    return True
+            return False
+        row = self._root_row
+        start = anchor.start()
+        for byte in data[start:] if start else data:
+            row = row[byte]
+            if row[256]:
                 return True
         return False
 
@@ -136,3 +344,45 @@ class AhoCorasick:
         """All matches in a self-contained buffer as (pattern_id, end_offset)."""
         _, matches = self.scan(data)
         return matches
+
+    def scan_many(
+        self, payloads: Sequence[bytes]
+    ) -> list[list[tuple[int, int]]]:
+        """Batched :meth:`find_all`: one independent root-anchored scan
+        per payload (state resets between payloads).
+
+        The batched form hoists the prefilter and table locals out of the
+        per-payload dispatch, so payloads that contain no pattern-start
+        byte cost one C-speed regex search and nothing else.  This is the
+        entry point the fast path uses to scan a whole batch of packets.
+        """
+        rows = self._rows
+        if rows is None:
+            scan_reference = self.scan_reference
+            return [scan_reference(payload)[1] for payload in payloads]
+        results: list[list[tuple[int, int]]] = []
+        start_re = self._start_re
+        if start_re is None:
+            return [[] for _ in payloads]
+        search = start_re.search
+        anchored = self._anchored
+        scan_anchored = self._scan_anchored
+        root = self._root_row
+        for data in payloads:
+            matches: list[tuple[int, int]] = []
+            results.append(matches)
+            anchor = search(data)
+            if anchor is None:
+                continue
+            if anchored:
+                scan_anchored(data, anchor.start(), root, matches)
+                continue
+            base = anchor.start()
+            row = root
+            for offset, byte in enumerate(data[base:] if base else data, base):
+                row = row[byte]
+                out = row[256]
+                if out:
+                    end = offset + 1
+                    matches.extend((pid, end) for pid in out)
+        return results

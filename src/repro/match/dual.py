@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from .aho_corasick import AhoCorasick
+from .aho_corasick import DENSE_STATE_LIMIT, AhoCorasick
 from .streaming import StreamMatch, StreamMatcher
 
 
@@ -27,7 +27,12 @@ class DualAutomaton:
     patterns are folded at construction.
     """
 
-    def __init__(self, patterns: Sequence[tuple[bytes, bool]]) -> None:
+    def __init__(
+        self,
+        patterns: Sequence[tuple[bytes, bool]],
+        *,
+        dense_state_limit: int | None = DENSE_STATE_LIMIT,
+    ) -> None:
         sensitive: list[bytes] = []
         self._sensitive_ids: list[int] = []
         folded: list[bytes] = []
@@ -39,8 +44,16 @@ class DualAutomaton:
             else:
                 sensitive.append(pattern)
                 self._sensitive_ids.append(index)
-        self.sensitive = AhoCorasick(sensitive) if sensitive else None
-        self.folded = AhoCorasick(folded) if folded else None
+        self.sensitive = (
+            AhoCorasick(sensitive, dense_state_limit=dense_state_limit)
+            if sensitive
+            else None
+        )
+        self.folded = (
+            AhoCorasick(folded, dense_state_limit=dense_state_limit)
+            if folded
+            else None
+        )
         self.pattern_count = len(patterns)
 
     @property
@@ -62,6 +75,24 @@ class DualAutomaton:
                 for pid, end in self.folded.find_all(data.lower())
             )
         return out
+
+    def scan_many(self, payloads: Sequence[bytes]) -> list[list[tuple[int, int]]]:
+        """Batched :meth:`find_all`: one result list per payload.
+
+        Match ordering within a payload is identical to ``find_all``
+        (case-sensitive hits first, then folded hits).
+        """
+        results: list[list[tuple[int, int]]] = [[] for _ in payloads]
+        if self.sensitive is not None:
+            sensitive_ids = self._sensitive_ids
+            for result, hits in zip(results, self.sensitive.scan_many(payloads)):
+                result.extend((sensitive_ids[pid], end) for pid, end in hits)
+        if self.folded is not None:
+            folded_ids = self._folded_ids
+            lowered = [payload.lower() for payload in payloads]
+            for result, hits in zip(results, self.folded.scan_many(lowered)):
+                result.extend((folded_ids[pid], end) for pid, end in hits)
+        return results
 
 
 class DualStreamMatcher:
@@ -106,3 +137,9 @@ class DualStreamMatcher:
             )
         self._offset += len(chunk)
         return out
+
+    def scan_many(self, chunks: Sequence[bytes]) -> list[list[StreamMatch]]:
+        """Batched :meth:`feed`: consume consecutive stream chunks,
+        carrying automaton state across them; one result list per chunk."""
+        feed = self.feed
+        return [feed(chunk) for chunk in chunks]

@@ -61,6 +61,21 @@ class StreamMatcher:
         self._offset += len(chunk)
         return [StreamMatch(pid, base + end) for pid, end in matches]
 
+    def scan_many(self, chunks: list[bytes]) -> list[list[StreamMatch]]:
+        """Batched :meth:`feed`: consume consecutive stream chunks in one
+        call, carrying state across them; one result list per chunk."""
+        scan = self.automaton.scan
+        state = self._state
+        base = self._offset
+        results: list[list[StreamMatch]] = []
+        for chunk in chunks:
+            state, matches = scan(chunk, state)
+            results.append([StreamMatch(pid, base + end) for pid, end in matches])
+            base += len(chunk)
+        self._state = state
+        self._offset = base
+        return results
+
     def reset(self) -> None:
         """Forget carried state (e.g. after a stream gap is declared lost)."""
         self._state = ROOT_STATE

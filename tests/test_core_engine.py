@@ -152,6 +152,98 @@ class TestDiversionPlumbing:
         assert ips.slow_path.state_bytes() > 0
 
 
+class TestHousekeepingRegression:
+    """evict_idle must prune *every* per-flow record, not just _diverted
+    (probation counters, fail-open refusals, and fast-path monitor
+    entries all used to leak on flows that died without a clean close)."""
+
+    def _stalled_diverted_flow(self, ips):
+        """Divert a benign flow via reordering, then abandon it mid-probation."""
+        from repro.evasion import even_segments, plan_to_packets
+
+        payload = b"benign filler content, nothing to see " * 60
+        packets = plan_to_packets(even_segments(payload, 500))
+        # SYN, then two data segments swapped; no FIN/RST ever arrives.
+        run_ips(ips, [packets[0], packets[2], packets[1], packets[3]])
+        assert ips.divert_reasons[DivertReason.OUT_OF_ORDER] == 1
+
+    def test_evict_idle_prunes_probation(self):
+        ips = fresh_split_detect()
+        self._stalled_diverted_flow(ips)
+        assert ips._probation
+        ips.evict_idle(now=1e9)
+        assert not ips._probation
+        assert ips.diverted_flow_count == 0
+
+    def test_evict_idle_prunes_refused(self):
+        ips = fresh_split_detect(slow_capacity_flows=0)
+        alerts = run_ips(ips, build_attack("plain", attack_payload())[:-1])
+        assert any(a.kind is AlertKind.RESOURCE for a in alerts)
+        assert ips._refused
+        ips.evict_idle(now=1e9)
+        assert not ips._refused
+
+    def test_evict_idle_reclaims_fastpath_monitor(self):
+        ips = fresh_split_detect()
+        payload = b"plain benign web traffic " * 40
+        packets = build_attack("plain", payload)
+        run_ips(ips, packets[:-1])  # no close
+        assert ips.fast_path.tracked_flows > 0
+        ips.evict_idle(now=1e9)
+        assert ips.fast_path.tracked_flows == 0
+
+
+class TestBatchProcessing:
+    """process_batch must be packet-for-packet identical to process."""
+
+    @staticmethod
+    def interleaved_trace():
+        import itertools
+
+        streams = [
+            build_attack("plain", b"ordinary web page content " * 100, src_port=51000),
+            build_attack("tcp_seg_8", attack_payload(), src_port=51001),
+            build_attack("plain", attack_payload(), src_port=51002),
+        ]
+        return [
+            packet
+            for group in itertools.zip_longest(*streams)
+            for packet in group
+            if packet is not None
+        ]
+
+    def test_split_detect_batch_equals_sequential(self):
+        packets = self.interleaved_trace()
+        sequential = fresh_split_detect()
+        seq_alerts = run_ips(sequential, packets)
+        batched = fresh_split_detect()
+        batch_alerts = []
+        for start in range(0, len(packets), 7):  # odd size: batches cut mid-flow
+            batch_alerts.extend(batched.process_batch(packets[start : start + 7]))
+        assert batch_alerts == seq_alerts
+        assert batched.stats == sequential.stats
+        assert batched.divert_reasons == sequential.divert_reasons
+        assert batched.diverted_flow_count == sequential.diverted_flow_count
+
+    def test_naive_batch_equals_sequential(self):
+        packets = build_attack("plain", attack_payload())
+        sequential = NaivePacketIPS(attack_ruleset())
+        seq_alerts = run_ips(sequential, packets)
+        batched = NaivePacketIPS(attack_ruleset())
+        batch_alerts = batched.process_batch(packets)
+        assert batch_alerts == seq_alerts
+        assert batched.packets_processed == sequential.packets_processed
+        assert batched.bytes_scanned == sequential.bytes_scanned
+
+    def test_conventional_batch_equals_sequential(self):
+        packets = self.interleaved_trace()
+        sequential = ConventionalIPS(attack_ruleset())
+        seq_alerts = run_ips(sequential, packets)
+        batched = ConventionalIPS(attack_ruleset())
+        batch_alerts = batched.process_batch(packets)
+        assert batch_alerts == seq_alerts
+
+
 class TestPartialSignatureRecovery:
     def test_attack_started_before_diversion_is_still_caught(self):
         """Prefix in-order, then tiny segments: the suffix matcher's case."""

@@ -5,7 +5,15 @@ import pytest
 from helpers import ATTACK_SIGNATURE, attack_ruleset
 from repro.core import FAST_FLOW_STATE_BYTES, DivertReason, FastPath, FastPathConfig
 from repro.evasion import build_attack, even_segments, plan_to_packets
-from repro.packet import TCP_ACK, TCP_RST, TcpSegment, TimedPacket, build_tcp_packet, fragment
+from repro.packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TcpSegment,
+    TimedPacket,
+    build_tcp_packet,
+    fragment,
+)
 from repro.signatures import SplitPolicy, split_ruleset
 
 
@@ -56,6 +64,79 @@ class TestCleanTraffic:
                 continue
             fp.process(packet)
         assert fp.state_bytes() == fp.tracked_flows * FAST_FLOW_STATE_BYTES
+
+
+def tcp_at(timestamp, src, dst, segment, **kw):
+    return TimedPacket(timestamp, build_tcp_packet(src, dst, segment, **kw))
+
+
+class TestStateLeakRegression:
+    """Monitor entries must never outlive their flow (leak regressions)."""
+
+    CLIENT = "10.9.9.9"
+    SERVER = "10.0.0.2"
+
+    def _client_seg(self, **kw):
+        return TcpSegment(src_port=44000, dst_port=80, **kw)
+
+    def _server_seg(self, **kw):
+        return TcpSegment(src_port=80, dst_port=44000, **kw)
+
+    def _bidirectional(self, fp):
+        """Data in both directions: one monitor entry per direction."""
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=1, flags=TCP_ACK, payload=b"c" * 600)))
+        fp.process(tcp_at(0.1, self.SERVER, self.CLIENT,
+                          self._server_seg(seq=1, flags=TCP_ACK, payload=b"s" * 600)))
+        assert fp.tracked_flows == 2
+
+    def test_rst_clears_both_directions(self):
+        fp = make_fastpath()
+        self._bidirectional(fp)
+        fp.process(tcp_at(0.2, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=601, flags=TCP_RST)))
+        assert fp.tracked_flows == 0
+
+    def test_fin_closes_only_the_sender_direction(self):
+        fp = make_fastpath()
+        self._bidirectional(fp)
+        fp.process(tcp_at(0.2, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=601, flags=TCP_FIN | TCP_ACK)))
+        # The server may still be sending; its monitor entry survives.
+        assert fp.tracked_flows == 1
+
+    def test_final_ack_does_not_resurrect_closed_flow(self):
+        fp = make_fastpath()
+        self._bidirectional(fp)
+        fp.process(tcp_at(0.2, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=601, flags=TCP_FIN | TCP_ACK)))
+        fp.process(tcp_at(0.3, self.SERVER, self.CLIENT,
+                          self._server_seg(seq=601, flags=TCP_FIN | TCP_ACK)))
+        assert fp.tracked_flows == 0
+        # The handshake's final pure ACK must not recreate an entry.
+        fp.process(tcp_at(0.4, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=602, flags=TCP_ACK)))
+        assert fp.tracked_flows == 0
+
+    def test_pure_ack_creates_no_state(self):
+        fp = make_fastpath()
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          self._client_seg(seq=1, flags=TCP_ACK)))
+        assert fp.tracked_flows == 0
+
+    def test_evict_idle_reclaims_only_stale_entries(self):
+        fp = make_fastpath()
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          TcpSegment(src_port=1001, dst_port=80, seq=1,
+                                     flags=TCP_ACK, payload=b"a" * 600)))
+        fp.process(tcp_at(200.0, self.CLIENT, self.SERVER,
+                          TcpSegment(src_port=1002, dst_port=80, seq=1,
+                                     flags=TCP_ACK, payload=b"b" * 600)))
+        assert fp.tracked_flows == 2
+        assert fp.evict_idle(now=350.0) == 1  # default timeout 300s
+        assert fp.tracked_flows == 1
+        (survivor,) = fp.live_flows()
+        assert 1002 in (survivor.src_port, survivor.dst_port)
 
 
 class TestAnomalyMonitor:

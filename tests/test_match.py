@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.match import (
     AhoCorasick,
     BoyerMooreHorspool,
+    DualAutomaton,
     StreamMatcher,
     naive_find_all,
 )
@@ -185,3 +186,100 @@ def test_every_reported_ac_match_is_real(pattern, data):
     ac = AhoCorasick([pattern])
     for _, end in ac.find_all(data):
         assert data[end - len(pattern) : end] == pattern
+
+
+class TestCompiledEngine:
+    """The dense-table engine against its sparse reference oracle."""
+
+    def test_compiled_by_default(self):
+        ac = AhoCorasick([b"abc"])
+        assert ac.compiled
+        assert ac.compiled_table_bytes() > 0
+
+    def test_sparse_reference_when_disabled(self):
+        ac = AhoCorasick([b"abc"], dense_state_limit=0)
+        assert not ac.compiled
+        assert ac.compiled_table_bytes() == 0
+        assert ac.find_all(b"xxabcxx") == [(0, 5)]
+
+    def test_sparse_fallback_above_state_limit(self):
+        # 4 states (root, a, ab, ac) exceed a limit of 3.
+        ac = AhoCorasick([b"ab", b"ac"], dense_state_limit=3)
+        assert not ac.compiled
+        assert set(ac.find_all(b"abac")) == {(0, 2), (1, 4)}
+
+    def test_start_bytes_are_pattern_first_bytes(self):
+        ac = AhoCorasick([b"zebra", b"apple", b"zoo"])
+        assert ac.start_bytes == b"az"
+
+    def test_prefilter_payload_without_start_byte(self):
+        ac = AhoCorasick([b"zq"])
+        assert ac.scan(b"a" * 4096) == (0, [])
+
+    def test_state_interchange_between_engines(self):
+        # A stream prefix scanned by one engine resumes on the other:
+        # both walk the identical state-id space.
+        ac = AhoCorasick([b"attack"])
+        state, _ = ac.scan_reference(b"...att")
+        final, matches = ac.scan(b"ack", state)
+        assert [pid for pid, _ in matches] == [0]
+        state, _ = ac.scan(b"...att")
+        final_ref, matches_ref = ac.scan_reference(b"ack", state)
+        assert (final_ref, [pid for pid, _ in matches_ref]) == (final, [0])
+
+    def test_scan_many_empty_inputs(self):
+        ac = AhoCorasick([b"sig"])
+        assert ac.scan_many([]) == []
+        assert ac.scan_many([b""]) == [[]]
+
+
+@given(patterns_strategy, st.binary(max_size=300))
+@settings(max_examples=150)
+def test_compiled_equals_reference(patterns, data):
+    compiled = AhoCorasick(patterns)
+    reference = AhoCorasick(patterns, dense_state_limit=0)
+    assert compiled.compiled and not reference.compiled
+    assert compiled.scan(data) == reference.scan(data)
+    assert compiled.scan(data) == compiled.scan_reference(data)
+    assert compiled.contains_match(data) == reference.contains_match(data)
+
+
+@given(patterns_strategy, st.lists(st.binary(max_size=40), min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_compiled_streaming_resume_equals_reference(patterns, chunks):
+    compiled = AhoCorasick(patterns)
+    reference = AhoCorasick(patterns, dense_state_limit=0)
+    state_c = state_r = 0
+    for chunk in chunks:
+        state_c, matches_c = compiled.scan(chunk, state_c)
+        state_r, matches_r = reference.scan(chunk, state_r)
+        assert (state_c, matches_c) == (state_r, matches_r)
+
+
+@given(patterns_strategy, st.lists(st.binary(max_size=60), max_size=6))
+@settings(max_examples=100)
+def test_scan_many_equals_per_payload(patterns, payloads):
+    compiled = AhoCorasick(patterns)
+    reference = AhoCorasick(patterns, dense_state_limit=0)
+    expected = [compiled.find_all(payload) for payload in payloads]
+    assert compiled.scan_many(payloads) == expected
+    assert reference.scan_many(payloads) == expected
+
+
+dual_patterns_strategy = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=6), st.booleans()),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(dual_patterns_strategy, st.binary(max_size=200))
+@settings(max_examples=100)
+def test_dual_compiled_equals_reference(patterns, data):
+    compiled = DualAutomaton(patterns)
+    reference = DualAutomaton(patterns, dense_state_limit=0)
+    assert compiled.find_all(data) == reference.find_all(data)
+    assert compiled.scan_many([data, b"", data]) == reference.scan_many(
+        [data, b"", data]
+    )
+    assert compiled.scan_many([data])[0] == compiled.find_all(data)

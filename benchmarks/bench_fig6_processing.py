@@ -22,10 +22,58 @@ from repro.core import ConventionalIPS, SplitDetectIPS
 from repro.metrics import (
     run_conventional,
     run_split_detect,
+    state_bytes_ratio,
     throughput_comparison,
 )
+from repro.telemetry import TelemetryRegistry
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def telemetry_section(rules, trace) -> dict:
+    """One instrumented (untimed) run, distilled for BENCH_processing.json:
+    per-stage latency totals and ns/byte, the anomaly-trigger breakdown,
+    and the live state-ratio gauge."""
+    tel = TelemetryRegistry()
+    ips = SplitDetectIPS(rules, telemetry=tel)
+    report = run_split_detect(ips, trace, sample_every=200)
+    stage_hist = tel.get("repro_engine_stage_latency_ns")
+    bytes_by_path = {
+        "fast": tel.get("repro_engine_bytes_total").value_for(path="fast"),
+        "slow": tel.get("repro_engine_bytes_total").value_for(path="slow"),
+    }
+    stage_bytes = {  # denominator each stage's work scales with
+        "decode": bytes_by_path["fast"] + bytes_by_path["slow"],
+        "fast_path": bytes_by_path["fast"],
+        "ac_prescan": bytes_by_path["fast"],
+        "slow_path": bytes_by_path["slow"],
+    }
+    stages = {}
+    for labels, child in stage_hist.samples():
+        stage = labels["stage"]
+        denominator = stage_bytes.get(stage, 0)
+        stages[stage] = {
+            "observations": child.count,
+            "total_ns": child.sum,
+            "ns_per_byte": round(child.sum / denominator, 3) if denominator else None,
+        }
+    anomalies = {
+        labels["cause"]: value
+        for labels, value in tel.get("repro_fastpath_anomaly_total").samples()
+        if value
+    }
+    return {
+        "stage_latency": stages,
+        "anomaly_triggers": anomalies,
+        "diversion_byte_fraction": round(
+            tel.get("repro_engine_diversion_byte_fraction").value, 6
+        ),
+        "state_bytes_ratio": round(state_bytes_ratio(report), 6),
+        "prefilter_skip_rate": round(
+            tel.get("repro_match_prefilter_skip_rate").value, 6
+        ),
+        "journal_events": tel.journal.recorded,
+    }
 
 
 def table_rows() -> list[str]:
@@ -103,6 +151,7 @@ def test_fig6_cost_model(benchmark, capfd):
             "batched_mbps": round(batched_mbps, 3),
             "batch_size": 256,
         },
+        "telemetry": telemetry_section(rules, trace),
     }
     (REPO_ROOT / "BENCH_processing.json").write_text(
         json.dumps(result, indent=2) + "\n", encoding="utf-8"

@@ -99,6 +99,12 @@ def test_fig9_compiled_vs_reference(capfd):
                 "compiled_mbps": round(compiled_mbps, 3),
                 "speedup": round(compiled_mbps / reference_mbps, 3),
                 "identical_output": True,
+                # Work accounting from the engines' own scan counters
+                # (covers the correctness probes plus every timing rep).
+                "scan_stats": {
+                    "compiled": compiled.scan_stats(),
+                    "reference": reference.scan_stats(),
+                },
             }
         )
     result = {

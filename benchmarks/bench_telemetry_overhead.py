@@ -1,0 +1,101 @@
+"""Telemetry overhead gate -- instrumentation must stay near-free.
+
+The whole design contract of ``repro.telemetry`` is "one guarded check
+per hot-path site when disabled, cheap bound-instrument updates when
+enabled".  This benchmark enforces it: the mixed trace is driven through
+``SplitDetectIPS.process_batch`` twice per round -- once with the no-op
+registry (the library default) and once fully instrumented -- and the
+best-of-N instrumented time must be within ``MAX_OVERHEAD`` of the
+best-of-N no-op time.
+
+CI runs this test in the perf smoke job; the measured ratio lands in
+``BENCH_telemetry.json`` at the repo root.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from exp_common import bundled_rules, emit, mixed_trace
+from repro.core import SplitDetectIPS
+from repro.telemetry import NULL_REGISTRY, TelemetryRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Instrumented wall-clock must stay within this factor of the no-op run.
+MAX_OVERHEAD = 1.15
+
+BATCH_SIZE = 256
+ROUNDS = 5
+
+
+def drive_once(rules, trace, telemetry) -> float:
+    """One full trace pass through process_batch; returns elapsed seconds."""
+    ips = SplitDetectIPS(rules, telemetry=telemetry)
+    start = time.perf_counter()
+    for index in range(0, len(trace), BATCH_SIZE):
+        ips.process_batch(trace[index : index + BATCH_SIZE])
+    return time.perf_counter() - start
+
+
+def test_telemetry_overhead_gate(capfd):
+    rules = bundled_rules()
+    trace = mixed_trace()
+    # Warm-up pass (automaton compilation, allocator, branch caches) so
+    # neither arm pays first-run costs.
+    drive_once(rules, trace, NULL_REGISTRY)
+    baseline = float("inf")
+    instrumented = float("inf")
+    # Interleave the arms so clock drift and background noise hit both.
+    for _ in range(ROUNDS):
+        baseline = min(baseline, drive_once(rules, trace, NULL_REGISTRY))
+        instrumented = min(
+            instrumented, drive_once(rules, trace, TelemetryRegistry())
+        )
+    ratio = instrumented / baseline
+
+    # The instrumented run must also have recorded real data -- a gate
+    # that passes because telemetry silently no-opped is no gate.
+    tel = TelemetryRegistry()
+    ips = SplitDetectIPS(rules, telemetry=tel)
+    for index in range(0, len(trace), BATCH_SIZE):
+        ips.process_batch(trace[index : index + BATCH_SIZE])
+    ips.refresh_telemetry()
+    packets = tel.get("repro_engine_packets_total")
+    assert packets.value_for(path="fast") > 0
+    stage = tel.get("repro_engine_stage_latency_ns")
+    observed = {labels["stage"] for labels, child in stage.samples() if child.count}
+    assert {"decode", "fast_path", "ac_prescan"} <= observed
+
+    result = {
+        "benchmark": "telemetry_overhead",
+        "packets": len(trace),
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "noop_best_s": round(baseline, 6),
+        "instrumented_best_s": round(instrumented, 6),
+        "overhead_ratio": round(ratio, 4),
+        "max_overhead": MAX_OVERHEAD,
+    }
+    (REPO_ROOT / "BENCH_telemetry.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    emit(
+        "telemetry_overhead",
+        [
+            f"no-op registry   best of {ROUNDS}: {baseline * 1e3:8.2f} ms",
+            f"instrumented     best of {ROUNDS}: {instrumented * 1e3:8.2f} ms",
+            f"overhead ratio: {ratio:.3f}x (gate: <= {MAX_OVERHEAD}x)",
+        ],
+        capfd,
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"telemetry overhead {ratio:.3f}x exceeds the {MAX_OVERHEAD}x budget"
+    )
+
+
+if __name__ == "__main__":
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-x", "-q", "-p", "no:cacheprovider"]))

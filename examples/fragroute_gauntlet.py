@@ -19,6 +19,7 @@ import random
 from repro.core import AlertKind, ConventionalIPS, NaivePacketIPS, SplitDetectIPS
 from repro.evasion import STRATEGIES, AttackSpec, Victim
 from repro.signatures import RuleSet, Signature
+from repro.telemetry import TelemetryRegistry, summarize
 
 SIGNATURE = b"EVIL-PAYLOAD\x90\x90\x90\x90:exec/bin/sh"
 OFFSET = 120
@@ -45,6 +46,10 @@ def detected(alerts) -> bool:
 
 
 def main() -> None:
+    # One shared registry across every Split-Detect run: metric
+    # registration is idempotent, so the per-strategy engines all bind
+    # the same counters and the totals aggregate gauntlet-wide.
+    telemetry = TelemetryRegistry()
     print(f"{'strategy':<18} {'delivered':>9} {'naive':>6} {'conventional':>12} {'split-detect':>12}")
     print("-" * 62)
     for name in sorted(STRATEGIES):
@@ -61,9 +66,11 @@ def main() -> None:
         delivered = victim.received(SIGNATURE)
 
         verdicts = []
-        for engine in (NaivePacketIPS(ruleset()), ConventionalIPS(ruleset()), SplitDetectIPS(ruleset())):
+        split_engine = SplitDetectIPS(ruleset(), telemetry=telemetry)
+        for engine in (NaivePacketIPS(ruleset()), ConventionalIPS(ruleset()), split_engine):
             alerts = engine.process_batch(packets)
             verdicts.append(detected(alerts))
+        split_engine.refresh_telemetry()
         naive, conventional, split = verdicts
         print(
             f"{name:<18} {'yes' if delivered else 'NO':>9} "
@@ -72,6 +79,11 @@ def main() -> None:
         )
     print("\nSplit-Detect and the conventional IPS catch every delivered attack;")
     print("the naive matcher misses exactly the segmentation/fragmentation class.")
+    print("\nSplit-Detect telemetry, aggregated over the whole gauntlet:")
+    for prefix in ("repro_engine_diversions_total", "repro_engine_packets_total",
+                   "repro_engine_bytes_total", "repro_fastpath_anomaly_total"):
+        for line in summarize(telemetry, prefix=prefix):
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Run:  python examples/quickstart.py
 from repro.core import NaivePacketIPS, SplitDetectIPS
 from repro.evasion import build_attack
 from repro.signatures import RuleSet, Signature, SplitPolicy
+from repro.telemetry import TelemetryRegistry, summarize
 
 # 1. A signature, as a Snort-style exact content string.
 rules = RuleSet()
@@ -37,8 +38,13 @@ print(f"naive per-packet IPS alerts: {len(naive_alerts)}   <- evaded!")
 # 4. Split-Detect: signatures are split into pieces; flows sending
 #    suspiciously small segments are diverted and reassembled.  Packets
 #    go in as one batch: the fast path scans every payload in a single
-#    compiled-automaton sweep before per-packet routing.
-ips = SplitDetectIPS(rules, split_policy=SplitPolicy(piece_length=8))
+#    compiled-automaton sweep before per-packet routing.  A telemetry
+#    registry (optional -- the default is a no-op) records what each
+#    stage did.
+telemetry = TelemetryRegistry()
+ips = SplitDetectIPS(
+    rules, split_policy=SplitPolicy(piece_length=8), telemetry=telemetry
+)
 alerts = ips.process_batch(attack)
 
 print(f"split-detect alerts: {len(alerts)}")
@@ -51,4 +57,13 @@ print(
     f"fast path scanned {ips.stats.fast_bytes_scanned} bytes, "
     f"slow path normalized {ips.stats.slow_bytes_normalized} bytes"
 )
+
+# 5. The same story, straight from the telemetry registry (this is what
+#    `splitdetect run --telemetry-out stats.json` exports).
+ips.refresh_telemetry()
+print("\ntelemetry summary (engine + fast path):")
+for line in summarize(telemetry, prefix="repro_engine_"):
+    print(f"  {line}")
+for line in summarize(telemetry, prefix="repro_fastpath_anomaly"):
+    print(f"  {line}")
 assert alerts, "Split-Detect must catch this"

@@ -12,10 +12,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .core import ConventionalIPS, NaivePacketIPS, SplitDetectIPS
 from .evasion import STRATEGIES, build_attack
-from .metrics import run_conventional, run_split_detect, throughput_comparison
+from .metrics import (
+    run_conventional,
+    run_split_detect,
+    state_bytes_ratio,
+    throughput_comparison,
+)
 from .pcap import read_trace, write_trace
 from .signatures import (
     SplitPolicy,
@@ -23,6 +29,7 @@ from .signatures import (
     load_rules,
     split_ruleset,
 )
+from .telemetry import NULL_REGISTRY, TelemetryRegistry, write_telemetry
 from .traffic import TrafficProfile, generate_trace, inject_attacks
 
 
@@ -37,28 +44,66 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _writable_file(text: str) -> Path:
+    """A file path whose parent directory already exists (--telemetry-out)."""
+    path = Path(text)
+    parent = path.parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"parent directory {parent} does not exist"
+        )
+    return path
+
+
+def _finish_telemetry(args: argparse.Namespace, ips, report=None) -> None:
+    """Write the run's telemetry snapshot if --telemetry-out was given."""
+    if not ips.telemetry.enabled:
+        return
+    ips.refresh_telemetry()
+    if report is not None and args.engine == "split":
+        ips.telemetry.gauge(
+            "repro_run_state_bytes_ratio",
+            "Measured peak state over the conventional provisioned equivalent",
+        ).set(state_bytes_ratio(report))
+    if args.telemetry_out is not None:
+        path = write_telemetry(
+            ips.telemetry, args.telemetry_out, format=args.telemetry_format
+        )
+        print(f"telemetry ({args.telemetry_format}) written to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.no_telemetry and args.telemetry_out is not None:
+        print("--telemetry-out needs instrumentation; drop --no-telemetry",
+              file=sys.stderr)
+        return 2
     rules = _load_ruleset(args.rules)
     trace = list(read_trace(args.pcap))
     print(f"loaded {len(trace)} packets, {len(rules)} signatures")
+    telemetry = NULL_REGISTRY if args.no_telemetry else TelemetryRegistry()
     if args.engine == "split":
-        ips = SplitDetectIPS(rules, split_policy=SplitPolicy(piece_length=args.piece_length))
+        ips = SplitDetectIPS(
+            rules,
+            split_policy=SplitPolicy(piece_length=args.piece_length),
+            telemetry=telemetry,
+        )
         report = run_split_detect(ips, trace, batch_size=args.batch_size)
         print(f"diverted flows: {report.diverted_flows}  "
               f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
         for reason, count in sorted(report.divert_reasons.items()):
             print(f"  divert[{reason}] = {count}")
     elif args.engine == "conventional":
-        ips = ConventionalIPS(rules)
+        ips = ConventionalIPS(rules, telemetry=telemetry)
         report = run_conventional(ips, trace)
     else:
-        ips = NaivePacketIPS(rules)
+        ips = NaivePacketIPS(rules, telemetry=telemetry)
         alerts = []
         for start in range(0, len(trace), args.batch_size):
             alerts.extend(ips.process_batch(trace[start : start + args.batch_size]))
         print(f"alerts: {len(alerts)}")
         for alert in alerts[: args.max_alerts]:
             print(f"  {alert}")
+        _finish_telemetry(args, ips)
         return 0
     print(f"peak state: {report.peak_state_bytes} bytes over {report.peak_flows} flows")
     print(f"alerts: {len(report.alerts)}")
@@ -66,6 +111,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  {alert}")
     if len(report.alerts) > args.max_alerts:
         print(f"  ... and {len(report.alerts) - args.max_alerts} more")
+    _finish_telemetry(args, ips, report)
     return 0
 
 
@@ -169,6 +215,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=256,
         help="packets per process_batch call (amortizes the fast-path scan)",
+    )
+    run.add_argument(
+        "--telemetry-out",
+        type=_writable_file,
+        metavar="PATH",
+        help="write the run's telemetry snapshot to this file",
+    )
+    run.add_argument(
+        "--telemetry-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="exposition format for --telemetry-out (default: json)",
+    )
+    run.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="run with the no-op registry (skips all instrumentation)",
     )
     run.set_defaults(func=cmd_run)
 

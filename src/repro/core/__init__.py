@@ -1,7 +1,11 @@
 """Split-Detect core: fast path, slow path, engine, and baselines."""
 
 from .alerts import Alert, AlertKind, Diversion, DivertReason
-from .conventional import ConventionalIPS, NaivePacketIPS
+from .conventional import (
+    PROVISIONED_BUFFER_PER_FLOW,
+    ConventionalIPS,
+    NaivePacketIPS,
+)
 from .engine import PROBATION_REASONS, EngineStats, SplitDetectIPS
 from .fastpath import FAST_FLOW_STATE_BYTES, FastPath, FastPathConfig, FastPathResult
 from .flowtable import FlowTable, fnv1a_64
@@ -21,6 +25,7 @@ __all__ = [
     "FlowTable",
     "NaivePacketIPS",
     "PROBATION_REASONS",
+    "PROVISIONED_BUFFER_PER_FLOW",
     "SlowPath",
     "SplitDetectIPS",
     "fnv1a_64",

@@ -12,6 +12,8 @@ matrix (Table 3) can show exactly which attack classes defeat it.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from ..match import DualStreamMatcher
 from ..packet import (
     IP_PROTO_TCP,
@@ -24,8 +26,15 @@ from ..packet import (
 )
 from ..signatures import RuleSet
 from ..streams import OverlapPolicy, StreamEvent, StreamNormalizer
+from ..telemetry import LATENCY_NS_BUCKETS, NULL_REGISTRY
 from .alerts import Alert, AlertKind
 from .matching import SignatureMatcher, StreamMatchState
+
+#: Reassembly buffering a conventional IPS must provision per connection
+#: (the paper's standards point: 1M connections, each able to buffer an
+#: out-of-order window).  Used for extrapolation and for the live
+#: state-ratio gauge, not for measurement.
+PROVISIONED_BUFFER_PER_FLOW = 4096
 
 _AMBIGUITY_EVENTS = frozenset(
     {
@@ -40,13 +49,47 @@ class ConventionalIPS:
     """Reassemble-and-normalize-everything signature detection."""
 
     def __init__(
-        self, rules: RuleSet, *, policy: OverlapPolicy = OverlapPolicy.BSD
+        self,
+        rules: RuleSet,
+        *,
+        policy: OverlapPolicy = OverlapPolicy.BSD,
+        telemetry=None,
     ) -> None:
         self.normalizer = StreamNormalizer(policy=policy)
         self._matcher = SignatureMatcher(sorted(rules, key=lambda s: s.sid))
         self._streams: dict[FlowKey, StreamMatchState] = {}
         self.packets_processed = 0
         self.bytes_normalized = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        tel = self.telemetry
+        self._tel_on = tel.enabled
+        self._c_packets = tel.counter(
+            "repro_conventional_packets_total",
+            "Packets through the conventional reassemble-everything pipeline",
+        )
+        self._c_bytes = tel.counter(
+            "repro_conventional_normalized_bytes_total",
+            "Reassembled-and-normalized stream bytes matched",
+        )
+        self._c_alerts = tel.counter(
+            "repro_conventional_alerts_total", "Alerts raised"
+        )
+        self._c_evictions = tel.counter(
+            "repro_conventional_evictions_total", "Idle flows reclaimed"
+        )
+        self._h_latency = tel.histogram(
+            "repro_conventional_packet_latency_ns",
+            "Full normalize+match pipeline latency per packet",
+            buckets=LATENCY_NS_BUCKETS,
+        )
+        self._g_flows = tel.gauge(
+            "repro_conventional_active_flows", "Flows holding reassembly state"
+        )
+        self._g_state = tel.gauge(
+            "repro_conventional_state_bytes",
+            "Reassembly buffers + flow table + matcher state "
+            "(the numerator every-flow cost Split-Detect avoids)",
+        )
 
     # -- accounting ------------------------------------------------------
 
@@ -62,10 +105,33 @@ class ConventionalIPS:
         """Flows currently holding reassembly state."""
         return self.normalizer.active_flows
 
+    def refresh_telemetry(self) -> None:
+        """Sample the O(flows) gauges (called before snapshots, not inline)."""
+        if not self._tel_on:
+            return
+        self._g_flows.set(self.active_flows)
+        self._g_state.set(self.state_bytes())
+
+    def telemetry_snapshot(self) -> dict:
+        """Refresh the gauges, then return the registry snapshot."""
+        self.refresh_telemetry()
+        return self.telemetry.snapshot()
+
     # -- packet intake ------------------------------------------------------
 
     def process(self, packet: TimedPacket) -> list[Alert]:
         """Normalize one packet and match signatures over new stream bytes."""
+        if not self._tel_on:
+            return self._process(packet)
+        t0 = perf_counter_ns()
+        alerts = self._process(packet)
+        self._h_latency.observe(perf_counter_ns() - t0)
+        self._c_packets.inc()
+        if alerts:
+            self._c_alerts.inc(len(alerts))
+        return alerts
+
+    def _process(self, packet: TimedPacket) -> list[Alert]:
         self.packets_processed += 1
         output = self.normalizer.process(packet)
         alerts: list[Alert] = []
@@ -86,6 +152,8 @@ class ConventionalIPS:
         if not self._matcher.empty:
             for chunk in output.chunks:
                 self.bytes_normalized += len(chunk)
+                if self._tel_on:
+                    self._c_bytes.inc(len(chunk))
                 state = self._streams.get(flow)
                 if state is None:
                     state = self._matcher.new_stream_state()
@@ -104,6 +172,8 @@ class ConventionalIPS:
                     payload = b""
                 if payload:
                     self.bytes_normalized += len(payload)
+                    if self._tel_on:
+                        self._c_bytes.inc(len(payload))
                     alerts.extend(
                         self._signature_alert(hit, flow, packet.timestamp)
                         for hit in self._matcher.match_buffer(payload, flow)
@@ -144,24 +214,44 @@ class ConventionalIPS:
             for key in list(self._streams):
                 if key.canonical() not in live:
                     del self._streams[key]
+            if self._tel_on:
+                self._c_evictions.inc(evicted)
         return evicted
 
 
 class NaivePacketIPS:
     """Per-packet matching with no reassembly: the evadable strawman."""
 
-    def __init__(self, rules: RuleSet) -> None:
+    def __init__(self, rules: RuleSet, *, telemetry=None) -> None:
         self._matcher = SignatureMatcher(sorted(rules, key=lambda s: s.sid))
         self.packets_processed = 0
         self.bytes_scanned = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        tel = self.telemetry
+        self._tel_on = tel.enabled
+        self._c_packets = tel.counter(
+            "repro_naive_packets_total", "Packets scanned per-packet (no reassembly)"
+        )
+        self._c_bytes = tel.counter(
+            "repro_naive_scanned_bytes_total", "Payload bytes scanned"
+        )
+        self._c_alerts = tel.counter("repro_naive_alerts_total", "Alerts raised")
 
     def state_bytes(self) -> int:
         """The whole point: nothing per flow."""
         return 0
 
+    def refresh_telemetry(self) -> None:
+        """No gauges to sample (the naive matcher keeps no state)."""
+
+    def telemetry_snapshot(self) -> dict:
+        return self.telemetry.snapshot()
+
     def process(self, packet: TimedPacket) -> list[Alert]:
         """Scan one packet's transport payload in isolation."""
         self.packets_processed += 1
+        if self._tel_on:
+            self._c_packets.inc()
         alerts: list[Alert] = []
         ip = packet.ip
         if ip.is_fragment or self._matcher.empty:
@@ -191,6 +281,10 @@ class NaivePacketIPS:
                     path="fast",
                 )
             )
+        if self._tel_on:
+            self._c_bytes.inc(len(payload))
+            if alerts:
+                self._c_alerts.inc(len(alerts))
         return alerts
 
     def process_batch(self, packets: list[TimedPacket]) -> list[Alert]:
@@ -233,4 +327,9 @@ class NaivePacketIPS:
                 )
                 for hit in hits
             )
+        if self._tel_on:
+            self._c_packets.inc(len(packets))
+            self._c_bytes.inc(sum(len(p) for _, _, p in scannable))
+            if alerts:
+                self._c_alerts.inc(len(alerts))
         return alerts

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from time import perf_counter_ns
 
 from ..packet import (
     IP_PROTO_TCP,
@@ -27,8 +28,10 @@ from ..packet import (
     flow_key_of,
 )
 from ..signatures import ByteFrequencyModel, RuleSet, SplitPolicy, split_ruleset
-from ..streams import OverlapPolicy
+from ..streams import FLOW_OVERHEAD_BYTES, OverlapPolicy
+from ..telemetry import NULL_REGISTRY
 from .alerts import Alert, AlertKind, Diversion, DivertReason
+from .conventional import PROVISIONED_BUFFER_PER_FLOW
 from .fastpath import FastPath, FastPathConfig
 from .slowpath import SlowPath
 
@@ -73,10 +76,16 @@ class SplitDetectIPS:
         probation_packets: int = 8,
         slow_capacity_flows: int | None = None,
         ensemble_policies: tuple[OverlapPolicy, ...] = (),
+        telemetry=None,
     ) -> None:
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.split_rules = split_ruleset(rules, split_policy, model)
-        self.fast_path = FastPath(self.split_rules, fast_config)
-        self.slow_path = SlowPath(self.split_rules, policy=overlap_policy)
+        self.fast_path = FastPath(
+            self.split_rules, fast_config, telemetry=self.telemetry
+        )
+        self.slow_path = SlowPath(
+            self.split_rules, policy=overlap_policy, telemetry=self.telemetry
+        )
         self.ensemble_paths: list[SlowPath] = [
             SlowPath(self.split_rules, policy=policy)
             for policy in ensemble_policies
@@ -111,6 +120,83 @@ class SplitDetectIPS:
         self.overload_refusals = 0
         self._refused: set[FlowKey] = set()
         self.stats = EngineStats()
+        # Telemetry instruments, bound once.  Per-packet sites guard on
+        # ``_tel_on`` so the disabled engine never reads the clock.
+        tel = self.telemetry
+        self._tel_on = tel.enabled
+        stages = tel.histogram(
+            "repro_engine_stage_latency_ns",
+            "Per-stage wall-clock latency (monotonic ns): decode = routing up "
+            "to the path decision; fast_path = monitor + per-packet scan; "
+            "ac_prescan = the per-batch automaton sweep; slow_path = "
+            "reassembly + stream matching for one diverted packet",
+            ("stage",),
+        )
+        self._stage_decode = stages.labels(stage="decode")
+        self._stage_fast = stages.labels(stage="fast_path")
+        self._stage_prescan = stages.labels(stage="ac_prescan")
+        self._stage_slow = stages.labels(stage="slow_path")
+        packets = tel.counter(
+            "repro_engine_packets_total", "Packets routed, by path", ("path",)
+        )
+        self._c_packets_fast = packets.labels(path="fast")
+        self._c_packets_slow = packets.labels(path="slow")
+        bytes_total = tel.counter(
+            "repro_engine_bytes_total",
+            "Payload bytes examined, by path (fast = scanned per packet, "
+            "slow = normalized stream bytes)",
+            ("path",),
+        )
+        self._c_bytes_fast = bytes_total.labels(path="fast")
+        self._c_bytes_slow = bytes_total.labels(path="slow")
+        diversions = tel.counter(
+            "repro_engine_diversions_total",
+            "Flows handed to the slow path, by reason",
+            ("reason",),
+        )
+        self._c_diversions = {
+            reason: diversions.labels(reason=reason.value) for reason in DivertReason
+        }
+        alerts_total = tel.counter(
+            "repro_engine_alerts_total", "Alerts raised, by emitting path", ("path",)
+        )
+        self._c_alerts_fast = alerts_total.labels(path="fast")
+        self._c_alerts_slow = alerts_total.labels(path="slow")
+        self._c_reinstated = tel.counter(
+            "repro_engine_reinstated_flows_total",
+            "Diverted flows returned to the fast path after clean probation",
+        )
+        self._c_refusals = tel.counter(
+            "repro_engine_overload_refusals_total",
+            "Diversions refused because the slow path was at capacity",
+        )
+        evictions = tel.counter(
+            "repro_engine_evictions_total",
+            "Idle per-flow records reclaimed by evict_idle, by path",
+            ("path",),
+        )
+        self._c_evict_fast = evictions.labels(path="fast")
+        self._c_evict_slow = evictions.labels(path="slow")
+        self._g_diverted = tel.gauge(
+            "repro_engine_diverted_flows", "Flows currently routed to the slow path"
+        )
+        self._g_state = tel.gauge(
+            "repro_engine_state_bytes",
+            "Per-flow state held right now, by component",
+            ("component",),
+        )
+        self._g_div_frac = tel.gauge(
+            "repro_engine_diversion_byte_fraction",
+            "Fraction of examined payload bytes that went to the slow path "
+            "(the abstract's 'very little traffic is diverted' claim)",
+        )
+        self._g_ratio = tel.gauge(
+            "repro_engine_state_bytes_ratio",
+            "Peak Split-Detect state over the conventional-IPS state for the "
+            "same flows (the abstract's ~10%-state claim; lower is better)",
+        )
+        self._tel_peak_state = 0
+        self._tel_peak_conventional = 0
 
     # -- accounting ------------------------------------------------------
 
@@ -139,6 +225,8 @@ class SplitDetectIPS:
         _prescanned: list[tuple[int, int]] | None = None,
     ) -> list[Alert]:
         """Route one packet through the fast or slow path; returns alerts."""
+        tel_on = self._tel_on
+        t0 = perf_counter_ns() if tel_on else 0
         self.stats.packets_total += 1
         ip = packet.ip
         if ip.protocol in (IP_PROTO_TCP, IP_PROTO_UDP) and ip.is_fragment:
@@ -146,6 +234,8 @@ class SplitDetectIPS:
                 # Ablation variant: an IPS that ignores fragmentation lets
                 # fragments through unexamined (and is evadable by them).
                 self.stats.fast_packets += 1
+                if tel_on:
+                    self._c_packets_fast.inc()
                 return []
             # All fragments are slow-path work; the first one names the flow.
             if ip.fragment_offset == 0:
@@ -159,6 +249,8 @@ class SplitDetectIPS:
                     ):
                         # Overloaded: fail open, fragment passes unexamined.
                         self.stats.fast_packets += 1
+                        if tel_on:
+                            self._c_packets_fast.inc()
                         return self._refusal_alert(frag_flow, packet.timestamp)
                     # Hand the monitor's stream positions to the slow path,
                     # exactly as in the TCP divert path -- the SYN (or any
@@ -168,6 +260,8 @@ class SplitDetectIPS:
                         if expected is not None:
                             self._hint_all(direction, expected)
                     self.fast_path.forget_flow(frag_flow)
+            if tel_on:
+                self._stage_decode.observe(perf_counter_ns() - t0)
             return self._to_slow(packet)
         flow: FlowKey | None = None
         if ip.protocol in (IP_PROTO_TCP, IP_PROTO_UDP):
@@ -176,13 +270,25 @@ class SplitDetectIPS:
             except ValueError:
                 flow = None
         if flow is not None and flow.canonical() in self._diverted:
+            if tel_on:
+                self._stage_decode.observe(perf_counter_ns() - t0)
             return self._to_slow(packet, flow)
         self.stats.fast_packets += 1
         before = self.fast_path.bytes_scanned
-        result = self.fast_path.process(packet, _prescanned)
+        if tel_on:
+            t1 = perf_counter_ns()
+            self._stage_decode.observe(t1 - t0)
+            result = self.fast_path.process(packet, _prescanned)
+            self._stage_fast.observe(perf_counter_ns() - t1)
+            self._c_packets_fast.inc()
+            self._c_bytes_fast.inc(self.fast_path.bytes_scanned - before)
+        else:
+            result = self.fast_path.process(packet, _prescanned)
         self.stats.fast_bytes_scanned += self.fast_path.bytes_scanned - before
         alerts = list(result.alerts)
         self.stats.alerts += len(alerts)
+        if alerts and tel_on:
+            self._c_alerts_fast.inc(len(alerts))
         if result.divert is not None and flow is not None:
             if not self._divert(flow, result.divert, packet.timestamp, result.detail):
                 alerts.extend(self._refusal_alert(flow, packet.timestamp))
@@ -213,6 +319,8 @@ class SplitDetectIPS:
         packets = list(packets)
         prescanned: list[list[tuple[int, int]] | None] | None = None
         if self.fast_path.automaton is not None and len(packets) > 1:
+            tel_on = self._tel_on
+            t0 = perf_counter_ns() if tel_on else 0
             payloads: list[bytes] = []
             slots: list[int] = []
             for index, packet in enumerate(packets):
@@ -224,6 +332,8 @@ class SplitDetectIPS:
                 prescanned = [None] * len(packets)
                 for slot, hits in zip(slots, self.fast_path.prescan(payloads)):
                     prescanned[slot] = hits
+            if tel_on:
+                self._stage_prescan.observe(perf_counter_ns() - t0)
         alerts: list[Alert] = []
         if prescanned is None:
             for packet in packets:
@@ -284,6 +394,15 @@ class SplitDetectIPS:
             and self.slow_path.active_flows >= self.slow_capacity_flows
         ):
             self.overload_refusals += 1
+            if self._tel_on:
+                self._c_refusals.inc()
+                self.telemetry.journal.record(
+                    "engine",
+                    "overload_refusal",
+                    ts=timestamp,
+                    flow=str(flow),
+                    capacity=self.slow_capacity_flows,
+                )
             return False
         self._diverted.add(canonical)
         if self.probation_packets and reason in PROBATION_REASONS:
@@ -293,9 +412,22 @@ class SplitDetectIPS:
         )
         self.divert_reasons[reason] += 1
         self.stats.diversions += 1
+        if self._tel_on:
+            self._c_diversions[reason].inc()
+            self._g_diverted.set(len(self._diverted))
+            self.telemetry.journal.record(
+                "engine",
+                "divert",
+                ts=timestamp,
+                flow=str(flow),
+                reason=reason.value,
+                detail=detail,
+            )
         return True
 
     def _to_slow(self, packet: TimedPacket, flow: FlowKey | None = None) -> list[Alert]:
+        tel_on = self._tel_on
+        t0 = perf_counter_ns() if tel_on else 0
         self.stats.slow_packets += 1
         before = self.slow_path.bytes_normalized
         alerts = self.slow_path.process(packet)
@@ -309,6 +441,12 @@ class SplitDetectIPS:
                         seen.add(key)
                         alerts.append(alert)
         self.stats.alerts += len(alerts)
+        if tel_on:
+            self._stage_slow.observe(perf_counter_ns() - t0)
+            self._c_packets_slow.inc()
+            self._c_bytes_slow.inc(self.slow_path.bytes_normalized - before)
+            if alerts:
+                self._c_alerts_slow.inc(len(alerts))
         if flow is not None:
             canonical = flow.canonical()
             if canonical in self._diverted and canonical not in self.slow_path.normalizer.live_flows():
@@ -316,6 +454,8 @@ class SplitDetectIPS:
                 # the same five-tuple starts fresh on the fast path.
                 self._diverted.discard(canonical)
                 self._probation.pop(canonical, None)
+                if tel_on:
+                    self._g_diverted.set(len(self._diverted))
             elif canonical in self._probation:
                 self._tick_probation(canonical, alerts)
         return alerts
@@ -342,19 +482,34 @@ class SplitDetectIPS:
         for path in self.ensemble_paths:
             path.release_flow(canonical)
         self.reinstated_flows += 1
+        if self._tel_on:
+            self._c_reinstated.inc()
+            self._g_diverted.set(len(self._diverted))
+            self.telemetry.journal.record(
+                "engine", "reinstate", flow=str(canonical)
+            )
 
-    def evict_idle(self, now: float) -> None:
+    def evict_idle(self, now: float) -> int:
         """Expire idle state everywhere (long-run housekeeping).
 
         Besides the slow-path reassembly state this must prune every
         engine-side per-flow record -- ``_diverted``, ``_probation``,
         ``_refused`` -- and the fast path's monitor entries, all of which
         otherwise grow without bound across long runs as flows die
-        without a clean close."""
-        self.slow_path.evict_idle(now)
+        without a clean close.
+
+        Returns the number of evicted per-flow entries (slow-path flows
+        plus fast-path monitor directions; ensemble replicas track the
+        same flows as the primary slow path and are not double-counted),
+        so callers -- and the occupancy gauges -- can reconcile
+        evictions against population.
+        """
+        slow_evicted = self.slow_path.evict_idle(now)
         for path in self.ensemble_paths:
             path.evict_idle(now)
-        self.fast_path.evict_idle(now, self.slow_path.normalizer.idle_timeout)
+        fast_evicted = self.fast_path.evict_idle(
+            now, self.slow_path.normalizer.idle_timeout
+        )
         slow_live = self.slow_path.normalizer.live_flows()
         self._diverted &= slow_live
         for canonical in [k for k in self._probation if k not in slow_live]:
@@ -363,3 +518,62 @@ class SplitDetectIPS:
         # once neither path tracks it, and forgetting it re-arms the
         # once-per-flow RESOURCE alert for any future five-tuple reuse.
         self._refused &= slow_live | self.fast_path.live_flows()
+        if self._tel_on:
+            if fast_evicted:
+                self._c_evict_fast.inc(fast_evicted)
+            if slow_evicted:
+                self._c_evict_slow.inc(slow_evicted)
+            self._g_diverted.set(len(self._diverted))
+            if fast_evicted or slow_evicted:
+                self.telemetry.journal.record(
+                    "engine",
+                    "evict_sweep",
+                    ts=now,
+                    fast_evicted=fast_evicted,
+                    slow_evicted=slow_evicted,
+                )
+        return fast_evicted + slow_evicted
+
+    # -- telemetry -------------------------------------------------------
+
+    def refresh_telemetry(self) -> None:
+        """Sample every point-in-time gauge across both paths.
+
+        The O(flows) gauges (state bytes, occupancy) are sampled here
+        rather than per packet; the run harness calls this at its state
+        sampling points and once more before exporting.  The state-ratio
+        gauge compares *peak-so-far* Split-Detect state against what a
+        conventional IPS would hold for the same flow population
+        (flow record + provisioned reassembly buffer per flow) -- peaks,
+        because provisioning is what the paper's 10%-state claim is
+        about.
+        """
+        if not self._tel_on:
+            return
+        self.fast_path.refresh_telemetry()
+        self.slow_path.refresh_telemetry()
+        fast_state = self.fast_path.state_bytes()
+        slow_state = self.slow_path.state_bytes()
+        ensemble_state = sum(path.state_bytes() for path in self.ensemble_paths)
+        self._g_state.labels(component="fast").set(fast_state)
+        self._g_state.labels(component="slow").set(slow_state)
+        self._g_state.labels(component="ensemble").set(ensemble_state)
+        self._g_diverted.set(len(self._diverted))
+        total_bytes = self.stats.fast_bytes_scanned + self.stats.slow_bytes_normalized
+        self._g_div_frac.set(
+            self.stats.slow_bytes_normalized / total_bytes if total_bytes else 0.0
+        )
+        # Conventional equivalent: the fast path tracks per-direction
+        # entries, a conventional flow record covers both directions.
+        flow_equiv = (self.fast_path.tracked_flows + 1) // 2 + self.slow_path.active_flows
+        conventional = flow_equiv * (FLOW_OVERHEAD_BYTES + PROVISIONED_BUFFER_PER_FLOW)
+        state = fast_state + slow_state + ensemble_state
+        self._tel_peak_state = max(self._tel_peak_state, state)
+        self._tel_peak_conventional = max(self._tel_peak_conventional, conventional)
+        if self._tel_peak_conventional:
+            self._g_ratio.set(self._tel_peak_state / self._tel_peak_conventional)
+
+    def telemetry_snapshot(self) -> dict:
+        """Refresh the gauges, then return the registry snapshot."""
+        self.refresh_telemetry()
+        return self.telemetry.snapshot()

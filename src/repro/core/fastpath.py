@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..match import DualAutomaton
+from ..telemetry import NULL_REGISTRY, SIZE_BYTES_BUCKETS
 from ..packet import (
     IP_PROTO_TCP,
     IP_PROTO_UDP,
@@ -117,7 +118,11 @@ class FastPath:
     """Stateless-per-packet matcher with a minimal per-flow monitor."""
 
     def __init__(
-        self, split_rules: SplitRuleSet, config: FastPathConfig | None = None
+        self,
+        split_rules: SplitRuleSet,
+        config: FastPathConfig | None = None,
+        *,
+        telemetry=None,
     ) -> None:
         self.config = config or FastPathConfig()
         self.split_rules = split_rules
@@ -157,6 +162,50 @@ class FastPath:
         # Counters the evaluation reads.
         self.packets_processed = 0
         self.bytes_scanned = 0
+        # Telemetry: instruments are bound once here; per-packet sites
+        # are guarded on ``_tel_on`` so a disabled run never pays more
+        # than the boolean check.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        tel = self.telemetry
+        self._tel_on = tel.enabled
+        self._c_packets = tel.counter(
+            "repro_fastpath_packets_total", "Packets through the fast path"
+        )
+        self._c_bytes = tel.counter(
+            "repro_fastpath_scanned_bytes_total",
+            "Payload bytes scanned by the fast-path automaton",
+        )
+        anomaly = tel.counter(
+            "repro_fastpath_anomaly_total",
+            "Fast-path anomaly triggers by cause (per triggering packet)",
+            ("cause",),
+        )
+        self._c_anomaly = {
+            reason: anomaly.labels(cause=reason.value) for reason in DivertReason
+        }
+        self._h_payload = tel.histogram(
+            "repro_fastpath_payload_bytes",
+            "Scanned payload size distribution",
+            buckets=SIZE_BYTES_BUCKETS,
+        )
+        self._c_evictions = tel.counter(
+            "repro_fastpath_monitor_evictions_total",
+            "Monitor entries reclaimed, by mechanism",
+            ("kind",),
+        )
+        self._c_evict_idle = self._c_evictions.labels(kind="idle")
+        self._g_monitor = tel.gauge(
+            "repro_fastpath_monitor_entries",
+            "Flow directions currently occupying monitor entries",
+        )
+        self._g_state = tel.gauge(
+            "repro_fastpath_state_bytes",
+            "Fast-path per-flow state footprint (provisioned when fixed-table)",
+        )
+        self._g_table_evictions = tel.gauge(
+            "repro_fastpath_table_evictions",
+            "Fixed flow-table evictions so far (0 when unbounded)",
+        )
 
     # -- accounting ------------------------------------------------------
 
@@ -180,6 +229,38 @@ class FastPath:
         """Fixed-table evictions so far (0 in the unbounded configuration)."""
         return self._flows.evictions if isinstance(self._flows, FlowTable) else 0
 
+    def refresh_telemetry(self) -> None:
+        """Sample the point-in-time gauges (occupancy, state, AC stats).
+
+        Gauges that would cost O(flows) per packet are sampled here
+        instead of inline; callers (the run harness, the CLI exporter)
+        invoke this right before taking a snapshot.
+        """
+        if not self._tel_on:
+            return
+        self._g_monitor.set(len(self._flows))
+        self._g_state.set(self.state_bytes())
+        self._g_table_evictions.set(self.table_evictions)
+        if self.automaton is not None:
+            stats = self.automaton.scan_stats()
+            tel = self.telemetry
+            tel.gauge(
+                "repro_match_scans",
+                "Automaton scan calls (fast-path piece automaton)",
+            ).set(stats["scans"])
+            tel.gauge(
+                "repro_match_scanned_bytes",
+                "Bytes the piece automaton actually stepped or prefiltered",
+            ).set(stats["scanned_bytes"])
+            tel.gauge(
+                "repro_match_matches_emitted",
+                "Raw automaton match tuples emitted",
+            ).set(stats["matches_emitted"])
+            tel.gauge(
+                "repro_match_prefilter_skip_rate",
+                "Fraction of scans the first-byte prefilter proved match-free",
+            ).set(stats["prefilter_skip_rate"])
+
     # -- packet intake ------------------------------------------------------
 
     def process(
@@ -192,6 +273,19 @@ class FastPath:
         ``prescanned`` carries this packet's payload matches from a prior
         :meth:`prescan` sweep (batched intake); ``None`` means scan here.
         """
+        result = self._process(packet, prescanned)
+        if self._tel_on:
+            self._c_packets.inc()
+            if result.divert is not None:
+                self._c_anomaly[result.divert].inc()
+            self._g_monitor.set(len(self._flows))
+        return result
+
+    def _process(
+        self,
+        packet: TimedPacket,
+        prescanned: list[tuple[int, int]] | None = None,
+    ) -> FastPathResult:
         self.packets_processed += 1
         result = FastPathResult()
         ip = packet.ip
@@ -278,6 +372,9 @@ class FastPath:
         ]
         for flow in stale:
             self._flows.pop(flow, None)
+        if stale and self._tel_on:
+            self._c_evict_idle.inc(len(stale))
+            self._g_monitor.set(len(self._flows))
         return len(stale)
 
     def live_flows(self) -> set[FlowKey]:
@@ -355,6 +452,9 @@ class FastPath:
         ``hits`` short-circuits the pass with matches a batched
         :meth:`prescan` already produced for this payload."""
         self.bytes_scanned += len(payload)
+        if self._tel_on:
+            self._c_bytes.inc(len(payload))
+            self._h_payload.observe(len(payload))
         if hits is None:
             hits = self.automaton.find_all(payload)
         for entry_id, _end in hits:

@@ -21,6 +21,7 @@ from ..match import DualAutomaton, DualStreamMatcher
 from ..packet import IP_PROTO_UDP, FlowKey, TimedPacket, decode_udp
 from ..signatures import SplitRuleSet
 from ..streams import OverlapPolicy, StreamEvent, StreamNormalizer
+from ..telemetry import NULL_REGISTRY
 from .alerts import Alert, AlertKind
 from .matching import SignatureMatcher, StreamMatchState
 
@@ -58,6 +59,7 @@ class SlowPath:
         split_rules: SplitRuleSet,
         *,
         policy: OverlapPolicy = OverlapPolicy.BSD,
+        telemetry=None,
     ) -> None:
         self.split_rules = split_rules
         self.normalizer = StreamNormalizer(policy=policy)
@@ -98,6 +100,31 @@ class SlowPath:
         self._matchers: dict[FlowKey, tuple[StreamMatchState, DualStreamMatcher | None]] = {}
         self.packets_processed = 0
         self.bytes_normalized = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        tel = self.telemetry
+        self._tel_on = tel.enabled
+        self._c_packets = tel.counter(
+            "repro_slowpath_packets_total", "Packets through the slow path"
+        )
+        self._c_bytes = tel.counter(
+            "repro_slowpath_normalized_bytes_total",
+            "Reassembled-and-normalized stream bytes matched on the slow path",
+        )
+        self._c_evictions = tel.counter(
+            "repro_slowpath_evictions_total", "Idle diverted flows reclaimed"
+        )
+        self._g_flows = tel.gauge(
+            "repro_slowpath_active_flows", "Diverted flows holding reassembly state"
+        )
+        self._g_state = tel.gauge(
+            "repro_slowpath_state_bytes",
+            "Reassembly + matcher state bytes (the 10%-state claim's denominator "
+            "is the conventional equivalent of this for every flow)",
+        )
+        self._g_buffered = tel.gauge(
+            "repro_slowpath_buffered_bytes",
+            "Out-of-order bytes currently buffered by reassembly",
+        )
 
     # -- accounting ------------------------------------------------------
 
@@ -120,11 +147,21 @@ class SlowPath:
         sequence number (see ``StreamNormalizer.hint_stream_start``)."""
         self.normalizer.hint_stream_start(direction, first_byte_seq)
 
+    def refresh_telemetry(self) -> None:
+        """Sample the O(flows) gauges (called before a snapshot, not inline)."""
+        if not self._tel_on:
+            return
+        self._g_flows.set(self.active_flows)
+        self._g_state.set(self.state_bytes())
+        self._g_buffered.set(self.normalizer.buffered_bytes)
+
     # -- packet intake ------------------------------------------------------
 
     def process(self, packet: TimedPacket) -> list[Alert]:
         """Run one diverted-flow packet through the conventional pipeline."""
         self.packets_processed += 1
+        if self._tel_on:
+            self._c_packets.inc()
         output = self.normalizer.process(packet)
         alerts: list[Alert] = []
         flow = output.flow
@@ -161,6 +198,8 @@ class SlowPath:
         if not payload:
             return []
         self.bytes_normalized += len(payload)
+        if self._tel_on:
+            self._c_bytes.inc(len(payload))
         return [
             Alert(
                 kind=AlertKind.SIGNATURE,
@@ -175,6 +214,8 @@ class SlowPath:
 
     def _match(self, flow: FlowKey, chunk: bytes, timestamp: float) -> list[Alert]:
         self.bytes_normalized += len(chunk)
+        if self._tel_on:
+            self._c_bytes.inc(len(chunk))
         full, suffix = self._matchers.get(flow, (None, None))
         if full is None:
             if self._matcher.empty:
@@ -278,4 +319,6 @@ class SlowPath:
             for key in list(self._matchers):
                 if key.canonical() not in live:
                     del self._matchers[key]
+            if self._tel_on:
+                self._c_evictions.inc(evicted)
         return evicted

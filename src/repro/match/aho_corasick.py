@@ -104,6 +104,14 @@ class AhoCorasick:
         self._anchored = False
         if dense_state_limit and len(self._goto) <= dense_state_limit:
             self._compile()
+        # Scan accounting (plain ints: a few adds per *buffer*, not per
+        # byte, so they stay on even when telemetry is disabled).  A
+        # "prefilter skip" is a root-anchored scan the first-byte regex
+        # proved match-free without stepping the state machine.
+        self.scans = 0
+        self.scanned_bytes = 0
+        self.matches_emitted = 0
+        self.prefilter_skips = 0
 
     def _build_failure_links(self) -> None:
         queue: deque[int] = deque()
@@ -205,6 +213,19 @@ class AhoCorasick:
         """Longest pattern prefix the state represents (streaming carryover)."""
         return self._depth[state]
 
+    def scan_stats(self) -> dict[str, int | float | bool]:
+        """Cumulative scan accounting (``scan``/``find_all``/``scan_many``)."""
+        return {
+            "engine": "compiled" if self.compiled else "reference",
+            "scans": self.scans,
+            "scanned_bytes": self.scanned_bytes,
+            "matches_emitted": self.matches_emitted,
+            "prefilter_skips": self.prefilter_skips,
+            "prefilter_skip_rate": self.prefilter_skips / self.scans
+            if self.scans
+            else 0.0,
+        }
+
     def scan(
         self, data: bytes, state: int = ROOT_STATE
     ) -> tuple[int, list[tuple[int, int]]]:
@@ -217,23 +238,33 @@ class AhoCorasick:
         rows = self._rows
         if rows is None:
             return self.scan_reference(data, state)
+        self.scans += 1
+        self.scanned_bytes += len(data)
         matches: list[tuple[int, int]] = []
         base = 0
         if state == ROOT_STATE:
             # Prefilter: bytes outside the start set cannot leave the
             # root, so a payload with none of them needs no scan at all.
             if self._start_re is None:
+                self.prefilter_skips += 1
                 return ROOT_STATE, matches
             anchor = self._start_re.search(data)
             if anchor is None:
+                self.prefilter_skips += 1
                 return ROOT_STATE, matches
             if self._anchored:
-                return self._scan_anchored(data, anchor.start(), self._root_row, matches)
+                final, matches = self._scan_anchored(
+                    data, anchor.start(), self._root_row, matches
+                )
+                self.matches_emitted += len(matches)
+                return final, matches
             base = anchor.start()
             if base:
                 data = data[base:]
         elif self._anchored:
-            return self._scan_anchored(data, 0, rows[state], matches)
+            final, matches = self._scan_anchored(data, 0, rows[state], matches)
+            self.matches_emitted += len(matches)
+            return final, matches
         row = rows[state]
         for offset, byte in enumerate(data, base):
             row = row[byte]
@@ -241,6 +272,7 @@ class AhoCorasick:
             if out:
                 end = offset + 1
                 matches.extend((pid, end) for pid in out)
+        self.matches_emitted += len(matches)
         return row[257], matches
 
     def _scan_anchored(
@@ -278,6 +310,8 @@ class AhoCorasick:
         id, but without the dense table (used above ``dense_state_limit``
         and by the differential tests and benchmarks).
         """
+        self.scans += 1
+        self.scanned_bytes += len(data)
         goto = self._goto
         fail = self._fail
         output = self._output
@@ -291,6 +325,7 @@ class AhoCorasick:
             if output[state]:
                 end = offset + 1
                 matches.extend((pid, end) for pid in output[state])
+        self.matches_emitted += len(matches)
         return state, matches
 
     def contains_match(self, data: bytes) -> bool:
@@ -361,21 +396,30 @@ class AhoCorasick:
             scan_reference = self.scan_reference
             return [scan_reference(payload)[1] for payload in payloads]
         results: list[list[tuple[int, int]]] = []
+        self.scans += len(payloads)
         start_re = self._start_re
         if start_re is None:
+            self.scanned_bytes += sum(len(payload) for payload in payloads)
+            self.prefilter_skips += len(payloads)
             return [[] for _ in payloads]
         search = start_re.search
         anchored = self._anchored
         scan_anchored = self._scan_anchored
         root = self._root_row
+        bytes_seen = 0
+        skips = 0
+        emitted = 0
         for data in payloads:
+            bytes_seen += len(data)
             matches: list[tuple[int, int]] = []
             results.append(matches)
             anchor = search(data)
             if anchor is None:
+                skips += 1
                 continue
             if anchored:
                 scan_anchored(data, anchor.start(), root, matches)
+                emitted += len(matches)
                 continue
             base = anchor.start()
             row = root
@@ -385,4 +429,8 @@ class AhoCorasick:
                 if out:
                     end = offset + 1
                     matches.extend((pid, end) for pid in out)
+            emitted += len(matches)
+        self.scanned_bytes += bytes_seen
+        self.prefilter_skips += skips
+        self.matches_emitted += emitted
         return results

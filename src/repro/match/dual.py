@@ -61,6 +61,30 @@ class DualAutomaton:
         """True when a folded scan pass is required (any nocase pattern)."""
         return self.folded is not None
 
+    def scan_stats(self) -> dict[str, int | float | bool]:
+        """Summed scan accounting across both sides.
+
+        When both a case-sensitive and a folded automaton exist, each
+        payload is scanned twice (raw and case-folded), and the summed
+        ``scanned_bytes`` reflects that honestly -- it is work done, not
+        wire bytes.
+        """
+        sides = [
+            side.scan_stats()
+            for side in (self.sensitive, self.folded)
+            if side is not None
+        ]
+        scans = sum(s["scans"] for s in sides)
+        skips = sum(s["prefilter_skips"] for s in sides)
+        return {
+            "compiled": all(s["engine"] == "compiled" for s in sides) if sides else False,
+            "scans": scans,
+            "scanned_bytes": sum(s["scanned_bytes"] for s in sides),
+            "matches_emitted": sum(s["matches_emitted"] for s in sides),
+            "prefilter_skips": skips,
+            "prefilter_skip_rate": skips / scans if scans else 0.0,
+        }
+
     def find_all(self, data: bytes) -> list[tuple[int, int]]:
         """All matches as (global_pattern_id, end_offset)."""
         out: list[tuple[int, int]] = []

@@ -11,15 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import Alert, ConventionalIPS, SplitDetectIPS
+from ..core.conventional import PROVISIONED_BUFFER_PER_FLOW
 from ..core.fastpath import FAST_FLOW_STATE_BYTES
 from ..packet import TimedPacket
 from ..streams import FLOW_OVERHEAD_BYTES
 from .cost import CostReport, HardwareModel, conventional_cost, split_detect_cost
 
-#: Reassembly buffering a conventional IPS must provision per connection
-#: (the paper's standards point: 1M connections, each able to buffer an
-#: out-of-order window).  Used for extrapolation, not measurement.
-PROVISIONED_BUFFER_PER_FLOW = 4096
+__all__ = [
+    "PROVISIONED_BUFFER_PER_FLOW",  # re-exported; defined in core.conventional
+    "RunReport",
+    "extrapolate_state",
+    "provisioned_conventional_state",
+    "provisioned_fastpath_state",
+    "run_conventional",
+    "run_split_detect",
+    "state_bytes_ratio",
+    "state_per_flow",
+    "throughput_comparison",
+]
 
 
 @dataclass
@@ -39,6 +48,9 @@ class RunReport:
     slow_bytes: int = 0
     fast_packets: int = 0
     slow_packets: int = 0
+    telemetry: dict | None = None
+    """Registry snapshot taken at the end of the run (None when the
+    engine ran with the no-op registry)."""
 
     @property
     def diversion_byte_fraction(self) -> float:
@@ -68,6 +80,7 @@ def run_split_detect(
         report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
         flows = ips.fast_path.tracked_flows + ips.slow_path.active_flows
         report.peak_flows = max(report.peak_flows, flows)
+        ips.refresh_telemetry()
     report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
     report.packets = ips.stats.packets_total
     report.fast_packets = ips.stats.fast_packets
@@ -79,6 +92,15 @@ def run_split_detect(
     report.divert_reasons = {
         reason.value: count for reason, count in ips.divert_reasons.items()
     }
+    if ips.telemetry.enabled:
+        tel = ips.telemetry
+        tel.gauge(
+            "repro_engine_peak_state_bytes", "Peak sampled per-flow state"
+        ).set(report.peak_state_bytes)
+        tel.gauge(
+            "repro_engine_peak_flows", "Peak sampled concurrent flow count"
+        ).set(report.peak_flows)
+        report.telemetry = ips.telemetry_snapshot()
     return report
 
 
@@ -96,10 +118,28 @@ def run_conventional(
         if index % sample_every == 0:
             report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
             report.peak_flows = max(report.peak_flows, ips.active_flows)
+            ips.refresh_telemetry()
     report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
     report.packets = ips.packets_processed
     report.payload_bytes = ips.bytes_normalized
+    if ips.telemetry.enabled:
+        report.telemetry = ips.telemetry_snapshot()
     return report
+
+
+def state_bytes_ratio(report: RunReport) -> float:
+    """Measured peak Split-Detect state over the conventional equivalent.
+
+    The denominator is what a conventional IPS must hold for the same
+    peak flow population (flow record + provisioned reassembly buffer
+    per flow) -- the regime of the abstract's ~10%-state claim.
+    """
+    if not report.peak_flows:
+        return 0.0
+    conventional = report.peak_flows * (
+        FLOW_OVERHEAD_BYTES + PROVISIONED_BUFFER_PER_FLOW
+    )
+    return report.peak_state_bytes / conventional
 
 
 def state_per_flow(report: RunReport) -> float:

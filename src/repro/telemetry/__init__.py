@@ -1,0 +1,48 @@
+"""Runtime telemetry: metric registry, event journal, and exporters.
+
+Quick tour::
+
+    from repro.telemetry import TelemetryRegistry, to_json, to_prometheus
+
+    tel = TelemetryRegistry()
+    ips = SplitDetectIPS(rules, telemetry=tel)
+    ips.process_batch(trace)
+    ips.refresh_telemetry()          # sample gauges (occupancy, state bytes)
+    print(to_prometheus(tel))        # or to_json(tel)
+
+Every engine defaults to :data:`NULL_REGISTRY`, whose instruments are
+no-op singletons -- instrumentation then costs one guarded check per
+hot-path site.  See DESIGN.md's "Telemetry" section for the metric
+naming scheme and how the exported series map to the paper's claims.
+"""
+
+from .export import summarize, to_json, to_prometheus, write_telemetry
+from .registry import (
+    JOURNAL_CAPACITY,
+    LATENCY_NS_BUCKETS,
+    NULL_REGISTRY,
+    SIZE_BYTES_BUCKETS,
+    Counter,
+    EventJournal,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    TelemetryRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "EventJournal",
+    "Gauge",
+    "Histogram",
+    "JOURNAL_CAPACITY",
+    "LATENCY_NS_BUCKETS",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SIZE_BYTES_BUCKETS",
+    "TelemetryRegistry",
+    "summarize",
+    "to_json",
+    "to_prometheus",
+    "write_telemetry",
+]

@@ -1,0 +1,138 @@
+"""Exporters: Prometheus text format and JSON for a telemetry registry.
+
+Both exporters read only :meth:`TelemetryRegistry.snapshot`-level state,
+so a snapshot taken at one point in a run serializes identically later.
+The Prometheus output follows the text exposition format (``# HELP`` /
+``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` / ``_count`` histogram
+series); the event journal is JSON-only, Prometheus has no event type.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import Counter, Gauge, Histogram, NullRegistry, TelemetryRegistry
+
+
+def to_json(registry: TelemetryRegistry | NullRegistry, *, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bool is an int subtype; never emit True
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _edge_text(edge: float) -> str:
+    return str(int(edge)) if float(edge).is_integer() else repr(edge)
+
+
+def to_prometheus(registry: TelemetryRegistry | NullRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help or metric.name}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_label_text(labels)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, child in metric.samples():
+                cumulative = child.cumulative()
+                for edge, count in zip(metric.edges, cumulative):
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_label_text(labels, {'le': _edge_text(edge)})} {count}"
+                    )
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_text(labels, {'le': '+Inf'})} {cumulative[-1]}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_label_text(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_label_text(labels)} {child.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summarize(
+    registry: TelemetryRegistry | NullRegistry,
+    *,
+    prefix: str = "",
+    skip_zero: bool = True,
+) -> list[str]:
+    """A compact human-readable table of the registry's current values.
+
+    One line per sample: counters and gauges print their value,
+    histograms print ``count`` and ``mean``.  Zero-valued samples are
+    skipped by default (most label sets never fire in a short run), and
+    ``prefix`` filters to one subsystem (e.g. ``"repro_fastpath_"``).
+    """
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if prefix and not metric.name.startswith(prefix):
+            continue
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                if skip_zero and not value:
+                    continue
+                lines.append(
+                    f"{metric.name}{_label_text(labels)} = {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, child in metric.samples():
+                if skip_zero and not child.count:
+                    continue
+                mean = child.sum / child.count if child.count else 0.0
+                lines.append(
+                    f"{metric.name}{_label_text(labels)} "
+                    f"count={child.count} mean={mean:,.0f}"
+                )
+    return lines
+
+
+def write_telemetry(
+    registry: TelemetryRegistry | NullRegistry,
+    path: str | Path,
+    *,
+    format: str = "json",
+) -> Path:
+    """Serialize the registry to ``path`` in the given format.
+
+    ``format`` is ``"json"`` or ``"prometheus"``; the written path is
+    returned so callers can report it.
+    """
+    path = Path(path)
+    if format == "json":
+        text = to_json(registry) + "\n"
+    elif format == "prometheus":
+        text = to_prometheus(registry)
+    else:
+        raise ValueError(f"unknown telemetry format {format!r}")
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,5 +1,7 @@
 """Tests for the splitdetect command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -67,6 +69,75 @@ class TestRun:
         main(["generate", str(pcap), "--flows", "3"])
         capsys.readouterr()
         assert main(["run", str(pcap), "--rules", str(rules_path)]) == 0
+
+
+class TestTelemetryFlags:
+    @pytest.fixture
+    def attack_pcap(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        return path
+
+    def test_telemetry_out_writes_valid_json(self, attack_pcap, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        assert main(["run", str(attack_pcap), "--telemetry-out", str(out)]) == 0
+        assert "telemetry (json) written" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms", "journal"}
+        # The acceptance-criteria series are all present.
+        stages = {
+            sample["labels"]["stage"]
+            for sample in snapshot["histograms"]["repro_engine_stage_latency_ns"]["values"]
+        }
+        assert {"decode", "fast_path", "ac_prescan", "slow_path"} <= stages
+        anomaly = snapshot["counters"]["repro_fastpath_anomaly_total"]
+        assert sum(v["value"] for v in anomaly["values"]) > 0
+        assert snapshot["gauges"]["repro_engine_diversion_byte_fraction"]["values"]
+        ratio = snapshot["gauges"]["repro_run_state_bytes_ratio"]["values"][0]["value"]
+        assert 0 < ratio < 1
+
+    def test_telemetry_prometheus_format(self, attack_pcap, tmp_path, capsys):
+        out = tmp_path / "stats.prom"
+        code = main(["run", str(attack_pcap), "--telemetry-out", str(out),
+                     "--telemetry-format", "prometheus"])
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE repro_engine_packets_total counter" in text
+        assert 'repro_engine_stage_latency_ns_bucket{stage="decode",le="+Inf"}' in text
+
+    def test_telemetry_for_other_engines(self, attack_pcap, tmp_path, capsys):
+        for engine in ("conventional", "naive"):
+            out = tmp_path / f"{engine}.json"
+            code = main(["run", str(attack_pcap), "--engine", engine,
+                         "--telemetry-out", str(out)])
+            assert code == 0
+            snapshot = json.loads(out.read_text())
+            assert any(name.startswith(f"repro_{engine}_")
+                       for name in snapshot["counters"])
+
+    def test_missing_parent_directory_rejected(self, attack_pcap, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "s.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["run", str(attack_pcap), "--telemetry-out", str(bad)])
+        assert exc.value.code == 2
+        assert "parent directory" in capsys.readouterr().err
+
+    def test_no_telemetry_runs_clean(self, attack_pcap, capsys):
+        assert main(["run", str(attack_pcap), "--no-telemetry"]) == 0
+        assert "telemetry" not in capsys.readouterr().out
+
+    def test_no_telemetry_conflicts_with_out(self, attack_pcap, tmp_path, capsys):
+        code = main(["run", str(attack_pcap), "--no-telemetry",
+                     "--telemetry-out", str(tmp_path / "s.json")])
+        assert code == 2
+        assert "drop --no-telemetry" in capsys.readouterr().err
+
+    def test_bad_format_rejected(self, attack_pcap, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(attack_pcap), "--telemetry-format", "xml"]
+            )
 
 
 class TestRulesCommand:

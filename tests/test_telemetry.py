@@ -1,0 +1,453 @@
+"""Tests for the telemetry subsystem: registry, exporters, engine wiring.
+
+Covers the contracts DESIGN.md's Telemetry section promises: Prometheus
+``le`` bucket-edge semantics, label declaration/binding, bounded journal
+arithmetic, idempotent registration, exporter round-trips, the no-op
+registry, and -- at the engine level -- that per-packet and batched
+intake produce identical counters and that ``evict_idle`` returns what
+the eviction counters record.
+"""
+
+import json
+import re
+
+import pytest
+
+from helpers import attack_ruleset, signature_span, attack_payload
+from repro.core import ConventionalIPS, NaivePacketIPS, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.signatures import SplitPolicy
+from repro.telemetry import (
+    JOURNAL_CAPACITY,
+    LATENCY_NS_BUCKETS,
+    NULL_REGISTRY,
+    EventJournal,
+    NullRegistry,
+    TelemetryRegistry,
+    summarize,
+    to_json,
+    to_prometheus,
+    write_telemetry,
+)
+
+
+class TestCounter:
+    def test_unlabeled_inc(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_labeled_children_accumulate_independently(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total", "", label_names=("cause",))
+        c.labels(cause="tiny").inc(2)
+        c.labels(cause="frag").inc()
+        assert c.value_for(cause="tiny") == 2
+        assert c.value_for(cause="frag") == 1
+        assert c.value == 3  # family value sums children
+
+    def test_bound_child_is_cached(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total", "", label_names=("cause",))
+        assert c.labels(cause="x") is c.labels(cause="x")
+
+    def test_labeled_family_rejects_direct_inc(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total", "", label_names=("cause",))
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+    def test_undeclared_label_rejected(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total", "", label_names=("cause",))
+        with pytest.raises(ValueError, match="do not match"):
+            c.labels(reason="x")
+
+    def test_counter_cannot_decrease(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_test_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            tel.counter("repro_lbl_total", label_names=("a",)).labels(a="1").inc(-2)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        tel = TelemetryRegistry()
+        g = tel.gauge("repro_test_bytes")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_labeled_gauge(self):
+        tel = TelemetryRegistry()
+        g = tel.gauge("repro_state_bytes", "", label_names=("component",))
+        g.labels(component="fast").set(24)
+        g.labels(component="slow").set(4096)
+        assert g.value_for(component="fast") == 24
+        assert g.value_for(component="slow") == 4096
+
+
+class TestHistogram:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        # Prometheus le semantics: observe(edge) counts toward that edge.
+        tel = TelemetryRegistry()
+        h = tel.histogram("repro_test_ns", buckets=(10.0, 20.0, 30.0))
+        child = h.labels() if h.label_names else h._children[()]
+        for value in (10.0, 20.0, 30.0):
+            h.observe(value)
+        assert child.bucket_counts == [1, 1, 1, 0]
+        assert child.cumulative() == [1, 2, 3, 3]
+
+    def test_between_edges_and_overflow(self):
+        tel = TelemetryRegistry()
+        h = tel.histogram("repro_test_ns", buckets=(10.0, 20.0))
+        for value in (5, 15, 25, 9999):
+            h.observe(value)
+        child = h._children[()]
+        assert child.bucket_counts == [1, 1, 2]  # last slot is +Inf
+        assert child.count == 4
+        assert child.sum == 5 + 15 + 25 + 9999
+
+    def test_labeled_histogram_children(self):
+        tel = TelemetryRegistry()
+        h = tel.histogram(
+            "repro_stage_ns", "", label_names=("stage",), buckets=(100.0,)
+        )
+        h.labels(stage="fast").observe(50)
+        h.labels(stage="slow").observe(500)
+        assert h.child_for(stage="fast").cumulative() == [1, 1]
+        assert h.child_for(stage="slow").cumulative() == [0, 1]
+        assert h.count == 2
+
+    def test_edges_must_strictly_increase(self):
+        tel = TelemetryRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            tel.histogram("repro_bad_ns", buckets=(10.0, 10.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            tel.histogram("repro_bad2_ns", buckets=(20.0, 10.0))
+        with pytest.raises(ValueError, match="at least one"):
+            tel.histogram("repro_bad3_ns", buckets=())
+
+
+class TestJournal:
+    def test_truncation_drops_oldest_and_reconciles(self):
+        journal = EventJournal(capacity=3)
+        for i in range(7):
+            journal.record("test", "event", ts=float(i), index=i)
+        assert len(journal) == 3
+        assert journal.recorded == 7
+        assert journal.dropped == 4
+        assert len(journal) + journal.dropped == journal.recorded
+        assert [e["index"] for e in journal.events()] == [4, 5, 6]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            EventJournal(capacity=0)
+
+    def test_default_capacity(self):
+        assert TelemetryRegistry().journal.capacity == JOURNAL_CAPACITY
+
+    def test_record_fields_preserved(self):
+        journal = EventJournal()
+        journal.record("engine", "divert", ts=1.5, flow="a->b", reason="tiny")
+        (event,) = journal.events()
+        assert event == {
+            "ts": 1.5,
+            "subsystem": "engine",
+            "event": "divert",
+            "flow": "a->b",
+            "reason": "tiny",
+        }
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        tel = TelemetryRegistry()
+        a = tel.counter("repro_x_total", "first")
+        b = tel.counter("repro_x_total", "second")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        tel = TelemetryRegistry()
+        tel.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            tel.gauge("repro_x_total")
+
+    def test_label_mismatch_rejected(self):
+        tel = TelemetryRegistry()
+        tel.counter("repro_x_total", label_names=("a",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            tel.counter("repro_x_total", label_names=("b",))
+
+    def test_bucket_mismatch_rejected(self):
+        tel = TelemetryRegistry()
+        tel.histogram("repro_x_ns", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            tel.histogram("repro_x_ns", buckets=(1.0, 3.0))
+        # Same buckets is fine (idempotent).
+        assert tel.histogram("repro_x_ns", buckets=(1.0, 2.0)) is tel.get("repro_x_ns")
+
+    def test_get_and_metrics_sorted(self):
+        tel = TelemetryRegistry()
+        tel.counter("repro_b_total")
+        tel.gauge("repro_a_bytes")
+        assert [m.name for m in tel.metrics()] == ["repro_a_bytes", "repro_b_total"]
+        assert tel.get("repro_missing") is None
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_instrument(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("repro_anything_total", label_names=("x",))
+        assert c.labels(x="1") is c  # one singleton impersonates everything
+        c.inc()
+        c.observe(5)
+        c.set(3)
+        c.dec()
+        assert c.value == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.metrics() == []
+
+    def test_null_journal_is_inert(self):
+        NULL_REGISTRY.journal.record("engine", "divert", ts=1.0)
+        assert len(NULL_REGISTRY.journal) == 0
+        assert NULL_REGISTRY.journal.events() == []
+
+    def test_fresh_instances_also_disabled(self):
+        assert NullRegistry().enabled is False
+
+
+def populated_registry() -> TelemetryRegistry:
+    tel = TelemetryRegistry()
+    c = tel.counter("repro_t_anomaly_total", "anomalies", label_names=("cause",))
+    c.labels(cause="tiny_segment").inc(3)
+    c.labels(cause="piece_match").inc()
+    tel.gauge("repro_t_state_bytes", "state").set(1234.5)
+    h = tel.histogram("repro_t_latency_ns", "latency", buckets=(10.0, 100.0))
+    for value in (5, 50, 500):
+        h.observe(value)
+    tel.journal.record("engine", "divert", ts=2.0, reason="tiny_segment")
+    return tel
+
+
+class TestExporters:
+    def test_json_round_trip_matches_snapshot(self):
+        tel = populated_registry()
+        parsed = json.loads(to_json(tel))
+        assert parsed == json.loads(json.dumps(tel.snapshot()))
+        counter = parsed["counters"]["repro_t_anomaly_total"]
+        assert {"labels": {"cause": "tiny_segment"}, "value": 3} in counter["values"]
+        hist = parsed["histograms"]["repro_t_latency_ns"]
+        assert hist["bucket_edges"] == [10.0, 100.0]
+        assert hist["values"][0]["cumulative_counts"] == [1, 2, 3]
+        assert parsed["journal"]["events"][0]["reason"] == "tiny_segment"
+
+    def test_prometheus_parses_line_by_line(self):
+        text = to_prometheus(populated_registry())
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+            r'(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})?'  # labels
+            r" -?[0-9.e+Inf]+$"                   # value
+        )
+        lines = text.strip().split("\n")
+        assert lines, "exporter emitted nothing"
+        for line in lines:
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert sample_re.match(line), f"unparseable sample line: {line!r}"
+
+    def test_prometheus_histogram_series(self):
+        text = to_prometheus(populated_registry())
+        assert 'repro_t_latency_ns_bucket{le="10"} 1' in text
+        assert 'repro_t_latency_ns_bucket{le="100"} 2' in text
+        assert 'repro_t_latency_ns_bucket{le="+Inf"} 3' in text
+        assert "repro_t_latency_ns_sum 555" in text
+        assert "repro_t_latency_ns_count 3" in text
+
+    def test_prometheus_type_headers(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_t_anomaly_total counter" in text
+        assert "# TYPE repro_t_state_bytes gauge" in text
+        assert "# TYPE repro_t_latency_ns histogram" in text
+
+    def test_label_escaping(self):
+        tel = TelemetryRegistry()
+        c = tel.counter("repro_t_total", label_names=("msg",))
+        c.labels(msg='say "hi"\nback\\slash').inc()
+        text = to_prometheus(tel)
+        assert r'msg="say \"hi\"\nback\\slash"' in text
+
+    def test_write_telemetry_both_formats(self, tmp_path):
+        tel = populated_registry()
+        json_path = write_telemetry(tel, tmp_path / "s.json")
+        prom_path = write_telemetry(tel, tmp_path / "s.prom", format="prometheus")
+        assert json.loads(json_path.read_text())["gauges"]
+        assert prom_path.read_text() == to_prometheus(tel)
+        with pytest.raises(ValueError, match="unknown telemetry format"):
+            write_telemetry(tel, tmp_path / "s.x", format="xml")
+
+    def test_summarize_skips_zero_and_filters(self):
+        tel = populated_registry()
+        tel.counter("repro_t_never_total", "never fires")
+        lines = summarize(tel)
+        assert not any("repro_t_never_total" in line for line in lines)
+        assert any("repro_t_state_bytes = 1234.5" in line for line in lines)
+        only_anomaly = summarize(tel, prefix="repro_t_anomaly")
+        assert only_anomaly == [
+            'repro_t_anomaly_total{cause="piece_match"} = 1',
+            'repro_t_anomaly_total{cause="tiny_segment"} = 3',
+        ]
+
+
+def split_ips(telemetry):
+    return SplitDetectIPS(
+        attack_ruleset(),
+        split_policy=SplitPolicy(piece_length=8),
+        telemetry=telemetry,
+    )
+
+
+def sample_trace():
+    """Two attack flows (one divertable, one in-order) plus the packets
+    interleaved deterministically by the builders."""
+    first = build_attack("tcp_seg_8", attack_payload(), signature_span=signature_span())
+    second = build_attack(
+        "plain", attack_payload(), signature_span=signature_span(), src="10.9.9.10"
+    )
+    return first + second
+
+
+def counter_state(tel: TelemetryRegistry) -> dict:
+    """Every counter sample in the registry, as comparable plain data."""
+    out = {}
+    for metric in tel.metrics():
+        if metric.kind == "counter":
+            out[metric.name] = [
+                (labels, value) for labels, value in metric.samples()
+            ]
+    return out
+
+
+class TestEngineTelemetry:
+    def test_process_and_process_batch_counters_identical(self):
+        trace = sample_trace()
+        tel_single, tel_batch = TelemetryRegistry(), TelemetryRegistry()
+        ips_single, ips_batch = split_ips(tel_single), split_ips(tel_batch)
+        alerts_single = [a for p in trace for a in ips_single.process(p)]
+        alerts_batch = ips_batch.process_batch(trace)
+        assert [str(a) for a in alerts_single] == [str(a) for a in alerts_batch]
+        assert counter_state(tel_single) == counter_state(tel_batch)
+
+    def test_diversion_counters_match_engine_stats(self):
+        tel = TelemetryRegistry()
+        ips = split_ips(tel)
+        ips.process_batch(sample_trace())
+        diversions = tel.get("repro_engine_diversions_total")
+        by_reason = {
+            labels["reason"]: value
+            for labels, value in diversions.samples()
+            if value
+        }
+        assert by_reason == {
+            reason.value: count for reason, count in ips.divert_reasons.items()
+        }
+        assert diversions.value == ips.stats.diversions
+
+    def test_stage_latency_histogram_observes_all_stages(self):
+        tel = TelemetryRegistry()
+        ips = split_ips(tel)
+        ips.process_batch(sample_trace())
+        stage = tel.get("repro_engine_stage_latency_ns")
+        observed = {
+            labels["stage"]: child.count for labels, child in stage.samples()
+        }
+        assert observed["decode"] == ips.stats.packets_total
+        assert observed["fast_path"] == ips.stats.fast_packets
+        assert observed["slow_path"] == ips.stats.slow_packets
+        assert observed["ac_prescan"] >= 1  # once per batch
+
+    def test_journal_records_diversions_with_packet_time(self):
+        tel = TelemetryRegistry()
+        ips = split_ips(tel)
+        trace = sample_trace()
+        ips.process_batch(trace)
+        diverts = [e for e in tel.journal.events() if e["event"] == "divert"]
+        assert len(diverts) == ips.stats.diversions
+        trace_times = {p.timestamp for p in trace}
+        assert all(e["ts"] in trace_times for e in diverts)
+
+    def test_evict_idle_returns_count_matching_counters(self):
+        tel = TelemetryRegistry()
+        ips = split_ips(tel)
+        ips.process_batch(sample_trace())
+        evicted = ips.evict_idle(now=1e9)
+        assert evicted > 0  # both flows idle far in the past
+        evictions = tel.get("repro_engine_evictions_total")
+        assert evictions.value == evicted
+        sweeps = [e for e in tel.journal.events() if e["event"] == "evict_sweep"]
+        assert sweeps
+        assert sweeps[-1]["fast_evicted"] + sweeps[-1]["slow_evicted"] == evicted
+        # A second sweep finds nothing and is not journaled again.
+        assert ips.evict_idle(now=2e9) == 0
+
+    def test_state_ratio_gauge_positive_and_below_one(self):
+        tel = TelemetryRegistry()
+        ips = split_ips(tel)
+        ips.process_batch(sample_trace())
+        ips.refresh_telemetry()
+        ratio = tel.get("repro_engine_state_bytes_ratio").value
+        assert 0 < ratio < 1  # the paper's whole point
+
+    def test_disabled_engine_records_nothing(self):
+        ips = split_ips(NULL_REGISTRY)
+        alerts = ips.process_batch(sample_trace())
+        assert alerts  # detection unaffected
+        assert ips.telemetry.snapshot() == {}
+
+    def test_default_is_null_registry(self):
+        for engine in (
+            SplitDetectIPS(attack_ruleset()),
+            ConventionalIPS(attack_ruleset()),
+            NaivePacketIPS(attack_ruleset()),
+        ):
+            assert engine.telemetry is NULL_REGISTRY
+
+    def test_conventional_telemetry(self):
+        tel = TelemetryRegistry()
+        ips = ConventionalIPS(attack_ruleset(), telemetry=tel)
+        trace = sample_trace()
+        alerts = [a for p in trace for a in ips.process(p)]
+        ips.refresh_telemetry()
+        assert tel.get("repro_conventional_packets_total").value == len(trace)
+        assert tel.get("repro_conventional_alerts_total").value == len(alerts)
+        assert tel.get("repro_conventional_packet_latency_ns").count == len(trace)
+        assert (
+            tel.get("repro_conventional_normalized_bytes_total").value
+            == ips.bytes_normalized
+        )
+
+    def test_naive_telemetry_batch_equals_sequential(self):
+        trace = sample_trace()
+        tel_a, tel_b = TelemetryRegistry(), TelemetryRegistry()
+        a = NaivePacketIPS(attack_ruleset(), telemetry=tel_a)
+        b = NaivePacketIPS(attack_ruleset(), telemetry=tel_b)
+        for packet in trace:
+            a.process(packet)
+        b.process_batch(trace)
+        assert counter_state(tel_a) == counter_state(tel_b)
+        assert tel_a.get("repro_naive_bytes_total" ) is None  # naming check
+        assert tel_a.get("repro_naive_scanned_bytes_total").value == a.bytes_scanned
+
+    def test_shared_registry_across_engines_aggregates(self):
+        tel = TelemetryRegistry()
+        first, second = split_ips(tel), split_ips(tel)
+        trace = sample_trace()
+        first.process_batch(trace)
+        packets_after_first = tel.get("repro_engine_packets_total").value
+        second.process_batch(trace)
+        assert tel.get("repro_engine_packets_total").value == 2 * packets_after_first

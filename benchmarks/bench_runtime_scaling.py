@@ -1,0 +1,153 @@
+"""Runtime scaling gate -- sharding must add capacity, not change results.
+
+Drives one mixed trace (benign background + catalog attacks) through the
+sharded runtime at 1/2/4/8 workers and checks the two contracts of
+``repro.runtime``:
+
+- **equivalence**: every worker count -- serial or parallel -- produces
+  the same :func:`repro.runtime.equivalence_digest` (same alert set,
+  same summed packet/byte/diversion counters) as the single-shard run;
+- **scaling**: aggregate shard throughput (sum of per-shard engine busy
+  rates, i.e. the capacity the shards provide when each has its own
+  core) at 4 workers is at least ``MIN_SCALING_4X`` times the 1-worker
+  figure.  Wall-clock throughput is reported alongside but not gated:
+  it depends on how many cores the host actually has, which CI does not
+  guarantee (``host.cpu_count`` is recorded in the output).
+
+The machine-readable results land in ``BENCH_runtime.json`` at the repo
+root; CI uploads it as an artifact.  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_scaling.py
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from exp_common import benign_trace, emit, gauntlet_ruleset, gauntlet_payload, ATTACK_OFFSET, ATTACK_SIGNATURE
+from repro.evasion import build_attack
+from repro.runtime import (
+    EngineSpec,
+    ParallelRunner,
+    RunnerConfig,
+    SerialRunner,
+)
+from repro.traffic import inject_attacks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Aggregate shard throughput at 4 workers must be at least this factor
+#: of the 1-worker aggregate (perfect scaling would be ~4x).
+MIN_SCALING_4X = 2.0
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BATCH_SIZE = 256
+TRACE_FLOWS = 500
+
+
+def scaling_trace():
+    """A trace big enough to amortize worker startup, with attacks in it."""
+    trace = benign_trace(TRACE_FLOWS, seed=2006)
+    attacks = [
+        build_attack(
+            name,
+            gauntlet_payload(),
+            signature_span=(ATTACK_OFFSET, len(ATTACK_SIGNATURE)),
+            src=f"10.66.0.{i + 1}",
+            seed=i,
+        )
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8", "stealth_segments"])
+    ]
+    return inject_attacks(trace, attacks)
+
+
+def run_scaling() -> dict:
+    trace = scaling_trace()
+    spec = EngineSpec(rules=gauntlet_ruleset())
+    config = RunnerConfig(batch_size=BATCH_SIZE)
+
+    reference = SerialRunner(spec, shards=1, config=config).run(trace)
+    rows = []
+    for workers in WORKER_COUNTS:
+        report = ParallelRunner(spec, workers=workers, config=config).run(trace)
+        rows.append(
+            {
+                "workers": workers,
+                "packets": report.packets,
+                "alerts": len(report.alerts),
+                "wall_seconds": round(report.wall_seconds, 4),
+                "wall_throughput_pps": round(report.wall_throughput_pps, 1),
+                "aggregate_shard_pps": round(report.aggregate_shard_pps, 1),
+                "shard_packets": [s.stats.packets_total for s in report.shards],
+                "digest": report.digest(),
+                "shed_packets": report.shed_packets,
+            }
+        )
+    aggregate_1 = rows[0]["aggregate_shard_pps"]
+    aggregate_4 = next(r for r in rows if r["workers"] == 4)["aggregate_shard_pps"]
+    return {
+        "trace": {
+            "flows": TRACE_FLOWS,
+            "packets": len(trace),
+            "attacks": ["tcp_seg_8", "ip_frag_8", "stealth_segments"],
+        },
+        "host": {"cpu_count": os.cpu_count()},
+        "batch_size": BATCH_SIZE,
+        "reference_digest": reference.digest(),
+        "reference_alerts": len(reference.alerts),
+        "rows": rows,
+        "scaling_4x_aggregate": round(aggregate_4 / aggregate_1, 2),
+        "min_scaling_required": MIN_SCALING_4X,
+    }
+
+
+def check_and_emit(result: dict, capfd=None) -> None:
+    (REPO_ROOT / "BENCH_runtime.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    lines = [
+        f"trace: {result['trace']['packets']} packets "
+        f"({result['trace']['flows']} flows + {len(result['trace']['attacks'])} attacks), "
+        f"host cpus: {result['host']['cpu_count']}",
+        f"{'workers':>7}  {'wall s':>8}  {'wall pps':>10}  {'aggregate pps':>13}  digest",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['workers']:>7}  {row['wall_seconds']:>8.3f}  "
+            f"{row['wall_throughput_pps']:>10,.0f}  "
+            f"{row['aggregate_shard_pps']:>13,.0f}  {row['digest'][:12]}"
+        )
+    lines.append(
+        f"aggregate scaling at 4 workers: {result['scaling_4x_aggregate']}x "
+        f"(gate: >= {result['min_scaling_required']}x)"
+    )
+    emit("runtime_scaling", lines, capfd)
+
+    reference = result["reference_digest"]
+    for row in result["rows"]:
+        assert row["digest"] == reference, (
+            f"{row['workers']}-worker run diverged from the single-shard "
+            f"reference: {row['digest']} != {reference}"
+        )
+        assert row["shed_packets"] == 0, "lossless run shed packets"
+        assert row["packets"] == result["trace"]["packets"]
+    assert result["reference_alerts"] > 0, "gauntlet produced no alerts"
+    assert result["scaling_4x_aggregate"] >= MIN_SCALING_4X, (
+        f"aggregate throughput scaled only "
+        f"{result['scaling_4x_aggregate']}x at 4 workers "
+        f"(need >= {MIN_SCALING_4X}x)"
+    )
+
+
+def test_runtime_scaling(capfd):
+    """Equivalence at every worker count + the 4-worker scaling gate.
+
+    Emits BENCH_runtime.json."""
+    check_and_emit(run_scaling(), capfd)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent))
+    check_and_emit(run_scaling())
+    print("runtime scaling gate passed", file=sys.stderr)

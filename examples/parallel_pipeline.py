@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Scaling out: the flow-hashed sharded runtime, serial vs parallel.
+
+Split-Detect keeps every byte of per-flow state keyed by the connection,
+so the engine shards perfectly behind an RSS-style flow hash: N workers,
+each owning all state for its slice of the flows, no cross-shard
+communication at all.  This demo builds a mixed trace (benign background
+plus two catalog evasions, one of them IP-fragmented), runs it through
+
+- the unsharded engine (the reference),
+- SerialRunner with 4 shards in one thread,
+- ParallelRunner with 4 worker processes,
+
+and shows they produce the identical alert list and counters -- the
+equivalence digest -- while the parallel run reports per-shard
+throughput.
+
+Run:  python examples/parallel_pipeline.py
+"""
+
+from repro.core import SplitDetectIPS
+from repro.evasion import build_attack
+from repro.runtime import (
+    EngineSpec,
+    ParallelRunner,
+    RunnerConfig,
+    SerialRunner,
+    equivalence_digest,
+    iter_batches,
+)
+from repro.signatures import RuleSet, Signature
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+SIGNATURE = b"EVIL-PAYLOAD\x90\x90\x90\x90:exec/bin/sh"
+OFFSET = 120
+
+rules = RuleSet()
+rules.add(Signature(sid=3001, pattern=SIGNATURE, msg="demo target"))
+
+payload = bytearray(b"Content-Filler: benign web traffic padding / " * 30)
+payload[OFFSET : OFFSET + len(SIGNATURE)] = SIGNATURE
+payload = bytes(payload)
+
+print("== building a mixed trace (benign flows + 2 evasion attacks) ==")
+trace = inject_attacks(
+    generate_trace(TrafficProfile(flows=150), seed=42),
+    [
+        build_attack(name, payload, signature_span=(OFFSET, len(SIGNATURE)),
+                     src=f"10.66.0.{i + 1}", seed=i)
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8"])
+    ],
+)
+print(f"   {len(trace)} packets\n")
+
+spec = EngineSpec(rules=rules)
+config = RunnerConfig(batch_size=128, telemetry=True)
+
+print("== reference: one unsharded engine ==")
+ips = SplitDetectIPS(rules)
+ref_alerts = []
+for batch in iter_batches(trace, 128):
+    ref_alerts.extend(ips.process_batch(batch))
+ref_digest = equivalence_digest(ref_alerts, ips.stats)
+print(f"   {len(ref_alerts)} alerts, digest {ref_digest[:16]}...\n")
+
+print("== SerialRunner, 4 shards, one thread ==")
+serial = SerialRunner(spec, shards=4, config=config).run(trace)
+print(f"   {len(serial.alerts)} alerts, digest {serial.digest()[:16]}...")
+for shard in serial.shards:
+    print(f"   shard[{shard.shard}]: {shard.stats.packets_total} packets, "
+          f"{len(shard.alerts)} alerts, {shard.diverted_flows} diverted")
+print()
+
+print("== ParallelRunner, 4 worker processes, bounded queues ==")
+parallel = ParallelRunner(spec, workers=4, config=config).run(trace)
+print(f"   {len(parallel.alerts)} alerts, digest {parallel.digest()[:16]}...")
+print(f"   wall: {parallel.wall_seconds:.2f}s "
+      f"({parallel.wall_throughput_pps:,.0f} pkt/s end to end)")
+print(f"   aggregate shard capacity: {parallel.aggregate_shard_pps:,.0f} pkt/s "
+      f"(sum of per-shard CPU rates)")
+for shard in parallel.shards:
+    print(f"   shard[{shard.shard}]: {shard.stats.packets_total} packets in "
+          f"{shard.busy_seconds * 1000:.0f} ms of CPU")
+print()
+
+print("== equivalence ==")
+assert serial.digest() == ref_digest, "serial diverged from unsharded"
+assert parallel.digest() == ref_digest, "parallel diverged from unsharded"
+assert serial.alerts == parallel.alerts, "merged alert order differs"
+print("   unsharded == serial(4) == parallel(4): identical alert sets and")
+print("   summed packet/byte/diversion counters (same equivalence digest).")
+print()
+print("the flow hash sends both directions of a connection -- and every")
+print("fragment of its datagrams -- to the same shard, so sharding never")
+print("changes what the engine sees per flow, only who processes it.")

@@ -23,6 +23,14 @@ from .metrics import (
     throughput_comparison,
 )
 from .pcap import read_trace, write_trace
+from .runtime import (
+    Backpressure,
+    EngineSpec,
+    ParallelRunner,
+    RunnerConfig,
+    ShardPolicy,
+    iter_batches,
+)
 from .signatures import (
     SplitPolicy,
     load_bundled_rules,
@@ -41,6 +49,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -72,14 +87,73 @@ def _finish_telemetry(args: argparse.Namespace, ips, report=None) -> None:
         print(f"telemetry ({args.telemetry_format}) written to {path}")
 
 
+def _print_alerts(alerts, max_alerts: int) -> None:
+    print(f"alerts: {len(alerts)}")
+    for alert in alerts[:max_alerts]:
+        print(f"  {alert}")
+    if len(alerts) > max_alerts:
+        print(f"  ... and {len(alerts) - max_alerts} more")
+
+
+def _cmd_run_parallel(args: argparse.Namespace, rules) -> int:
+    """The sharded path: N worker processes behind the flow hash."""
+    spec = EngineSpec(
+        rules=rules, split_policy=SplitPolicy(piece_length=args.piece_length)
+    )
+    config = RunnerConfig(
+        batch_size=args.batch_size,
+        shard_policy=ShardPolicy(args.shard_policy),
+        backpressure=Backpressure.SHED if args.shed else Backpressure.BLOCK,
+        queue_depth=args.queue_depth,
+        evict_interval=args.evict_interval,
+        telemetry=not args.no_telemetry,
+    )
+    runner = ParallelRunner(spec, workers=args.workers, config=config)
+    report = runner.run(read_trace(args.pcap))
+    print(
+        f"processed {report.packets} packets across {report.workers} shards "
+        f"in {report.wall_seconds:.2f}s "
+        f"({report.wall_throughput_pps:,.0f} pkt/s wall, "
+        f"{report.aggregate_shard_pps:,.0f} pkt/s aggregate)"
+    )
+    if report.shed_packets:
+        print(f"SHED {report.shed_packets} packets "
+              f"({report.shed_batches} batches) under backpressure")
+    print(f"diverted flows: {report.diverted_flows}  "
+          f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
+    for reason, count in sorted(report.divert_reasons.items()):
+        print(f"  divert[{reason}] = {count}")
+    for shard in report.shards:
+        print(f"  shard[{shard.shard}]: {shard.stats.packets_total} packets, "
+              f"{len(shard.alerts)} alerts, {shard.diverted_flows} diverted, "
+              f"{shard.busy_seconds:.2f}s busy")
+    print(f"peak state: {report.peak_state_bytes} bytes over "
+          f"{report.peak_flows} flows (summed shard provisioning)")
+    _print_alerts(report.alerts, args.max_alerts)
+    if report.registry is not None and args.telemetry_out is not None:
+        path = write_telemetry(
+            report.registry, args.telemetry_out, format=args.telemetry_format
+        )
+        print(f"telemetry ({args.telemetry_format}) written to {path}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.no_telemetry and args.telemetry_out is not None:
         print("--telemetry-out needs instrumentation; drop --no-telemetry",
               file=sys.stderr)
         return 2
+    if args.workers and args.engine != "split":
+        print("--workers shards the split engine only; conventional/naive "
+              "baselines run single-process", file=sys.stderr)
+        return 2
     rules = _load_ruleset(args.rules)
-    trace = list(read_trace(args.pcap))
-    print(f"loaded {len(trace)} packets, {len(rules)} signatures")
+    print(f"loaded {len(rules)} signatures")
+    if args.workers:
+        return _cmd_run_parallel(args, rules)
+    # Single-process path.  The trace is streamed lazily off the pcap in
+    # batches, so footprint stays bounded regardless of capture size.
+    trace = read_trace(args.pcap)
     telemetry = NULL_REGISTRY if args.no_telemetry else TelemetryRegistry()
     if args.engine == "split":
         ips = SplitDetectIPS(
@@ -87,7 +161,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             split_policy=SplitPolicy(piece_length=args.piece_length),
             telemetry=telemetry,
         )
-        report = run_split_detect(ips, trace, batch_size=args.batch_size)
+        report = run_split_detect(
+            ips,
+            trace,
+            batch_size=args.batch_size,
+            evict_interval=args.evict_interval,
+        )
+        print(f"processed {report.packets} packets")
         print(f"diverted flows: {report.diverted_flows}  "
               f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
         for reason, count in sorted(report.divert_reasons.items()):
@@ -95,22 +175,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     elif args.engine == "conventional":
         ips = ConventionalIPS(rules, telemetry=telemetry)
         report = run_conventional(ips, trace)
+        print(f"processed {report.packets} packets")
     else:
         ips = NaivePacketIPS(rules, telemetry=telemetry)
         alerts = []
-        for start in range(0, len(trace), args.batch_size):
-            alerts.extend(ips.process_batch(trace[start : start + args.batch_size]))
-        print(f"alerts: {len(alerts)}")
-        for alert in alerts[: args.max_alerts]:
-            print(f"  {alert}")
+        packets = 0
+        for batch in iter_batches(trace, args.batch_size):
+            alerts.extend(ips.process_batch(batch))
+            packets += len(batch)
+        print(f"processed {packets} packets")
+        _print_alerts(alerts, args.max_alerts)
         _finish_telemetry(args, ips)
         return 0
     print(f"peak state: {report.peak_state_bytes} bytes over {report.peak_flows} flows")
-    print(f"alerts: {len(report.alerts)}")
-    for alert in report.alerts[: args.max_alerts]:
-        print(f"  {alert}")
-    if len(report.alerts) > args.max_alerts:
-        print(f"  ... and {len(report.alerts) - args.max_alerts} more")
+    _print_alerts(report.alerts, args.max_alerts)
     _finish_telemetry(args, ips, report)
     return 0
 
@@ -232,6 +310,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry",
         action="store_true",
         help="run with the no-op registry (skips all instrumentation)",
+    )
+    run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="shard the split engine across N worker processes behind a "
+             "flow-consistent hash (default: single-process)",
+    )
+    run.add_argument(
+        "--shard-policy",
+        choices=tuple(policy.value for policy in ShardPolicy),
+        default=ShardPolicy.FLOW.value,
+        help="shard key: 'flow' hashes the address pair (fragment-safe, "
+             "default); 'tuple5' adds ports for finer balance",
+    )
+    pressure = run.add_mutually_exclusive_group()
+    pressure.add_argument(
+        "--block",
+        action="store_true",
+        help="block the feeder when a shard queue is full (lossless; default)",
+    )
+    pressure.add_argument(
+        "--shed",
+        action="store_true",
+        help="drop batches when a shard queue is full, counting every "
+             "shed packet",
+    )
+    run.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=8,
+        help="bounded per-worker queue depth, in batches (default: 8)",
+    )
+    run.add_argument(
+        "--evict-interval",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="sweep idle flow state every SECONDS of packet time "
+             "(default: no automatic eviction)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -83,12 +83,15 @@ class ConventionalIPS:
             buckets=LATENCY_NS_BUCKETS,
         )
         self._g_flows = tel.gauge(
-            "repro_conventional_active_flows", "Flows holding reassembly state"
+            "repro_conventional_active_flows",
+            "Flows holding reassembly state",
+            merge="sum",
         )
         self._g_state = tel.gauge(
             "repro_conventional_state_bytes",
             "Reassembly buffers + flow table + matcher state "
             "(the numerator every-flow cost Split-Detect avoids)",
+            merge="sum",
         )
 
     # -- accounting ------------------------------------------------------

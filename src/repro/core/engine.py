@@ -178,22 +178,27 @@ class SplitDetectIPS:
         self._c_evict_fast = evictions.labels(path="fast")
         self._c_evict_slow = evictions.labels(path="slow")
         self._g_diverted = tel.gauge(
-            "repro_engine_diverted_flows", "Flows currently routed to the slow path"
+            "repro_engine_diverted_flows",
+            "Flows currently routed to the slow path",
+            merge="sum",
         )
         self._g_state = tel.gauge(
             "repro_engine_state_bytes",
             "Per-flow state held right now, by component",
             ("component",),
+            merge="sum",
         )
         self._g_div_frac = tel.gauge(
             "repro_engine_diversion_byte_fraction",
             "Fraction of examined payload bytes that went to the slow path "
             "(the abstract's 'very little traffic is diverted' claim)",
+            merge="max",
         )
         self._g_ratio = tel.gauge(
             "repro_engine_state_bytes_ratio",
             "Peak Split-Detect state over the conventional-IPS state for the "
             "same flows (the abstract's ~10%-state claim; lower is better)",
+            merge="max",
         )
         self._tel_peak_state = 0
         self._tel_peak_conventional = 0

@@ -197,14 +197,17 @@ class FastPath:
         self._g_monitor = tel.gauge(
             "repro_fastpath_monitor_entries",
             "Flow directions currently occupying monitor entries",
+            merge="sum",
         )
         self._g_state = tel.gauge(
             "repro_fastpath_state_bytes",
             "Fast-path per-flow state footprint (provisioned when fixed-table)",
+            merge="sum",
         )
         self._g_table_evictions = tel.gauge(
             "repro_fastpath_table_evictions",
             "Fixed flow-table evictions so far (0 when unbounded)",
+            merge="sum",
         )
 
     # -- accounting ------------------------------------------------------
@@ -247,18 +250,22 @@ class FastPath:
             tel.gauge(
                 "repro_match_scans",
                 "Automaton scan calls (fast-path piece automaton)",
+                merge="sum",
             ).set(stats["scans"])
             tel.gauge(
                 "repro_match_scanned_bytes",
                 "Bytes the piece automaton actually stepped or prefiltered",
+                merge="sum",
             ).set(stats["scanned_bytes"])
             tel.gauge(
                 "repro_match_matches_emitted",
                 "Raw automaton match tuples emitted",
+                merge="sum",
             ).set(stats["matches_emitted"])
             tel.gauge(
                 "repro_match_prefilter_skip_rate",
                 "Fraction of scans the first-byte prefilter proved match-free",
+                merge="max",
             ).set(stats["prefilter_skip_rate"])
 
     # -- packet intake ------------------------------------------------------

@@ -114,16 +114,20 @@ class SlowPath:
             "repro_slowpath_evictions_total", "Idle diverted flows reclaimed"
         )
         self._g_flows = tel.gauge(
-            "repro_slowpath_active_flows", "Diverted flows holding reassembly state"
+            "repro_slowpath_active_flows",
+            "Diverted flows holding reassembly state",
+            merge="sum",
         )
         self._g_state = tel.gauge(
             "repro_slowpath_state_bytes",
             "Reassembly + matcher state bytes (the 10%-state claim's denominator "
             "is the conventional equivalent of this for every flow)",
+            merge="sum",
         )
         self._g_buffered = tel.gauge(
             "repro_slowpath_buffered_bytes",
             "Out-of-order bytes currently buffered by reassembly",
+            merge="sum",
         )
 
     # -- accounting ------------------------------------------------------

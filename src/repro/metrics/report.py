@@ -8,12 +8,14 @@ tables and figures report.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..core import Alert, ConventionalIPS, SplitDetectIPS
 from ..core.conventional import PROVISIONED_BUFFER_PER_FLOW
 from ..core.fastpath import FAST_FLOW_STATE_BYTES
 from ..packet import TimedPacket
+from ..runtime.batching import iter_batches
 from ..streams import FLOW_OVERHEAD_BYTES
 from .cost import CostReport, HardwareModel, conventional_cost, split_detect_cost
 
@@ -48,6 +50,10 @@ class RunReport:
     slow_bytes: int = 0
     fast_packets: int = 0
     slow_packets: int = 0
+    evictions: int = 0
+    """Idle per-flow entries reclaimed by automatic ``evict_idle`` sweeps
+    (0 unless the run was driven with an ``evict_interval``)."""
+
     telemetry: dict | None = None
     """Registry snapshot taken at the end of the run (None when the
     engine ran with the no-op registry)."""
@@ -60,23 +66,41 @@ class RunReport:
 
 def run_split_detect(
     ips: SplitDetectIPS,
-    trace: list[TimedPacket],
+    trace: Iterable[TimedPacket],
     *,
     label: str = "split-detect",
     sample_every: int = 200,
     batch_size: int | None = None,
+    evict_interval: float | None = None,
 ) -> RunReport:
     """Feed a trace through a Split-Detect engine, sampling peak state.
 
-    Packets are driven through :meth:`SplitDetectIPS.process_batch` in
-    batches of ``batch_size`` (default: ``sample_every``, so state is
-    sampled between batches exactly as the per-packet loop used to)."""
+    ``trace`` may be any iterable -- in particular a lazy
+    :func:`repro.pcap.read_trace` iterator, which keeps the resident
+    footprint at one batch no matter the pcap size.  Packets are driven
+    through :meth:`SplitDetectIPS.process_batch` in batches of
+    ``batch_size`` (default: ``sample_every``, so state is sampled
+    between batches exactly as the per-packet loop used to).
+
+    ``evict_interval`` (seconds of *packet time*) arms automatic
+    :meth:`SplitDetectIPS.evict_idle` sweeps -- the same housekeeping
+    the sharded runtime's workers run -- so long traces shed dead flows
+    without the caller remembering to.  ``None`` (default) preserves
+    the no-eviction behaviour."""
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     report = RunReport(label=label)
     step = batch_size or sample_every
-    for start in range(0, len(trace), step):
-        report.alerts.extend(ips.process_batch(trace[start : start + step]))
+    evict_anchor: float | None = None
+    for batch in iter_batches(trace, step):
+        report.alerts.extend(ips.process_batch(batch))
+        if evict_interval is not None:
+            now = batch[-1].timestamp
+            if evict_anchor is None:
+                evict_anchor = batch[0].timestamp
+            if now - evict_anchor >= evict_interval:
+                report.evictions += ips.evict_idle(now)
+                evict_anchor = now
         report.peak_state_bytes = max(report.peak_state_bytes, ips.state_bytes())
         flows = ips.fast_path.tracked_flows + ips.slow_path.active_flows
         report.peak_flows = max(report.peak_flows, flows)
@@ -95,10 +119,14 @@ def run_split_detect(
     if ips.telemetry.enabled:
         tel = ips.telemetry
         tel.gauge(
-            "repro_engine_peak_state_bytes", "Peak sampled per-flow state"
+            "repro_engine_peak_state_bytes",
+            "Peak sampled per-flow state",
+            merge="sum",
         ).set(report.peak_state_bytes)
         tel.gauge(
-            "repro_engine_peak_flows", "Peak sampled concurrent flow count"
+            "repro_engine_peak_flows",
+            "Peak sampled concurrent flow count",
+            merge="sum",
         ).set(report.peak_flows)
         report.telemetry = ips.telemetry_snapshot()
     return report
@@ -106,12 +134,14 @@ def run_split_detect(
 
 def run_conventional(
     ips: ConventionalIPS,
-    trace: list[TimedPacket],
+    trace: Iterable[TimedPacket],
     *,
     label: str = "conventional",
     sample_every: int = 200,
 ) -> RunReport:
-    """Feed a trace through the conventional baseline, sampling peak state."""
+    """Feed a trace through the conventional baseline, sampling peak state.
+
+    Accepts any iterable (the packet loop is already streaming)."""
     report = RunReport(label=label)
     for index, packet in enumerate(trace):
         report.alerts.extend(ips.process(packet))

@@ -1,0 +1,62 @@
+"""Sharded parallel runtime: flow-hashed shared-nothing engine shards.
+
+The paper argues Split-Detect is feasible at 20 Gbps; one Python process
+is not.  This package provides the standard scale-out recipe (the
+RSS-style design of multi-queue NICs and DPDK pipelines): a
+flow-consistent hash partitions traffic across N independent
+:class:`~repro.core.SplitDetectIPS` shards, each owning all state for
+its flows, and a merge layer reassembles one deterministic report.
+
+Quick tour::
+
+    from repro.runtime import EngineSpec, ParallelRunner, RunnerConfig
+
+    spec = EngineSpec(rules=load_bundled_rules())
+    runner = ParallelRunner(spec, workers=4,
+                            config=RunnerConfig(telemetry=True))
+    report = runner.run(read_trace("big.pcap"))   # streams lazily
+    print(report.alerts[:10], report.digest())
+
+- :mod:`~repro.runtime.sharding` -- the symmetric FNV-1a flow hash and
+  the fragmentation-safe default shard key;
+- :class:`SerialRunner` -- same router + merge, one thread, for tests
+  and bit-for-bit comparison against :class:`ParallelRunner`;
+- :class:`ParallelRunner` -- multiprocessing workers behind bounded
+  queues with block/shed backpressure and graceful drain;
+- :mod:`~repro.runtime.report` -- deterministic alert ordering, summed
+  counters, merged telemetry, and the equivalence digest.
+"""
+
+from .batching import iter_batches
+from .config import Backpressure, RunnerConfig
+from .parallel import ParallelRunner, WorkerFailure
+from .report import (
+    RuntimeReport,
+    ShardReport,
+    alert_sort_key,
+    equivalence_digest,
+    merge_shard_reports,
+)
+from .serial import SerialRunner
+from .sharding import ShardPolicy, ShardRouter, shard_key_bytes
+from .spec import EngineSpec
+from .worker import ShardProcessor
+
+__all__ = [
+    "Backpressure",
+    "EngineSpec",
+    "ParallelRunner",
+    "RunnerConfig",
+    "RuntimeReport",
+    "SerialRunner",
+    "ShardPolicy",
+    "ShardProcessor",
+    "ShardReport",
+    "ShardRouter",
+    "WorkerFailure",
+    "alert_sort_key",
+    "equivalence_digest",
+    "iter_batches",
+    "merge_shard_reports",
+    "shard_key_bytes",
+]

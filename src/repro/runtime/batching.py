@@ -1,0 +1,36 @@
+"""Fixed-size batch iteration shared by the runners and the CLI.
+
+One helper, used everywhere a packet stream is consumed in batches: the
+single-process run harness, the serial runner's router loop, and the
+parallel runner's feeder.  Working from an iterator (not a list) is what
+lets ``repro run`` stream a multi-GB pcap under a bounded footprint --
+at most one batch of parsed packets is alive per pipeline stage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from itertools import islice
+
+from ..packet import TimedPacket
+
+__all__ = ["iter_batches"]
+
+
+def iter_batches(
+    packets: Iterable[TimedPacket], size: int
+) -> Iterator[list[TimedPacket]]:
+    """Yield consecutive lists of at most ``size`` packets.
+
+    Consumes lazily: each batch is materialized only when requested, so
+    feeding from :func:`repro.pcap.read_trace` never holds more than one
+    batch (per consumer) in memory.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    iterator = iter(packets)
+    while True:
+        batch = list(islice(iterator, size))
+        if not batch:
+            return
+        yield batch

@@ -1,0 +1,75 @@
+"""Runner configuration shared by the serial and parallel front-ends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .sharding import ShardPolicy
+
+__all__ = ["Backpressure", "RunnerConfig"]
+
+
+class Backpressure(enum.Enum):
+    """What the feeder does when a shard's bounded queue is full."""
+
+    BLOCK = "block"
+    """Wait for the worker: lossless, the reader slows to the pipeline's
+    pace (the IPS-on-a-tap equivalent of NIC flow control)."""
+
+    SHED = "shed"
+    """Drop the batch and count it: bounded latency, explicit loss --
+    what a wire-speed appliance does when a shard falls behind.  Shed
+    packets are never examined; the count is the coverage hole."""
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs shared by :class:`SerialRunner` and :class:`ParallelRunner`."""
+
+    batch_size: int = 256
+    """Packets per routed batch (also the prescan amortization unit)."""
+
+    shard_policy: ShardPolicy = ShardPolicy.FLOW
+    """Shard-key policy; see :mod:`repro.runtime.sharding`."""
+
+    backpressure: Backpressure = Backpressure.BLOCK
+    """Full-queue behaviour (parallel runner only; the serial runner is
+    synchronous and can never fall behind itself)."""
+
+    queue_depth: int = 8
+    """Bounded batches in flight per worker queue."""
+
+    evict_interval: float | None = None
+    """Seconds of *packet time* between automatic ``evict_idle`` sweeps
+    on each shard.  ``None`` (default) disables the sweeps, preserving
+    the historical behaviour where callers evict explicitly."""
+
+    telemetry: bool = False
+    """Give each shard its own :class:`TelemetryRegistry` and merge the
+    snapshots into the combined report."""
+
+    sample_state: bool = True
+    """Sample peak state/flow occupancy after every shard batch (the
+    run-harness convention); disable for pure-throughput benchmarks."""
+
+    drain_timeout: float = 120.0
+    """Seconds the parallel runner waits for a worker to flush its
+    queue and report results after the drain sentinel, before declaring
+    the run failed."""
+
+    start_method: str | None = None
+    """``multiprocessing`` start method (``fork``/``spawn``/...); None
+    picks the platform default."""
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.evict_interval is not None and self.evict_interval <= 0:
+            raise ValueError(
+                f"evict_interval must be positive, got {self.evict_interval}"
+            )
+        if self.drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be positive, got {self.drain_timeout}")

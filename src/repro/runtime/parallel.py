@@ -1,0 +1,166 @@
+"""The multiprocessing runner: flow-hashed shards with bounded queues.
+
+Topology: one feeder (this process) routes batches onto N bounded
+per-worker queues; each worker owns one shard -- a private engine built
+from the shared :class:`EngineSpec` -- and reports a
+:class:`ShardReport` back on a results queue at drain time.  There is no
+cross-shard communication at all during the run; the flow-consistent
+hash (:mod:`repro.runtime.sharding`) is what makes that sound.
+
+Backpressure is explicit: a full queue either blocks the feeder
+(lossless, the default) or sheds the batch and counts every dropped
+packet (:class:`~repro.runtime.config.Backpressure`).  Shutdown is a
+graceful drain -- a sentinel per queue, workers flush everything already
+enqueued, then report -- so no in-flight batch is ever lost on the
+lossless path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from collections.abc import Iterable
+from time import monotonic, perf_counter
+
+from ..packet import TimedPacket
+from .batching import iter_batches
+from .config import Backpressure, RunnerConfig
+from .report import RuntimeReport, merge_shard_reports
+from .sharding import ShardRouter
+from .spec import EngineSpec
+from .worker import DRAIN, shard_worker_main
+
+__all__ = ["ParallelRunner", "WorkerFailure"]
+
+#: Seconds between liveness checks while a blocking put waits on a full
+#: queue (a dead worker must not hang the feeder forever).
+_PUT_POLL_SECONDS = 0.5
+
+
+class WorkerFailure(RuntimeError):
+    """A shard worker died or reported an engine error."""
+
+
+class ParallelRunner:
+    """N shared-nothing engine shards in worker processes."""
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        *,
+        workers: int,
+        config: RunnerConfig | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.config = config or RunnerConfig()
+        self.router = ShardRouter(workers, self.config.shard_policy)
+
+    # -- feeding ---------------------------------------------------------
+
+    def _put_blocking(self, in_queue, item, process, shard: int) -> None:
+        """Lossless enqueue: wait for the worker, but notice if it died."""
+        while True:
+            try:
+                in_queue.put(item, timeout=_PUT_POLL_SECONDS)
+                return
+            except queue_mod.Full:
+                if not process.is_alive():
+                    raise WorkerFailure(
+                        f"shard {shard} worker exited with its queue full"
+                    ) from None
+
+    def run(self, packets: Iterable[TimedPacket]) -> RuntimeReport:
+        """Route, process in parallel, drain gracefully, merge."""
+        config = self.config
+        ctx = mp.get_context(config.start_method)
+        in_queues = [ctx.Queue(maxsize=config.queue_depth) for _ in range(self.workers)]
+        out_queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=shard_worker_main,
+                args=(index, self.spec, config, in_queues[index], out_queue),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            for index in range(self.workers)
+        ]
+        start = perf_counter()
+        for process in processes:
+            process.start()
+        shed_packets = 0
+        shed_batches = 0
+        batches_routed = 0
+        shard_of = self.router.shard_of
+        shed = config.backpressure is Backpressure.SHED
+        try:
+            for batch in iter_batches(packets, config.batch_size):
+                buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
+                for packet in batch:
+                    buckets[shard_of(packet)].append(packet)
+                for index, bucket in enumerate(buckets):
+                    if not bucket:
+                        continue
+                    if shed:
+                        try:
+                            in_queues[index].put_nowait(bucket)
+                            batches_routed += 1
+                        except queue_mod.Full:
+                            shed_packets += len(bucket)
+                            shed_batches += 1
+                    else:
+                        self._put_blocking(
+                            in_queues[index], bucket, processes[index], index
+                        )
+                        batches_routed += 1
+            # Graceful drain: one sentinel per queue *after* all batches;
+            # workers flush everything already enqueued before reporting.
+            for index, in_queue in enumerate(in_queues):
+                self._put_blocking(in_queue, DRAIN, processes[index], index)
+            reports = {}
+            errors = {}
+            deadline = monotonic() + config.drain_timeout
+            for _ in range(self.workers):
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise WorkerFailure(
+                        f"drain timed out; shards reporting: {sorted(reports)}"
+                    )
+                try:
+                    status, shard, payload = out_queue.get(timeout=remaining)
+                except queue_mod.Empty:
+                    raise WorkerFailure(
+                        f"drain timed out; shards reporting: {sorted(reports)}"
+                    ) from None
+                if status == "ok":
+                    reports[shard] = payload
+                else:
+                    errors[shard] = payload
+            if errors:
+                detail = "\n".join(
+                    f"--- shard {shard} ---\n{tb}" for shard, tb in sorted(errors.items())
+                )
+                raise WorkerFailure(f"{len(errors)} shard worker(s) failed:\n{detail}")
+        finally:
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            for in_queue in in_queues:
+                in_queue.close()
+                in_queue.cancel_join_thread()
+            out_queue.close()
+            out_queue.cancel_join_thread()
+        return merge_shard_reports(
+            list(reports.values()),
+            mode="parallel",
+            workers=self.workers,
+            wall_seconds=perf_counter() - start,
+            batches_routed=batches_routed,
+            shed_packets=shed_packets,
+            shed_batches=shed_batches,
+        )

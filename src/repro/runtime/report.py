@@ -1,0 +1,237 @@
+"""Per-shard results and their deterministic merge into one report.
+
+Shards are shared-nothing, so each produces an independent
+:class:`ShardReport`; :func:`merge_shard_reports` folds N of them into a
+:class:`RuntimeReport` whose contract is:
+
+- **alerts** are re-sorted into a deterministic global order -- packet
+  time first, then shard index, then the shard's emission sequence -- so
+  serial and parallel runs of the same trace print identically;
+- **counters** (packets, bytes, diversions, alerts, evictions) are
+  summed, making them directly comparable with an unsharded engine's
+  :class:`~repro.core.EngineStats` on the same trace;
+- **peaks** (state bytes, flows) are summed too: each shard provisions
+  its own tables, so the system-wide footprint is the sum of per-shard
+  provisioning (an upper bound on any instantaneous global peak);
+- **telemetry** registries merge under the per-metric rules the registry
+  declares (sum counters, bucket-wise sum histograms, max/sum/last
+  gauges -- see :meth:`repro.telemetry.TelemetryRegistry.merge`).
+
+:func:`equivalence_digest` condenses the alert list and summed counters
+into one hash so benchmarks and CI can assert serial == parallel ==
+unsharded without hauling alert lists around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core import Alert, EngineStats
+from ..telemetry import TelemetryRegistry
+
+__all__ = [
+    "RuntimeReport",
+    "ShardReport",
+    "alert_sort_key",
+    "equivalence_digest",
+    "merge_shard_reports",
+]
+
+
+def alert_sort_key(alert: Alert) -> tuple:
+    """A total, content-based order on alerts, stable across processes.
+
+    Used for equivalence comparison (and the digest): two runs that
+    produced the same alert *set* compare equal after sorting with this
+    key, regardless of how routing interleaved emission.
+    """
+    return (
+        alert.timestamp,
+        str(alert.flow),
+        alert.kind.value,
+        -1 if alert.sid is None else alert.sid,
+        alert.stream_offset,
+        alert.path,
+        alert.msg,
+    )
+
+
+def equivalence_digest(alerts: list[Alert], stats: EngineStats) -> str:
+    """SHA-256 over the canonicalized alert list + summed counters.
+
+    The same trace must yield the same digest from the unsharded engine,
+    the serial runner, and the parallel runner at any worker count --
+    this is the bit benchmarks and CI compare.
+    """
+    canonical = {
+        "alerts": [list(map(str, alert_sort_key(a))) for a in sorted(alerts, key=alert_sort_key)],
+        "packets": stats.packets_total,
+        "fast_packets": stats.fast_packets,
+        "slow_packets": stats.slow_packets,
+        "fast_bytes": stats.fast_bytes_scanned,
+        "slow_bytes": stats.slow_bytes_normalized,
+        "diversions": stats.diversions,
+        "alert_count": stats.alerts,
+    }
+    payload = json.dumps(canonical, separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class ShardReport:
+    """Everything one shard produced (crosses the process boundary)."""
+
+    shard: int
+    alerts: list[Alert] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+    divert_reasons: dict[str, int] = field(default_factory=dict)
+    diverted_flows: int = 0
+    reinstated_flows: int = 0
+    overload_refusals: int = 0
+    peak_state_bytes: int = 0
+    peak_flows: int = 0
+    evictions: int = 0
+    batches: int = 0
+    busy_ns: int = 0
+    """CPU nanoseconds this shard's engine spent processing (queue wait
+    and scheduler preemption excluded) -- the per-shard denominator of
+    aggregate throughput."""
+
+    telemetry: TelemetryRegistry | None = None
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.busy_ns / 1e9
+
+
+@dataclass
+class RuntimeReport:
+    """The merged view of one sharded run."""
+
+    mode: str
+    """``"serial"`` or ``"parallel"``."""
+
+    workers: int
+    alerts: list[Alert] = field(default_factory=list)
+    shards: list[ShardReport] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+    divert_reasons: dict[str, int] = field(default_factory=dict)
+    diverted_flows: int = 0
+    reinstated_flows: int = 0
+    overload_refusals: int = 0
+    peak_state_bytes: int = 0
+    peak_flows: int = 0
+    evictions: int = 0
+    batches_routed: int = 0
+    shed_packets: int = 0
+    shed_batches: int = 0
+    wall_seconds: float = 0.0
+    telemetry: dict | None = None
+    """Merged registry snapshot (None when telemetry was off)."""
+
+    registry: TelemetryRegistry | None = None
+    """The live merged registry behind :attr:`telemetry`, for exporters
+    (:func:`repro.telemetry.write_telemetry`) and further merging."""
+
+    @property
+    def packets(self) -> int:
+        """Packets actually examined (shed packets are not in here)."""
+        return self.stats.packets_total
+
+    @property
+    def diversion_byte_fraction(self) -> float:
+        total = self.stats.fast_bytes_scanned + self.stats.slow_bytes_normalized
+        return self.stats.slow_bytes_normalized / total if total else 0.0
+
+    @property
+    def wall_throughput_pps(self) -> float:
+        """End-to-end packets per second (routing + queues + engines)."""
+        return self.packets / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def aggregate_shard_pps(self) -> float:
+        """Sum of per-shard engine rates (packets over engine-busy time).
+
+        This is capacity the shards provide when each has its own core;
+        on a host with fewer cores than workers the wall number cannot
+        reach it, but the per-shard rates still show whether sharding
+        itself added overhead.
+        """
+        return sum(
+            shard.stats.packets_total / shard.busy_seconds
+            for shard in self.shards
+            if shard.busy_ns > 0
+        )
+
+    def digest(self) -> str:
+        """The serial-vs-parallel-vs-unsharded equivalence hash."""
+        return equivalence_digest(self.alerts, self.stats)
+
+
+def merge_shard_reports(
+    shard_reports: list[ShardReport],
+    *,
+    mode: str,
+    workers: int,
+    wall_seconds: float,
+    batches_routed: int = 0,
+    shed_packets: int = 0,
+    shed_batches: int = 0,
+) -> RuntimeReport:
+    """Fold per-shard results into the combined report (see module doc)."""
+    report = RuntimeReport(mode=mode, workers=workers, wall_seconds=wall_seconds)
+    report.shards = sorted(shard_reports, key=lambda r: r.shard)
+    report.batches_routed = batches_routed
+    report.shed_packets = shed_packets
+    report.shed_batches = shed_batches
+
+    ordered: list[tuple[float, int, int, Alert]] = []
+    for shard in report.shards:
+        for seq, alert in enumerate(shard.alerts):
+            ordered.append((alert.timestamp, shard.shard, seq, alert))
+        stats = shard.stats
+        report.stats.packets_total += stats.packets_total
+        report.stats.fast_packets += stats.fast_packets
+        report.stats.slow_packets += stats.slow_packets
+        report.stats.fast_bytes_scanned += stats.fast_bytes_scanned
+        report.stats.slow_bytes_normalized += stats.slow_bytes_normalized
+        report.stats.diversions += stats.diversions
+        report.stats.alerts += stats.alerts
+        for reason, count in shard.divert_reasons.items():
+            report.divert_reasons[reason] = report.divert_reasons.get(reason, 0) + count
+        report.diverted_flows += shard.diverted_flows
+        report.reinstated_flows += shard.reinstated_flows
+        report.overload_refusals += shard.overload_refusals
+        report.peak_state_bytes += shard.peak_state_bytes
+        report.peak_flows += shard.peak_flows
+        report.evictions += shard.evictions
+    ordered.sort(key=lambda entry: entry[:3])
+    report.alerts = [entry[3] for entry in ordered]
+
+    registries = [s.telemetry for s in report.shards if s.telemetry is not None]
+    if registries:
+        merged = TelemetryRegistry()
+        for registry in registries:
+            merged.merge(registry)
+        runtime_shed = merged.counter(
+            "repro_runtime_shed_packets_total",
+            "Packets dropped unexamined because a shard queue was full "
+            "under the shed backpressure policy (the coverage hole)",
+        )
+        if shed_packets:
+            runtime_shed.inc(shed_packets)
+        runtime_batches = merged.counter(
+            "repro_runtime_batches_routed_total",
+            "Per-shard sub-batches the router enqueued",
+        )
+        if batches_routed:
+            runtime_batches.inc(batches_routed)
+        merged.gauge(
+            "repro_runtime_workers", "Shards this run was partitioned across",
+            merge="sum",
+        ).set(workers)
+        report.registry = merged
+        report.telemetry = merged.snapshot()
+    return report

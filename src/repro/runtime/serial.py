@@ -1,0 +1,68 @@
+"""The in-process reference runner: router + N shards, one thread.
+
+Same API and same results as :class:`ParallelRunner` -- the router, the
+per-shard batch boundaries, and the merge are byte-for-byte the same
+code -- without any processes or queues.  Tests and small traces use
+this; the parallel runner's correctness argument is "equal to
+SerialRunner", and SerialRunner's is "equal to the unsharded engine"
+(which the test suite asserts on the evasion gauntlet).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from time import perf_counter
+
+from ..packet import TimedPacket
+from .batching import iter_batches
+from .config import RunnerConfig
+from .report import RuntimeReport, merge_shard_reports
+from .sharding import ShardRouter
+from .spec import EngineSpec
+from .worker import ShardProcessor
+
+__all__ = ["SerialRunner"]
+
+
+class SerialRunner:
+    """N shared-nothing shards driven synchronously in one process."""
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        *,
+        shards: int = 1,
+        config: RunnerConfig | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.spec = spec
+        self.shards = shards
+        self.config = config or RunnerConfig()
+        self.router = ShardRouter(shards, self.config.shard_policy)
+
+    def run(self, packets: Iterable[TimedPacket]) -> RuntimeReport:
+        """Route, process, and merge one packet stream."""
+        start = perf_counter()
+        processors = [
+            ShardProcessor(index, self.spec, self.config)
+            for index in range(self.shards)
+        ]
+        shard_of = self.router.shard_of
+        batches_routed = 0
+        for batch in iter_batches(packets, self.config.batch_size):
+            buckets: list[list[TimedPacket]] = [[] for _ in range(self.shards)]
+            for packet in batch:
+                buckets[shard_of(packet)].append(packet)
+            for index, bucket in enumerate(buckets):
+                if bucket:
+                    processors[index].feed(bucket)
+                    batches_routed += 1
+        reports = [processor.finish() for processor in processors]
+        return merge_shard_reports(
+            reports,
+            mode="serial",
+            workers=self.shards,
+            wall_seconds=perf_counter() - start,
+            batches_routed=batches_routed,
+        )

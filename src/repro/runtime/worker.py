@@ -1,0 +1,134 @@
+"""The per-shard engine loop, shared by the serial and parallel runners.
+
+A :class:`ShardProcessor` owns one engine and turns a stream of routed
+batches into a :class:`ShardReport`.  Keeping this logic in one class is
+what makes the two runners bit-for-bit comparable: the serial runner
+calls :meth:`ShardProcessor.feed` inline, the parallel runner runs the
+identical code behind a queue, and both see the same batch boundaries
+(the router splits each input batch per shard *before* feeding), so
+state sampling and eviction ticks land at the same packet positions.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from time import process_time_ns
+
+from ..packet import TimedPacket
+from ..telemetry import TelemetryRegistry
+from .config import RunnerConfig
+from .report import ShardReport
+from .spec import EngineSpec
+
+__all__ = ["ShardProcessor"]
+
+#: Queue sentinel telling a worker to drain and report.
+DRAIN = None
+
+
+class ShardProcessor:
+    """One shard: an engine, its alert log, and its housekeeping clock."""
+
+    def __init__(self, shard: int, spec: EngineSpec, config: RunnerConfig) -> None:
+        self.shard = shard
+        self.config = config
+        self.telemetry = TelemetryRegistry() if config.telemetry else None
+        self.engine = spec.build(telemetry=self.telemetry)
+        self.alerts = []
+        self.peak_state_bytes = 0
+        self.peak_flows = 0
+        self.evictions = 0
+        self.batches = 0
+        self.busy_ns = 0
+        self._evict_anchor: float | None = None
+
+    def feed(self, batch: list[TimedPacket]) -> None:
+        """Process one routed batch (engine work + periodic housekeeping)."""
+        if not batch:
+            return
+        # CPU time, not wall time: on a host with fewer cores than
+        # workers the wall clock counts time spent scheduled out, which
+        # would make per-shard rates look like contention instead of
+        # capacity.
+        t0 = process_time_ns()
+        self.alerts.extend(self.engine.process_batch(batch))
+        self.batches += 1
+        interval = self.config.evict_interval
+        if interval is not None:
+            # Packet time, not wall time: replayed traces must evict at
+            # the same points no matter how fast the box replays them.
+            now = batch[-1].timestamp
+            if self._evict_anchor is None:
+                self._evict_anchor = batch[0].timestamp
+            if now - self._evict_anchor >= interval:
+                self.evictions += self.engine.evict_idle(now)
+                self._evict_anchor = now
+        if self.config.sample_state:
+            engine = self.engine
+            self.peak_state_bytes = max(self.peak_state_bytes, engine.state_bytes())
+            flows = engine.fast_path.tracked_flows + engine.slow_path.active_flows
+            self.peak_flows = max(self.peak_flows, flows)
+            if self.telemetry is not None:
+                engine.refresh_telemetry()
+        self.busy_ns += process_time_ns() - t0
+
+    def finish(self) -> ShardReport:
+        """Final state sample + report assembly (call exactly once)."""
+        engine = self.engine
+        self.peak_state_bytes = max(self.peak_state_bytes, engine.state_bytes())
+        if self.telemetry is not None:
+            engine.refresh_telemetry()
+        return ShardReport(
+            shard=self.shard,
+            alerts=self.alerts,
+            stats=engine.stats,
+            divert_reasons={
+                reason.value: count for reason, count in engine.divert_reasons.items()
+            },
+            diverted_flows=len(engine.diversions),
+            reinstated_flows=engine.reinstated_flows,
+            overload_refusals=engine.overload_refusals,
+            peak_state_bytes=self.peak_state_bytes,
+            peak_flows=self.peak_flows,
+            evictions=self.evictions,
+            batches=self.batches,
+            busy_ns=self.busy_ns,
+            telemetry=self.telemetry,
+        )
+
+
+def shard_worker_main(
+    shard: int,
+    spec: EngineSpec,
+    config: RunnerConfig,
+    in_queue,
+    out_queue,
+) -> None:
+    """Process entry point: drain batches until the sentinel, then report.
+
+    Results (or a formatted traceback on failure) go back on
+    ``out_queue`` as ``(status, shard, payload)`` tuples.  The worker
+    always consumes up to the sentinel, even after an engine error, so
+    the feeder can never deadlock against a full queue whose consumer
+    died silently.
+    """
+    processor: ShardProcessor | None = None
+    failure: str | None = None
+    try:
+        processor = ShardProcessor(shard, spec, config)
+    except Exception:
+        failure = traceback.format_exc()
+    while True:
+        batch = in_queue.get()
+        if batch is DRAIN:
+            break
+        if failure is None:
+            try:
+                processor.feed(batch)
+            except Exception:
+                failure = traceback.format_exc()
+    if failure is not None:
+        out_queue.put(("error", shard, failure))
+    else:
+        out_queue.put(("ok", shard, processor.finish()))

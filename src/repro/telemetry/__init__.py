@@ -18,6 +18,7 @@ naming scheme and how the exported series map to the paper's claims.
 
 from .export import summarize, to_json, to_prometheus, write_telemetry
 from .registry import (
+    GAUGE_MERGE_MODES,
     JOURNAL_CAPACITY,
     LATENCY_NS_BUCKETS,
     NULL_REGISTRY,
@@ -28,11 +29,13 @@ from .registry import (
     Histogram,
     NullRegistry,
     TelemetryRegistry,
+    merge_snapshots,
 )
 
 __all__ = [
     "Counter",
     "EventJournal",
+    "GAUGE_MERGE_MODES",
     "Gauge",
     "Histogram",
     "JOURNAL_CAPACITY",
@@ -41,6 +44,7 @@ __all__ = [
     "NullRegistry",
     "SIZE_BYTES_BUCKETS",
     "TelemetryRegistry",
+    "merge_snapshots",
     "summarize",
     "to_json",
     "to_prometheus",

@@ -154,16 +154,38 @@ class _BoundCounter:
         return self._values[self._key]
 
 
+#: Valid gauge merge modes (how :meth:`TelemetryRegistry.merge` combines
+#: two samples of the same gauge child): ``max`` keeps the larger value
+#: (peaks, ratios -- the conservative cross-shard view), ``sum`` adds
+#: (occupancy and state spread across shared-nothing shards), ``last``
+#: lets the merged-in value win (freshest-sample semantics).
+GAUGE_MERGE_MODES = ("max", "sum", "last")
+
+
 class Gauge:
-    """A point-in-time value family (occupancy, state bytes, ratios)."""
+    """A point-in-time value family (occupancy, state bytes, ratios).
+
+    ``merge`` declares how two samples of the same child combine when
+    registries are merged (see :data:`GAUGE_MERGE_MODES`); it is part of
+    the registration, so every site naming this gauge agrees on it.
+    """
 
     kind = "gauge"
 
     def __init__(
-        self, name: str, help: str = "", label_names: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        merge: str = "max",
     ) -> None:
+        if merge not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"gauge {name} merge mode {merge!r} not in {GAUGE_MERGE_MODES}"
+            )
         self.name = name
         self.help = help
+        self.merge = merge
         self.label_names = tuple(label_names)
         self._values: dict[tuple[str, ...], float] = {}
         self._children: dict[tuple[str, ...], _BoundGauge] = {}
@@ -370,7 +392,12 @@ class TelemetryRegistry:
                 float(b) for b in kw["buckets"]
             ) != existing.edges:
                 raise ValueError(f"{name} already registered with different buckets")
+            if kw.get("merge") is not None and kw["merge"] != existing.merge:
+                raise ValueError(
+                    f"{name} already registered with merge={existing.merge!r}"
+                )
             return existing
+        kw = {key: value for key, value in kw.items() if value is not None}
         metric = cls(name, help, label_names, **kw) if kw else cls(name, help, label_names)
         self._metrics[name] = metric
         return metric
@@ -381,9 +408,20 @@ class TelemetryRegistry:
         return self._register(Counter, name, help, label_names)
 
     def gauge(
-        self, name: str, help: str = "", label_names: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        merge: str | None = None,
     ) -> Gauge:
-        return self._register(Gauge, name, help, label_names)
+        """Register (or look up) a gauge.
+
+        ``merge=None`` means "no opinion": a new gauge defaults to
+        ``max``, an existing one keeps whatever mode it was declared
+        with -- so harness code can look a gauge up without knowing its
+        merge rule, while two *explicit* conflicting declarations raise.
+        """
+        return self._register(Gauge, name, help, label_names, merge=merge)
 
     def histogram(
         self,
@@ -399,6 +437,68 @@ class TelemetryRegistry:
 
     def metrics(self) -> list[Counter | Gauge | Histogram]:
         return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def merge(self, other) -> "TelemetryRegistry":
+        """Fold another registry's metrics and journal into this one.
+
+        Per-metric semantics (the sharded runtime's merge contract, also
+        usable to combine registries from entirely separate runs):
+
+        - **counters** add, per label combination;
+        - **histograms** add bucket-wise (same declared edges required,
+          enforced by registration) plus their sums and counts;
+        - **gauges** combine per their declared ``merge`` mode: ``max``
+          (default -- peaks, worst-shard ratios), ``sum`` (occupancy
+          split across shared-nothing shards), or ``last`` (the
+          merged-in sample wins);
+        - **journal** events are re-recorded in arrival order (the ring
+          stays bounded; events another registry already dropped are
+          gone and stay counted only in its own totals).
+
+        Missing families are created with the other registry's
+        declaration.  Merging a disabled registry is a no-op.  Returns
+        ``self`` so merges chain.
+        """
+        if not getattr(other, "enabled", False):
+            return self
+        for metric in other.metrics():
+            if isinstance(metric, Counter):
+                mine = self.counter(metric.name, metric.help, metric.label_names)
+                for labels, value in metric.samples():
+                    if value:
+                        mine.labels(**labels).inc(value)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(
+                    metric.name, metric.help, metric.label_names, merge=metric.merge
+                )
+                for labels, value in metric.samples():
+                    key = _label_key(mine.label_names, labels)
+                    if key not in mine._values or mine.merge == "last":
+                        mine._values[key] = value
+                    elif mine.merge == "sum":
+                        mine._values[key] += value
+                    else:
+                        mine._values[key] = max(mine._values[key], value)
+            else:
+                mine = self.histogram(
+                    metric.name, metric.help, metric.label_names, buckets=metric.edges
+                )
+                for labels, child in metric.samples():
+                    target = mine.labels(**labels)
+                    for index, count in enumerate(child.bucket_counts):
+                        target.bucket_counts[index] += count
+                    target.sum += child.sum
+                    target.count += child.count
+        for event in other.journal.events():
+            fields = {
+                key: value
+                for key, value in event.items()
+                if key not in ("ts", "subsystem", "event")
+            }
+            self.journal.record(
+                event["subsystem"], event["event"], ts=event.get("ts", 0.0), **fields
+            )
+        return self
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe dump of every family and the journal."""
@@ -419,6 +519,7 @@ class TelemetryRegistry:
                 gauges[metric.name] = {
                     "help": metric.help,
                     "label_names": list(metric.label_names),
+                    "merge": metric.merge,
                     "values": [
                         {"labels": labels, "value": value}
                         for labels, value in metric.samples()
@@ -450,6 +551,125 @@ class TelemetryRegistry:
                 "events": self.journal.events(),
             },
         }
+
+
+def _merge_labeled_values(target: list, incoming: list, combine) -> None:
+    """Merge snapshot ``values`` lists in place, keyed by label dict."""
+    by_labels = {tuple(sorted(entry["labels"].items())): entry for entry in target}
+    for entry in incoming:
+        key = tuple(sorted(entry["labels"].items()))
+        mine = by_labels.get(key)
+        if mine is None:
+            copied = dict(entry)
+            target.append(copied)
+            by_labels[key] = copied
+        else:
+            combine(mine, entry)
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Combine :meth:`TelemetryRegistry.snapshot` dicts (e.g. loaded from
+    the JSON a previous run exported) under the same per-metric rules as
+    :meth:`TelemetryRegistry.merge`.
+
+    Counters and histogram buckets add (cumulative counts are linear, so
+    adding them per slot is exact); gauges follow the ``merge`` mode the
+    snapshot recorded (``max`` when absent -- snapshots predating the
+    mode declaration); journals concatenate sorted by timestamp, keeping
+    the larger declared capacity and summing ``recorded``/``dropped``.
+    Empty snapshots (disabled registries) are skipped.  Histogram edge
+    disagreement raises ``ValueError``.
+    """
+    merged: dict = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "journal": {"capacity": 0, "recorded": 0, "dropped": 0, "events": []},
+    }
+
+    def add_counter(mine, theirs):
+        mine["value"] += theirs["value"]
+
+    def add_histogram(mine, theirs):
+        if len(mine["cumulative_counts"]) != len(theirs["cumulative_counts"]):
+            raise ValueError("histogram children disagree on bucket count")
+        mine["cumulative_counts"] = [
+            a + b for a, b in zip(mine["cumulative_counts"], theirs["cumulative_counts"])
+        ]
+        mine["sum"] += theirs["sum"]
+        mine["count"] += theirs["count"]
+
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, family in snapshot.get("counters", {}).items():
+            mine = merged["counters"].setdefault(
+                name,
+                {
+                    "help": family["help"],
+                    "label_names": list(family["label_names"]),
+                    "values": [],
+                },
+            )
+            _merge_labeled_values(
+                mine["values"],
+                [dict(v) for v in family["values"]],
+                add_counter,
+            )
+        for name, family in snapshot.get("gauges", {}).items():
+            mode = family.get("merge", "max")
+            mine = merged["gauges"].setdefault(
+                name,
+                {
+                    "help": family["help"],
+                    "label_names": list(family["label_names"]),
+                    "merge": mode,
+                    "values": [],
+                },
+            )
+            if mine["merge"] != mode:
+                raise ValueError(f"gauge {name} snapshots disagree on merge mode")
+
+            def combine_gauge(a, b, mode=mode):
+                if mode == "sum":
+                    a["value"] += b["value"]
+                elif mode == "last":
+                    a["value"] = b["value"]
+                else:
+                    a["value"] = max(a["value"], b["value"])
+
+            _merge_labeled_values(
+                mine["values"], [dict(v) for v in family["values"]], combine_gauge
+            )
+        for name, family in snapshot.get("histograms", {}).items():
+            mine = merged["histograms"].setdefault(
+                name,
+                {
+                    "help": family["help"],
+                    "label_names": list(family["label_names"]),
+                    "bucket_edges": list(family["bucket_edges"]),
+                    "values": [],
+                },
+            )
+            if mine["bucket_edges"] != list(family["bucket_edges"]):
+                raise ValueError(f"histogram {name} snapshots disagree on bucket edges")
+            _merge_labeled_values(
+                mine["values"],
+                [
+                    {**v, "cumulative_counts": list(v["cumulative_counts"])}
+                    for v in family["values"]
+                ],
+                add_histogram,
+            )
+        journal = snapshot.get("journal")
+        if journal:
+            mine = merged["journal"]
+            mine["capacity"] = max(mine["capacity"], journal.get("capacity", 0))
+            mine["recorded"] += journal.get("recorded", 0)
+            mine["dropped"] += journal.get("dropped", 0)
+            mine["events"].extend(journal.get("events", []))
+    merged["journal"]["events"].sort(key=lambda event: event.get("ts", 0.0))
+    return merged
 
 
 class _NullInstrument:
@@ -515,8 +735,18 @@ class NullRegistry:
     def counter(self, name: str, help: str = "", label_names: Sequence[str] = ()):
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help: str = "", label_names: Sequence[str] = ()):
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        merge: str | None = None,
+    ):
         return _NULL_INSTRUMENT
+
+    def merge(self, other) -> "NullRegistry":
+        """Disabled registries absorb nothing (API parity with merge)."""
+        return self
 
     def histogram(
         self,

@@ -171,3 +171,75 @@ class TestParser:
     def test_engine_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "x.pcap", "--engine", "bogus"])
+
+
+class TestParallelRun:
+    @pytest.fixture
+    def attack_pcap(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture
+    def small_rules(self, tmp_path):
+        """One-signature rules file so worker engines build fast."""
+        path = tmp_path / "small.rules"
+        path.write_text(
+            dump_rules([Signature(sid=1, pattern=b"abcdefghijklmnopqrstuvwx", msg="m")])
+        )
+        return path
+
+    def test_workers_runs_sharded(self, attack_pcap, small_rules, capsys):
+        code = main(["run", str(attack_pcap), "--workers", "2",
+                     "--rules", str(small_rules)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 shards" in out
+        assert "shard[0]:" in out and "shard[1]:" in out
+        assert "alerts:" in out
+
+    def test_workers_with_shed_and_tuple5(self, attack_pcap, small_rules, capsys):
+        code = main(["run", str(attack_pcap), "--workers", "2", "--shed",
+                     "--shard-policy", "tuple5", "--queue-depth", "4",
+                     "--rules", str(small_rules)])
+        assert code == 0
+        assert "across 2 shards" in capsys.readouterr().out
+
+    def test_workers_telemetry_out(self, attack_pcap, small_rules, tmp_path, capsys):
+        out = tmp_path / "par.json"
+        code = main(["run", str(attack_pcap), "--workers", "2",
+                     "--rules", str(small_rules), "--telemetry-out", str(out)])
+        assert code == 0
+        assert "telemetry (json) written" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        assert "repro_runtime_workers" in snapshot["gauges"]
+
+    def test_workers_requires_split_engine(self, attack_pcap, capsys):
+        code = main(["run", str(attack_pcap), "--workers", "2",
+                     "--engine", "naive"])
+        assert code == 2
+        assert "split engine only" in capsys.readouterr().err
+
+    def test_shed_and_block_mutually_exclusive(self, attack_pcap):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(attack_pcap), "--workers", "2", "--shed", "--block"]
+            )
+
+    def test_bad_shard_policy_rejected(self, attack_pcap):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(attack_pcap), "--shard-policy", "random"]
+            )
+
+    def test_bad_evict_interval_rejected(self, attack_pcap):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(attack_pcap), "--evict-interval", "-1"]
+            )
+
+    def test_evict_interval_single_process(self, attack_pcap, capsys):
+        code = main(["run", str(attack_pcap), "--evict-interval", "30"])
+        assert code == 0
+        assert "processed" in capsys.readouterr().out

@@ -451,3 +451,96 @@ class TestEngineTelemetry:
         packets_after_first = tel.get("repro_engine_packets_total").value
         second.process_batch(trace)
         assert tel.get("repro_engine_packets_total").value == 2 * packets_after_first
+
+
+class TestRegistryMerge:
+    """Registry.merge / merge_snapshots: the sharded runtime's fold."""
+
+    def test_counters_sum(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        a.counter("repro_m_total", "h").inc(3)
+        b.counter("repro_m_total", "h").inc(4)
+        a.counter("repro_labeled_total", "h", ("path",)).labels(path="fast").inc(2)
+        b.counter("repro_labeled_total", "h", ("path",)).labels(path="slow").inc(5)
+        a.merge(b)
+        assert a.get("repro_m_total").value == 7
+        labeled = a.get("repro_labeled_total")
+        assert labeled.value_for(path="fast") == 2
+        assert labeled.value_for(path="slow") == 5
+
+    def test_gauge_merge_modes(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        a.gauge("repro_g_max", "h", merge="max").set(3)
+        b.gauge("repro_g_max", "h", merge="max").set(9)
+        a.gauge("repro_g_sum", "h", merge="sum").set(3)
+        b.gauge("repro_g_sum", "h", merge="sum").set(9)
+        a.gauge("repro_g_last", "h", merge="last").set(3)
+        b.gauge("repro_g_last", "h", merge="last").set(9)
+        a.merge(b)
+        assert a.get("repro_g_max").value == 9
+        assert a.get("repro_g_sum").value == 12
+        assert a.get("repro_g_last").value == 9
+
+    def test_gauge_present_only_in_other(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        b.gauge("repro_g_new", "h", merge="sum").set(5)
+        a.merge(b)
+        assert a.get("repro_g_new").value == 5
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        edges = (1.0, 10.0)
+        ha = a.histogram("repro_h", "h", buckets=edges)
+        hb = b.histogram("repro_h", "h", buckets=edges)
+        for v in (0.5, 5.0):
+            ha.observe(v)
+        for v in (5.0, 50.0):
+            hb.observe(v)
+        a.merge(b)
+        merged = a.get("repro_h")
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(60.5)
+        child = merged.child_for()
+        assert child.cumulative() == [1, 3, 4]
+
+    def test_histogram_edge_mismatch_raises(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        a.histogram("repro_h", "h", buckets=(1.0,))
+        b.histogram("repro_h", "h", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_journal_events_carry_over(self):
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        b.journal.record("fastpath", "divert", ts=1.0, flow="f")
+        a.merge(b)
+        assert any(e["event"] == "divert" for e in a.journal.events())
+
+    def test_merge_mode_conflict_rejected(self):
+        tel = TelemetryRegistry()
+        tel.gauge("repro_g", "h", merge="sum")
+        with pytest.raises(ValueError):
+            tel.gauge("repro_g", "h", merge="max")
+        # None means "no opinion" and must keep the declared mode.
+        assert tel.gauge("repro_g", "h").merge == "sum"
+
+    def test_merge_with_null_registry_is_noop(self):
+        tel = TelemetryRegistry()
+        tel.counter("repro_m_total", "h").inc(2)
+        tel.merge(NULL_REGISTRY)
+        assert tel.get("repro_m_total").value == 2
+        assert NULL_REGISTRY.merge(tel) is NULL_REGISTRY
+
+    def test_merge_snapshots_function(self):
+        from repro.telemetry import merge_snapshots
+
+        a, b = TelemetryRegistry(), TelemetryRegistry()
+        a.counter("repro_m_total", "h").inc(1)
+        b.counter("repro_m_total", "h").inc(2)
+        a.gauge("repro_g", "h", merge="max").set(4)
+        b.gauge("repro_g", "h", merge="max").set(6)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        counter = merged["counters"]["repro_m_total"]["values"]
+        assert counter[0]["value"] == 3
+        gauge = merged["gauges"]["repro_g"]["values"]
+        assert gauge[0]["value"] == 6

@@ -14,13 +14,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core import ConventionalIPS, NaivePacketIPS, SplitDetectIPS
+from .core import Alert, ConventionalIPS, NaivePacketIPS, SplitDetectIPS
 from .evasion import STRATEGIES, build_attack
 from .metrics import (
+    RunReport,
     run_conventional,
     run_split_detect,
     state_bytes_ratio,
-    throughput_comparison,
 )
 from .pcap import read_trace, write_trace
 from .runtime import (
@@ -32,6 +32,7 @@ from .runtime import (
     iter_batches,
 )
 from .signatures import (
+    RuleSet,
     SplitPolicy,
     load_bundled_rules,
     load_rules,
@@ -41,7 +42,7 @@ from .telemetry import NULL_REGISTRY, TelemetryRegistry, write_telemetry
 from .traffic import TrafficProfile, generate_trace, inject_attacks
 
 
-def _load_ruleset(path: str | None):
+def _load_ruleset(path: str | None) -> RuleSet:
     return load_rules(path) if path else load_bundled_rules()
 
 
@@ -70,7 +71,11 @@ def _writable_file(text: str) -> Path:
     return path
 
 
-def _finish_telemetry(args: argparse.Namespace, ips, report=None) -> None:
+def _finish_telemetry(
+    args: argparse.Namespace,
+    ips: SplitDetectIPS | ConventionalIPS | NaivePacketIPS,
+    report: RunReport | None = None,
+) -> None:
     """Write the run's telemetry snapshot if --telemetry-out was given."""
     if not ips.telemetry.enabled:
         return
@@ -87,7 +92,7 @@ def _finish_telemetry(args: argparse.Namespace, ips, report=None) -> None:
         print(f"telemetry ({args.telemetry_format}) written to {path}")
 
 
-def _print_alerts(alerts, max_alerts: int) -> None:
+def _print_alerts(alerts: list[Alert], max_alerts: int) -> None:
     print(f"alerts: {len(alerts)}")
     for alert in alerts[:max_alerts]:
         print(f"  {alert}")
@@ -95,7 +100,7 @@ def _print_alerts(alerts, max_alerts: int) -> None:
         print(f"  ... and {len(alerts) - max_alerts} more")
 
 
-def _cmd_run_parallel(args: argparse.Namespace, rules) -> int:
+def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
     """The sharded path: N worker processes behind the flow hash."""
     spec = EngineSpec(
         rules=rules, split_policy=SplitPolicy(piece_length=args.piece_length)
@@ -236,6 +241,7 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json
     import random
 
     from .signatures import ByteFrequencyModel, lint_ruleset
@@ -252,11 +258,43 @@ def cmd_lint(args: argparse.Namespace) -> int:
     findings = lint_ruleset(
         rules, SplitPolicy(piece_length=args.piece_length), model
     )
-    for finding in findings:
-        print(finding)
     errors = sum(1 for f in findings if f.level is LintLevel.ERROR)
-    print(f"{len(rules)} rules: {len(findings)} findings, {errors} errors")
-    return 1 if errors else 0
+    warnings = sum(1 for f in findings if f.level is LintLevel.WARNING)
+    if args.json:
+        json.dump(
+            {
+                "rules": len(rules),
+                "errors": errors,
+                "warnings": warnings,
+                "findings": [
+                    {
+                        "level": f.level.value,
+                        "sid": f.sid,
+                        "code": f.code,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding)
+        print(f"{len(rules)} rules: {len(findings)} findings, {errors} errors")
+    if errors:
+        return 1
+    if args.strict and warnings:
+        return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .devtools.splitcheck.cli import run_check
+
+    return run_check(args)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -378,7 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--piece-length", type=int, default=8)
     lint.add_argument("--no-model", action="store_true",
                       help="skip the benign-traffic noisy-piece analysis")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too (CI mode)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON for machine consumption")
     lint.set_defaults(func=cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="run the splitcheck static invariant analyzer over the codebase",
+    )
+    from .devtools.splitcheck.cli import configure_parser as _configure_check
+
+    _configure_check(check)
+    check.set_defaults(func=cmd_check)
 
     stats = sub.add_parser("stats", help="characterize a pcap trace")
     stats.add_argument("pcap")

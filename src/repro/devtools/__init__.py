@@ -1,0 +1,11 @@
+"""Developer tooling that ships with the package but stays off the hot path.
+
+Nothing under :mod:`repro.devtools` is imported by the engines, the
+runners, or the CLI's packet-processing commands; these are the tools
+that keep *those* modules honest (static invariant analysis, typing
+gates).  See :mod:`repro.devtools.splitcheck`.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

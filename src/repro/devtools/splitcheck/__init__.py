@@ -1,0 +1,58 @@
+"""splitcheck: repo-wide static invariant analysis.
+
+The abstract's headline numbers rest on conventions no runtime test can
+fully enforce -- telemetry must be skippable in one branch (PR 2's
+<=1.15x overhead gate), the merge layer must be deterministic (PR 3's
+serial==parallel SHA-256 digest), and everything crossing a worker
+queue must pickle.  splitcheck encodes those conventions as AST rules
+so every future scaling PR keeps them by construction:
+
+========  ==========================================================
+SD101     per-packet telemetry guarded by ``tel_on``/``enabled``
+SD102     no wall-clock/entropy/set-order in the merge/digest path
+SD103     only picklable module-level data crosses worker queues
+SD104     busy accounting on CPU time, wall fields on wall clocks
+SD105     no str/bytes mixing; struct formats match field widths
+========  ==========================================================
+
+Run it as ``splitdetect check`` or
+``python -m repro.devtools.splitcheck``; configure via
+``[tool.splitcheck]`` in pyproject.toml; suppress single lines with
+``# splitcheck: ignore[SDxxx]``; grandfather legacy findings in a
+committed baseline file (the repo policy keeps it empty for ``core/``,
+``match/``, and ``runtime/``).
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, partition, write_baseline
+from .config import Config, RuleConfig, find_root, load_config
+from .engine import (
+    FileContext,
+    Rule,
+    all_rules,
+    check_paths,
+    iter_python_files,
+    register,
+)
+from .findings import Finding, Severity
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "Config",
+    "FileContext",
+    "Finding",
+    "PragmaIndex",
+    "Rule",
+    "RuleConfig",
+    "Severity",
+    "all_rules",
+    "check_paths",
+    "find_root",
+    "iter_python_files",
+    "load_baseline",
+    "load_config",
+    "partition",
+    "register",
+    "write_baseline",
+]

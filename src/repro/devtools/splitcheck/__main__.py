@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.splitcheck`` entry point."""
+
+from __future__ import annotations
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Shared AST plumbing for the rule implementations.
+
+Everything here is deliberately approximate in the way linters are:
+dotted-name resolution follows the file's imports but performs no type
+inference, and parent/sibling maps are built per file on demand.  Rules
+should prefer false negatives over false positives -- a noisy invariant
+checker gets pragma'd into silence, which is worse than missing a case.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "ImportMap",
+    "build_parents",
+    "dotted_name",
+    "enclosing_function",
+    "resolve_call_path",
+    "statement_chain",
+]
+
+
+def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for every node under ``tree``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for pure Name/Attribute chains, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias -> fully qualified name, from the file's imports.
+
+    ``import time as t`` maps ``t`` -> ``time``; ``from time import
+    perf_counter`` maps ``perf_counter`` -> ``time.perf_counter``.
+    Relative imports keep their dotted tail (``from ..telemetry import
+    NULL_REGISTRY`` maps to ``telemetry.NULL_REGISTRY``), which is what
+    rule patterns match against.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    full = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").lstrip(".")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    full = f"{module}.{alias.name}" if module else alias.name
+                    self._aliases[local] = full
+
+    def resolve(self, name: str) -> str:
+        """Expand the leading segment of a dotted name via the imports."""
+        head, _, tail = name.partition(".")
+        expanded = self._aliases.get(head, head)
+        return f"{expanded}.{tail}" if tail else expanded
+
+
+def resolve_call_path(node: ast.Call, imports: ImportMap) -> str | None:
+    """The import-resolved dotted path of a call target, when static."""
+    name = dotted_name(node.func)
+    return imports.resolve(name) if name is not None else None
+
+
+def enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The innermost function containing ``node`` (None at module scope)."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def statement_chain(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    stop: ast.AST | None = None,
+) -> list[tuple[list[ast.stmt], int]]:
+    """Every statement list containing ``node`` on the way up to ``stop``.
+
+    Each entry is ``(body, index)`` where ``body[index]`` is the
+    statement (at that nesting level) that contains ``node`` -- the
+    inputs a rule needs to inspect *preceding siblings* (e.g. SD101's
+    early-return guard detection).
+    """
+    chain: list[tuple[list[ast.stmt], int]] = []
+    current = node
+    while current is not None and current is not stop:
+        parent = parents.get(current)
+        if parent is None:
+            break
+        for field_value in ast.iter_fields(parent):
+            value = field_value[1]
+            if isinstance(value, list) and current in value:
+                if isinstance(current, ast.stmt):
+                    chain.append((value, value.index(current)))
+                break
+        current = parent
+    return chain

@@ -1,0 +1,70 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON map of finding fingerprints (see
+:attr:`~repro.devtools.splitcheck.findings.Finding.fingerprint`) to a
+human-readable record of what was excused.  ``check`` subtracts
+baselined findings from its exit-code arithmetic but still counts them,
+so a shrinking baseline is visible progress and a growing one needs a
+deliberate ``--update-baseline`` commit.
+
+The repo's policy (DESIGN.md, "Static analysis") is an *empty* baseline
+for ``core/``, ``match/``, and ``runtime/``: violations there are fixed,
+not recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "partition", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | None) -> dict[str, dict[str, object]]:
+    """Read a baseline file; a missing path or file is an empty baseline."""
+    if path is None or not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path} is not a splitcheck baseline file")
+    findings = data["findings"]
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path}: 'findings' must be a fingerprint map")
+    return findings
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write every current finding as grandfathered; returns the count."""
+    records = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered splitcheck findings.  Shrink me; never grow me "
+            "without a review.  Regenerate with: splitdetect check --update-baseline"
+        ),
+        "findings": dict(sorted(records.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(records)
+
+
+def partition(
+    findings: list[Finding], baseline: dict[str, dict[str, object]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against a baseline map."""
+    fresh: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if finding.fingerprint in baseline else fresh).append(finding)
+    return fresh, known

@@ -1,0 +1,208 @@
+"""The ``splitdetect check`` / ``python -m repro.devtools.splitcheck`` CLI.
+
+Exit codes: 0 = clean (every finding baselined or warning-only),
+1 = new error-level findings, 2 = usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import load_baseline, partition, write_baseline
+from .config import Config, load_config
+from .engine import all_rules, check_paths
+from .findings import Finding, Severity
+
+__all__ = ["configure_parser", "main", "run_check"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the check options (shared with the ``splitdetect check`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro under the "
+        "config root)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="config root holding pyproject.toml (default: walk up from the "
+        "first path, falling back to the cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of grandfathered findings (default: "
+        "[tool.splitcheck] baseline in pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any configured baseline (report everything)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit findings as JSON on stdout (machine consumption)",
+    )
+    parser.add_argument(
+        "--strict-warnings",
+        action="store_true",
+        help="exit non-zero on new warning-level findings too",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and its default scope, then exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule_id, cls in all_rules().items():
+        print(f"{rule_id}  {cls.title}")
+        for pattern in cls.default_paths:
+            print(f"       scope: {pattern}")
+    return 0
+
+
+def _emit_json(
+    new: list[Finding],
+    known: list[Finding],
+    checked_files: int,
+    baseline_path: Path | None,
+) -> None:
+    json.dump(
+        {
+            "version": 1,
+            "checked_files": checked_files,
+            "baseline": str(baseline_path) if baseline_path else None,
+            "new": [finding.to_dict() for finding in new],
+            "baselined": [finding.to_dict() for finding in known],
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute a configured check run (the engine behind both CLIs)."""
+    if args.list_rules:
+        return _list_rules()
+
+    try:
+        if args.root:
+            config: Config = load_config(Path(args.root))
+        else:
+            start = Path(args.paths[0]) if args.paths else Path.cwd()
+            config = load_config(start=start)
+    except (ValueError, OSError) as exc:
+        print(f"splitcheck: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        default = config.root / "src" / "repro"
+        paths = [default if default.is_dir() else config.root]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"splitcheck: no such path: {path}", file=sys.stderr)
+        return 2
+
+    select: frozenset[str] | None = None
+    if args.select:
+        select = frozenset(s.strip().upper() for s in args.select.split(",") if s.strip())
+        unknown = select - set(all_rules())
+        if unknown:
+            print(
+                f"splitcheck: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings, checked_files = check_paths(paths, config, select=select)
+    except OSError as exc:
+        print(f"splitcheck: {exc}", file=sys.stderr)
+        return 2
+
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = config.baseline_path
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print(
+                "splitcheck: --update-baseline needs --baseline or a "
+                "[tool.splitcheck] baseline setting",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_baseline(baseline_path, findings)
+        print(f"baseline updated: {count} finding(s) grandfathered -> {baseline_path}")
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"splitcheck: bad baseline: {exc}", file=sys.stderr)
+        return 2
+    new, known = partition(findings, baseline)
+
+    if args.json_output:
+        _emit_json(new, known, checked_files, baseline_path)
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"splitcheck: {checked_files} file(s), {len(new)} new finding(s)"
+        )
+        if known:
+            summary += f", {len(known)} baselined"
+        stale = len(baseline) - len(known)
+        if stale > 0:
+            summary += f", {stale} stale baseline entr(y/ies) -- shrink the baseline"
+        print(summary)
+
+    errors = [f for f in new if f.severity is Severity.ERROR]
+    warnings = [f for f in new if f.severity is Severity.WARNING]
+    if errors or (args.strict_warnings and warnings):
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = configure_parser(
+        argparse.ArgumentParser(
+            prog="splitcheck",
+            description="Static invariant analyzer for the Split-Detect repo "
+            "(hot-path telemetry guards, merge determinism, shard safety, "
+            "timing discipline, packet-layer byte hygiene).",
+        )
+    )
+    return run_check(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

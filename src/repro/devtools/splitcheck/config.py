@@ -1,0 +1,133 @@
+"""``[tool.splitcheck]`` configuration loaded from ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.splitcheck]
+    baseline = "splitcheck-baseline.json"   # relative to the config root
+    exclude = ["*/tests/*"]                 # fnmatch globs, POSIX paths
+    disable = ["SD105"]                     # rule ids turned off entirely
+
+    [tool.splitcheck.rules.SD101]
+    paths = ["*/repro/core/*.py"]           # replace the rule's default scope
+    severity = "warning"                    # downgrade from error
+
+The config *root* is the directory holding ``pyproject.toml``, found by
+walking up from the scan's starting point; finding paths are reported
+relative to it, which is what keeps baseline fingerprints stable across
+checkouts.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Config", "RuleConfig", "find_root", "load_config"]
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule overrides from ``[tool.splitcheck.rules.<ID>]``."""
+
+    paths: tuple[str, ...] | None = None
+    severity: str | None = None
+
+
+@dataclass
+class Config:
+    """The resolved analyzer configuration."""
+
+    root: Path
+    baseline: str | None = None
+    exclude: tuple[str, ...] = ()
+    disable: frozenset[str] = frozenset()
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+
+    @property
+    def baseline_path(self) -> Path | None:
+        if self.baseline is None:
+            return None
+        path = Path(self.baseline)
+        return path if path.is_absolute() else self.root / path
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        return self.rules.get(rule_id.upper(), RuleConfig())
+
+
+def find_root(start: Path) -> Path:
+    """Walk up from ``start`` to the nearest dir holding pyproject.toml."""
+    start = start.resolve()
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def load_config(root: Path | None = None, *, start: Path | None = None) -> Config:
+    """Load ``[tool.splitcheck]``; missing file or table means defaults."""
+    if root is None:
+        root = find_root(start if start is not None else Path.cwd())
+    root = root.resolve()
+    pyproject = root / "pyproject.toml"
+    table: dict[str, object] = {}
+    if pyproject.is_file():
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+        tool = data.get("tool", {})
+        if isinstance(tool, dict):
+            raw = tool.get("splitcheck", {})
+            if isinstance(raw, dict):
+                table = raw
+
+    baseline = table.get("baseline")
+    if baseline is not None and not isinstance(baseline, str):
+        raise ValueError("[tool.splitcheck] baseline must be a string path")
+
+    exclude_raw = table.get("exclude", [])
+    if not isinstance(exclude_raw, list) or not all(
+        isinstance(item, str) for item in exclude_raw
+    ):
+        raise ValueError("[tool.splitcheck] exclude must be a list of globs")
+
+    disable_raw = table.get("disable", [])
+    if not isinstance(disable_raw, list) or not all(
+        isinstance(item, str) for item in disable_raw
+    ):
+        raise ValueError("[tool.splitcheck] disable must be a list of rule ids")
+
+    rules: dict[str, RuleConfig] = {}
+    rules_raw = table.get("rules", {})
+    if isinstance(rules_raw, dict):
+        for rule_id, overrides in rules_raw.items():
+            if not isinstance(overrides, dict):
+                raise ValueError(
+                    f"[tool.splitcheck.rules.{rule_id}] must be a table"
+                )
+            paths = overrides.get("paths")
+            if paths is not None and (
+                not isinstance(paths, list)
+                or not all(isinstance(item, str) for item in paths)
+            ):
+                raise ValueError(
+                    f"[tool.splitcheck.rules.{rule_id}] paths must be a glob list"
+                )
+            severity = overrides.get("severity")
+            if severity is not None and severity not in ("error", "warning"):
+                raise ValueError(
+                    f"[tool.splitcheck.rules.{rule_id}] severity must be "
+                    f"'error' or 'warning', got {severity!r}"
+                )
+            rules[rule_id.upper()] = RuleConfig(
+                paths=tuple(paths) if paths is not None else None,
+                severity=severity,
+            )
+
+    return Config(
+        root=root,
+        baseline=baseline,
+        exclude=tuple(exclude_raw),
+        disable=frozenset(rule_id.upper() for rule_id in disable_raw),
+        rules=rules,
+    )

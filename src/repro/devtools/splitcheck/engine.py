@@ -1,0 +1,215 @@
+"""The analyzer core: rule registry, per-file context, and the scan loop.
+
+A rule is a class with an ``id`` (``SDxxx``), a default path scope, and
+a ``check(ctx)`` that reports findings through the context.  The context
+owns pragma suppression, severity overrides, and source extraction so
+rules only contain domain logic.  Registration is import-time via the
+:func:`register` decorator; :mod:`repro.devtools.splitcheck.rules`
+imports every rule module for its side effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .config import Config
+from .findings import Finding, Severity
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "iter_python_files",
+    "register",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything one rule invocation may look at for one file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    pragmas: PragmaIndex
+    severity_override: Severity | None = None
+    findings: list[Finding] = field(default_factory=list)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def report(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        """Record a finding unless a line pragma suppresses it."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.pragmas.ignores(lineno, rule.id):
+            return
+        severity = self.severity_override or rule.severity
+        self.findings.append(
+            Finding(
+                rule=rule.id,
+                path=self.rel_path,
+                line=lineno,
+                col=col + 1,
+                message=message,
+                severity=severity,
+                source=self.source_line(lineno),
+            )
+        )
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check."""
+
+    id: str = "SD000"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    #: fnmatch globs (POSIX form) a file must match for the rule to run.
+    #: Matched against both the absolute path and the config-root-relative
+    #: path, so ``*/repro/core/*.py`` works from any checkout location.
+    default_paths: tuple[str, ...] = ("*.py",)
+
+    def applies_to(self, abs_path: str, rel_path: str, paths: tuple[str, ...]) -> bool:
+        return any(
+            fnmatch(abs_path, pattern) or fnmatch(rel_path, pattern)
+            for pattern in paths
+        )
+
+    def check(self, ctx: FileContext) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = cls.id.upper()
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {rule_id}: {existing} vs {cls}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registry, with every built-in rule module imported."""
+    # Imported here (not at module top) to avoid a cycle: rule modules
+    # import ``register`` from this module.
+    from . import rules as _rules  # noqa: F401
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def iter_python_files(
+    paths: list[Path], exclude: tuple[str, ...]
+) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+
+    def excluded(candidate: Path) -> bool:
+        posix = candidate.as_posix()
+        return any(fnmatch(posix, pattern) for pattern in exclude)
+
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if candidate not in seen and not excluded(candidate):
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def check_paths(
+    paths: list[Path],
+    config: Config,
+    *,
+    select: frozenset[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Run every enabled rule over every file; returns (findings, files).
+
+    ``select`` narrows to the named rules (CLI ``--select``); config
+    ``disable`` always wins.  A file that fails to parse produces a
+    single ``SD000`` syntax finding rather than aborting the scan.
+    """
+    rules: list[Rule] = []
+    for rule_id, cls in all_rules().items():
+        if rule_id in config.disable:
+            continue
+        if select is not None and rule_id not in select:
+            continue
+        rules.append(cls())
+
+    files = iter_python_files(paths, config.exclude)
+    findings: list[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        rel = _rel_path(file_path, config.root)
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="SD000",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        pragmas = PragmaIndex(source)
+        if pragmas.skip_file:
+            continue
+        abs_posix = file_path.resolve().as_posix()
+        for rule in rules:
+            rule_cfg = config.rule_config(rule.id)
+            scope = rule_cfg.paths if rule_cfg.paths is not None else rule.default_paths
+            if not rule.applies_to(abs_posix, rel, scope):
+                continue
+            ctx = FileContext(
+                path=file_path,
+                rel_path=rel,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+                pragmas=pragmas,
+                severity_override=(
+                    Severity(rule_cfg.severity) if rule_cfg.severity else None
+                ),
+            )
+            rule.check(ctx)
+            findings.extend(ctx.findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)

@@ -1,0 +1,67 @@
+"""Finding records: what a rule reports and how a baseline identifies it.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line *number* --
+it hashes the rule id, the file's path, the stripped source text of the
+flagged line, and the message -- so a committed baseline survives
+unrelated edits that shift code up or down, while still going stale
+when the flagged line itself changes (which is exactly when a human
+should re-look).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(str, Enum):
+    """How a finding affects the exit code (config can downgrade rules)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    """POSIX-style path relative to the scan root (stable across hosts)."""
+
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    source: str = ""
+    """The stripped text of the flagged source line (fingerprint input)."""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        payload = f"{self.rule}|{self.path}|{self.source}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe form for ``--json`` output and baseline files."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col: SDxxx [sev] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,59 @@
+"""Inline suppression pragmas.
+
+Two forms, both comments so they survive formatters:
+
+- ``# splitcheck: ignore[SD101]`` on the flagged line suppresses the
+  named rule(s) there (comma-separate for several); bare
+  ``# splitcheck: ignore`` suppresses every rule on that line.
+- ``# splitcheck: skip-file`` anywhere in the first ten lines exempts
+  the whole file (reserved for generated code; prefer line pragmas).
+
+Pragmas beat baselines for *intentional* exceptions: they sit next to
+the code they excuse, travel with it through moves, and show up in
+review diffs.  The baseline is only for grandfathered findings.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PragmaIndex"]
+
+_PRAGMA = re.compile(r"#\s*splitcheck:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE = re.compile(r"#\s*splitcheck:\s*skip-file")
+
+#: Only the head of the file may carry ``skip-file`` -- a buried pragma
+#: that silently exempts 500 lines is exactly the kind of invisible
+#: convention this tool exists to kill.
+_SKIP_FILE_WINDOW = 10
+
+
+class PragmaIndex:
+    """Per-file map of suppression comments, built once per scan."""
+
+    def __init__(self, source: str) -> None:
+        self.skip_file = False
+        # line -> None (ignore everything) or the set of ignored rule ids
+        self._by_line: dict[int, frozenset[str] | None] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "splitcheck" not in text:
+                continue
+            if lineno <= _SKIP_FILE_WINDOW and _SKIP_FILE.search(text):
+                self.skip_file = True
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None:
+                self._by_line[lineno] = None
+            else:
+                self._by_line[lineno] = frozenset(
+                    code.strip().upper() for code in codes.split(",") if code.strip()
+                )
+
+    def ignores(self, line: int, rule: str) -> bool:
+        """True when a pragma on ``line`` suppresses ``rule``."""
+        if line not in self._by_line:
+            return False
+        codes = self._by_line[line]
+        return codes is None or rule.upper() in codes

@@ -1,0 +1,25 @@
+"""Built-in domain rules.
+
+Importing this package registers every rule with the engine registry
+(each module applies the :func:`~repro.devtools.splitcheck.engine.register`
+decorator at import time).  One module per rule: the rule id is in the
+filename, so ``git log`` on a rule's history is one path.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    sd101_telemetry_guard,
+    sd102_determinism,
+    sd103_shard_safety,
+    sd104_timing,
+    sd105_bytes,
+)
+
+__all__ = [
+    "sd101_telemetry_guard",
+    "sd102_determinism",
+    "sd103_shard_safety",
+    "sd104_timing",
+    "sd105_bytes",
+]

@@ -1,0 +1,136 @@
+"""SD101: per-packet telemetry must be guarded.
+
+Invariant (PR 2): instrumentation in the hot path costs at most one
+``enabled`` check when telemetry is off -- the <=1.15x overhead gate in
+``benchmarks/bench_telemetry_overhead.py`` depends on it.  Concretely,
+any instrument mutation (``inc``/``dec``/``set``/``observe``/
+``record``) inside a function in ``core/``, ``match/``, or ``streams/``
+must be dominated by a telemetry guard: an enclosing ``if`` (or
+conditional expression) testing ``tel_on``/``enabled``/``telemetry``,
+or an earlier early-return of the form ``if not self._tel_on: return``.
+
+Construction-time registration (``registry.counter(...)`` in
+``__init__``) and the dedicated refresh methods are exempt: they run
+per engine or per snapshot, not per packet.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import build_parents, enclosing_function, statement_chain
+from ..engine import FileContext, Rule, register
+
+__all__ = ["TelemetryGuardRule"]
+
+#: Mutating instrument methods (reads like ``.value`` are harmless).
+INSTRUMENT_METHODS = frozenset({"inc", "dec", "set", "observe", "record"})
+
+#: Substrings that mark an expression as a telemetry guard.
+GUARD_TOKENS = ("tel_on", "enabled", "telemetry", "null_registry")
+
+#: Methods that run per engine / per snapshot, never per packet.
+EXEMPT_FUNCTIONS = frozenset(
+    {
+        "__init__",
+        "refresh_telemetry",
+        "snapshot",
+        "finish",
+        "merge",
+        "record",  # a journal implementing record() is not a call site
+    }
+)
+
+
+def _mentions_guard(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and any(
+            token in node.id.lower() for token in GUARD_TOKENS
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and any(
+            token in node.attr.lower() for token in GUARD_TOKENS
+        ):
+            return True
+    return False
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    """Does this suite unconditionally leave the enclosing block?"""
+    if not stmts:
+        return False
+    last = stmts[-1]
+    return isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _is_instrument_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in INSTRUMENT_METHODS
+        # ``.set()`` on a bare name (e.g. ``event.set()``) is far more
+        # often threading than telemetry; instruments are always held in
+        # attributes (``self._g_x``) or chained (``...labels(...).set``).
+        and not (
+            node.func.attr == "set" and isinstance(node.func.value, ast.Name)
+        )
+    )
+
+
+@register
+class TelemetryGuardRule(Rule):
+    id = "SD101"
+    title = "hot-path telemetry call not guarded by tel_on/enabled"
+    default_paths = (
+        "*/repro/core/*.py",
+        "*/repro/match/*.py",
+        "*/repro/streams/*.py",
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        parents = build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not _is_instrument_call(node):
+                continue
+            function = enclosing_function(node, parents)
+            if function is None or function.name in EXEMPT_FUNCTIONS:
+                continue
+            if self._guarded(node, function, parents):
+                continue
+            ctx.report(
+                self,
+                node,
+                f"telemetry call .{node.func.attr}(...) in "  # type: ignore[attr-defined]
+                f"{function.name}() is not under a tel_on/enabled guard; "
+                "per-packet instrumentation must be skippable in one branch "
+                "(PR 2's <=1.15x overhead gate)",
+            )
+
+    def _guarded(
+        self,
+        node: ast.AST,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        parents: dict[ast.AST, ast.AST],
+    ) -> bool:
+        # 1. An enclosing if/conditional whose test names the guard.
+        current = node
+        while current is not function:
+            parent = parents.get(current)
+            if parent is None:
+                break
+            if isinstance(parent, (ast.If, ast.IfExp)) and _mentions_guard(
+                parent.test
+            ):
+                return True
+            current = parent
+        # 2. An earlier sibling of the form ``if not <guard>: return``
+        #    at any nesting level between the call and the function.
+        for body, index in statement_chain(node, parents, stop=function):
+            for earlier in body[:index]:
+                if (
+                    isinstance(earlier, ast.If)
+                    and _mentions_guard(earlier.test)
+                    and _terminates(earlier.body)
+                ):
+                    return True
+        return False

@@ -1,0 +1,132 @@
+"""SD102: the merge/digest path must be deterministic.
+
+Invariant (PR 3): serial and parallel runs of the same trace produce
+bit-for-bit identical merged reports, asserted via a SHA-256
+equivalence digest.  Anything order- or time-dependent feeding that
+digest silently breaks the contract on some machine, some day.  In the
+scoped modules (the alert-merge/digest code in ``runtime/report.py``
+and the registry merge it delegates to) this rule forbids:
+
+- wall-clock reads (``time.time``, ``datetime.now``, ...) -- merged
+  reports must derive times from *packet* timestamps only;
+- any use of the ``random``/``secrets``/``uuid`` modules;
+- iterating a ``set``/``frozenset`` value, a set literal or
+  comprehension, or ``.keys()``/``.values()``/``.items()`` of a freshly
+  built ``dict(...)``\\ -like call, without wrapping in ``sorted(...)``.
+  (Plain attribute/name dict iteration is allowed: insertion order is
+  deterministic per shard; *set* order is seed-dependent.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import ImportMap, resolve_call_path
+from ..engine import FileContext, Rule, register
+
+__all__ = ["DeterminismRule"]
+
+FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+    }
+)
+
+FORBIDDEN_MODULES = ("random", "secrets", "uuid")
+
+
+def _set_iteration_problem(expr: ast.expr) -> str | None:
+    """Why iterating ``expr`` is nondeterministic, or None if it is fine."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name) and expr.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return f"{expr.func.id}(...)"
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr == "keys":
+            # d.keys() order is insertion order -- deterministic -- but
+            # in merge code the dict is routinely built from another
+            # unordered source; require sorted() for the digest path.
+            return ".keys()"
+    return None
+
+
+@register
+class DeterminismRule(Rule):
+    id = "SD102"
+    title = "nondeterminism in the alert-merge/digest path"
+    default_paths = (
+        "*/repro/runtime/report.py",
+        "*/repro/telemetry/registry.py",
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                self._check_call(ctx, node, imports)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_iter(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    self._check_iter(ctx, generator.iter)
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.Import | ast.ImportFrom
+    ) -> None:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        else:
+            modules = [(node.module or "").lstrip(".")]
+        for module in modules:
+            root = module.split(".")[0]
+            if root in FORBIDDEN_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of {root!r} in a determinism-critical module; "
+                    "the merge/digest path must not depend on entropy "
+                    "(PR 3's serial==parallel equivalence digest)",
+                )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, imports: ImportMap
+    ) -> None:
+        path = resolve_call_path(node, imports)
+        if path is None:
+            return
+        root = path.split(".")[0]
+        if path in FORBIDDEN_CALLS or root in FORBIDDEN_MODULES:
+            ctx.report(
+                self,
+                node,
+                f"call to {path}() in a determinism-critical module; merged "
+                "reports must derive only from packet timestamps and shard "
+                "content (PR 3's serial==parallel equivalence digest)",
+            )
+
+    def _check_iter(self, ctx: FileContext, iter_expr: ast.expr) -> None:
+        problem = _set_iteration_problem(iter_expr)
+        if problem is not None:
+            ctx.report(
+                self,
+                iter_expr,
+                f"iteration over {problem} in a determinism-critical module; "
+                "wrap in sorted(...) so the merge order (and the SHA-256 "
+                "digest built from it) is identical on every run",
+            )

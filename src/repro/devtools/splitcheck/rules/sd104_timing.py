@@ -1,0 +1,150 @@
+"""SD104: busy accounting uses CPU time; wall clocks are for wall fields.
+
+Invariant (PR 3): per-shard ``busy_ns`` measures *engine work*, so it
+must come from ``time.process_time_ns`` -- on a host with fewer cores
+than workers, a wall clock would count scheduler preemption as load and
+``aggregate_shard_pps`` would report contention instead of capacity.
+Conversely ``wall_seconds`` is end-to-end latency and must come from a
+wall clock (``perf_counter``), never CPU time.
+
+In ``runtime/`` this rule flags, for assignments (including augmented
+and annotated), and for keyword arguments at call sites:
+
+- a ``busy``-named target fed by ``perf_counter``/``monotonic``/
+  ``time.time`` (directly, or through a simple local like
+  ``t0 = perf_counter_ns()``);
+- a ``wall``-named target fed by ``process_time``/``thread_time``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import ImportMap, dotted_name
+from ..engine import FileContext, Rule, register
+
+__all__ = ["TimingDisciplineRule"]
+
+WALL_CLOCKS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.time",
+        "time.time_ns",
+    }
+)
+CPU_CLOCKS = frozenset(
+    {
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+    }
+)
+
+
+def _clock_kinds(
+    expr: ast.expr, imports: ImportMap, taint: dict[str, str]
+) -> set[str]:
+    """Which clock families ('wall'/'cpu') feed this expression."""
+    kinds: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            resolved = imports.resolve(name)
+            if resolved in WALL_CLOCKS:
+                kinds.add("wall")
+            elif resolved in CPU_CLOCKS:
+                kinds.add("cpu")
+        elif isinstance(node, ast.Name) and node.id in taint:
+            kinds.add(taint[node.id])
+    return kinds
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Attribute):
+        return [target.attr]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+@register
+class TimingDisciplineRule(Rule):
+    id = "SD104"
+    title = "wrong clock family for busy/wall accounting"
+    default_paths = ("*/repro/runtime/*.py",)
+
+    def check(self, ctx: FileContext) -> None:
+        imports = ImportMap(ctx.tree)
+        # One-level taint: remember which clock family simple locals
+        # were read from (``t0 = process_time_ns()``), so a later
+        # ``busy_ns += perf_counter_ns() - t0`` style mix still resolves.
+        taint: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                kinds = _clock_kinds(node.value, imports, taint)
+                if len(kinds) == 1 and isinstance(node.targets[0], ast.Name):
+                    taint[node.targets[0].id] = next(iter(kinds))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_target(ctx, target, node.value, imports, taint)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if node.value is not None:
+                    self._check_target(ctx, node.target, node.value, imports, taint)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    self._check_named(
+                        ctx, keyword.arg, keyword.value, keyword.value, imports, taint
+                    )
+
+    def _check_target(
+        self,
+        ctx: FileContext,
+        target: ast.expr,
+        value: ast.expr,
+        imports: ImportMap,
+        taint: dict[str, str],
+    ) -> None:
+        for name in _target_names(target):
+            self._check_named(ctx, name, value, target, imports, taint)
+
+    def _check_named(
+        self,
+        ctx: FileContext,
+        name: str,
+        value: ast.expr,
+        where: ast.expr,
+        imports: ImportMap,
+        taint: dict[str, str],
+    ) -> None:
+        lowered = name.lower()
+        kinds = _clock_kinds(value, imports, taint)
+        if "busy" in lowered and "wall" in kinds:
+            ctx.report(
+                self,
+                where,
+                f"{name!r} is busy accounting but is fed by a wall clock; "
+                "use time.process_time_ns() so preemption on oversubscribed "
+                "hosts does not masquerade as shard load",
+            )
+        elif "wall" in lowered and "cpu" in kinds:
+            ctx.report(
+                self,
+                where,
+                f"{name!r} is wall-clock latency but is fed by a CPU-time "
+                "clock; use time.perf_counter() for end-to-end durations",
+            )

@@ -1,0 +1,202 @@
+"""SD105: byte hygiene in the packet layer.
+
+The decode path lives and dies on the str/bytes boundary: header fields
+are ``bytes``, addresses render to ``str`` exactly once, and ``struct``
+format strings encode field widths the parsers rely on.  Flags, in
+``packet/``:
+
+- expressions mixing ``str`` and ``bytes`` literals (``+``, ``%``,
+  ``==``/``!=``/``in`` comparisons) -- in Python 3 these are silent
+  always-false comparisons or late TypeErrors;
+- ``struct`` format strings that do not parse (``struct.calcsize``
+  rejects them);
+- ``pack``/``pack_into`` calls whose argument count disagrees with the
+  field count of a *statically known* format -- including formats bound
+  via module-level ``NAME = struct.Struct("...")`` constants;
+- a ``str`` literal packed into an ``s``/``p`` (bytes) field.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+
+from ..astutil import ImportMap, resolve_call_path
+from ..engine import FileContext, Rule, register
+
+__all__ = ["ByteHygieneRule"]
+
+_FIELD = re.compile(r"(\d*)([a-zA-Z?])")
+_MIXABLE_OPS = (ast.Add, ast.Mod)
+
+
+def _field_codes(fmt: str) -> list[str] | None:
+    """Expand a struct format into one code per packed argument.
+
+    Returns None when the format does not parse.  ``s``/``p`` consume
+    one argument regardless of repeat count; ``x`` consumes none.
+    """
+    try:
+        struct.calcsize(fmt)
+    except struct.error:
+        return None
+    body = fmt.lstrip("@=<>!")
+    codes: list[str] = []
+    for repeat, code in _FIELD.findall(body):
+        if code in "sp":
+            codes.append(code)
+        elif code == "x":
+            continue
+        else:
+            codes.extend(code for _ in range(int(repeat) if repeat else 1))
+    return codes
+
+
+def _const_kind(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            return "str"
+        if isinstance(node.value, (bytes, bytearray)):
+            return "bytes"
+    if isinstance(node, ast.JoinedStr):
+        return "str"
+    return None
+
+
+def _module_struct_formats(tree: ast.Module, imports: ImportMap) -> dict[str, str]:
+    """Module-level ``NAME = struct.Struct("fmt")`` constant bindings."""
+    formats: dict[str, str] = {}
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and resolve_call_path(value, imports) == "struct.Struct"
+            and len(value.args) == 1
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)
+        ):
+            formats[target.id] = value.args[0].value
+    return formats
+
+
+@register
+class ByteHygieneRule(Rule):
+    id = "SD105"
+    title = "str/bytes mixing or struct format mismatch in the packet layer"
+    default_paths = ("*/repro/packet/*.py", "*/repro/pcap/*.py")
+
+    def check(self, ctx: FileContext) -> None:
+        imports = ImportMap(ctx.tree)
+        bound_formats = _module_struct_formats(ctx.tree, imports)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _MIXABLE_OPS):
+                self._check_mix(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                        self._check_mix(ctx, node, left, comparator)
+                    left = comparator
+            elif isinstance(node, ast.Call):
+                self._check_struct_call(ctx, node, imports, bound_formats)
+
+    def _check_mix(
+        self, ctx: FileContext, where: ast.expr, left: ast.expr, right: ast.expr
+    ) -> None:
+        kinds = {_const_kind(left), _const_kind(right)}
+        if kinds == {"str", "bytes"}:
+            ctx.report(
+                self,
+                where,
+                "expression mixes a str literal with a bytes literal; in the "
+                "packet layer this is a silent always-false comparison or a "
+                "deferred TypeError -- pick one type and encode explicitly",
+            )
+
+    def _check_struct_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        imports: ImportMap,
+        bound_formats: dict[str, str],
+    ) -> None:
+        path = resolve_call_path(node, imports)
+        # Direct struct.<fn>("fmt", ...) with a literal format string.
+        if path in ("struct.Struct", "struct.calcsize", "struct.pack",
+                    "struct.pack_into", "struct.unpack", "struct.unpack_from"):
+            if not node.args or not (
+                isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                return
+            fmt = node.args[0].value
+            codes = _field_codes(fmt)
+            if codes is None:
+                ctx.report(
+                    self,
+                    node,
+                    f"struct format {fmt!r} does not parse "
+                    "(struct.calcsize rejects it)",
+                )
+                return
+            if path == "struct.pack":
+                self._check_pack_args(ctx, node, fmt, codes, node.args[1:])
+            elif path == "struct.pack_into":
+                self._check_pack_args(ctx, node, fmt, codes, node.args[3:])
+            return
+        # NAME.pack(...) against a module-level struct.Struct constant.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in bound_formats
+        ):
+            fmt = bound_formats[func.value.id]
+            codes = _field_codes(fmt)
+            if codes is None:
+                return
+            if func.attr == "pack":
+                self._check_pack_args(ctx, node, fmt, codes, node.args)
+            elif func.attr == "pack_into":
+                self._check_pack_args(ctx, node, fmt, codes, node.args[2:])
+
+    def _check_pack_args(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        fmt: str,
+        codes: list[str],
+        args: list[ast.expr],
+    ) -> None:
+        if any(isinstance(arg, ast.Starred) for arg in args):
+            return
+        if len(args) != len(codes):
+            ctx.report(
+                self,
+                node,
+                f"pack of format {fmt!r} takes {len(codes)} field(s) "
+                f"but {len(args)} argument(s) are supplied",
+            )
+            return
+        for code, arg in zip(codes, args):
+            kind = _const_kind(arg)
+            if code in "sp" and kind == "str":
+                ctx.report(
+                    self,
+                    arg,
+                    f"str literal packed into a {code!r} (bytes) field of "
+                    f"{fmt!r}; encode it or use a bytes literal",
+                )
+            elif code not in "sp" and kind in ("str", "bytes"):
+                ctx.report(
+                    self,
+                    arg,
+                    f"{kind} literal packed into numeric field {code!r} of "
+                    f"{fmt!r}",
+                )

@@ -16,7 +16,6 @@ from ..packet import (
     TCP_ACK,
     TCP_FIN,
     TCP_SYN,
-    IPv4Packet,
     TcpSegment,
     TimedPacket,
     build_tcp_packet,

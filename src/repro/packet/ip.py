@@ -9,7 +9,7 @@ public API and converted at the wire boundary.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .checksum import internet_checksum
 from .errors import ChecksumError, MalformedPacketError, TruncatedPacketError

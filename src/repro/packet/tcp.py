@@ -9,7 +9,7 @@ raw option bytes for re-serialization.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .checksum import internet_checksum, pseudo_header
 from .errors import ChecksumError, MalformedPacketError, TruncatedPacketError

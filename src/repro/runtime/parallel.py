@@ -21,6 +21,7 @@ import multiprocessing as mp
 import queue as queue_mod
 from collections.abc import Iterable
 from time import monotonic, perf_counter
+from typing import Any
 
 from ..packet import TimedPacket
 from .batching import iter_batches
@@ -60,7 +61,13 @@ class ParallelRunner:
 
     # -- feeding ---------------------------------------------------------
 
-    def _put_blocking(self, in_queue, item, process, shard: int) -> None:
+    def _put_blocking(
+        self,
+        in_queue: Any,
+        item: list[TimedPacket] | None,
+        process: Any,
+        shard: int,
+    ) -> None:
         """Lossless enqueue: wait for the worker, but notice if it died."""
         while True:
             try:
@@ -119,8 +126,8 @@ class ParallelRunner:
             # workers flush everything already enqueued before reporting.
             for index, in_queue in enumerate(in_queues):
                 self._put_blocking(in_queue, DRAIN, processes[index], index)
-            reports = {}
-            errors = {}
+            reports: dict[int, Any] = {}
+            errors: dict[int, str] = {}
             deadline = monotonic() + config.drain_timeout
             for _ in range(self.workers):
                 remaining = deadline - monotonic()

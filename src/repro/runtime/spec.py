@@ -39,7 +39,7 @@ class EngineSpec:
     slow_capacity_flows: int | None = None
     ensemble_policies: tuple[OverlapPolicy, ...] = field(default_factory=tuple)
 
-    def build(self, telemetry=None) -> SplitDetectIPS:
+    def build(self, telemetry: object | None = None) -> SplitDetectIPS:
         """Construct a fresh engine (one per shard, never shared)."""
         return SplitDetectIPS(
             self.rules,

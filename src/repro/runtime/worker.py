@@ -12,9 +12,10 @@ state sampling and eviction ticks land at the same packet positions.
 from __future__ import annotations
 
 import traceback
-
 from time import process_time_ns
+from typing import Any
 
+from ..core import Alert
 from ..packet import TimedPacket
 from ..telemetry import TelemetryRegistry
 from .config import RunnerConfig
@@ -35,7 +36,7 @@ class ShardProcessor:
         self.config = config
         self.telemetry = TelemetryRegistry() if config.telemetry else None
         self.engine = spec.build(telemetry=self.telemetry)
-        self.alerts = []
+        self.alerts: list[Alert] = []
         self.peak_state_bytes = 0
         self.peak_flows = 0
         self.evictions = 0
@@ -102,8 +103,8 @@ def shard_worker_main(
     shard: int,
     spec: EngineSpec,
     config: RunnerConfig,
-    in_queue,
-    out_queue,
+    in_queue: Any,
+    out_queue: Any,
 ) -> None:
     """Process entry point: drain batches until the sentinel, then report.
 
@@ -131,4 +132,5 @@ def shard_worker_main(
     if failure is not None:
         out_queue.put(("error", shard, failure))
     else:
+        assert processor is not None  # failure is None implies construction worked
         out_queue.put(("ok", shard, processor.finish()))

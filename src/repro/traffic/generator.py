@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..evasion.plan import Seg, even_segments, plan_to_packets
 from ..packet import TimedPacket, UdpDatagram, build_udp_packet, fragment

@@ -243,3 +243,88 @@ class TestParallelRun:
         code = main(["run", str(attack_pcap), "--evict-interval", "30"])
         assert code == 0
         assert "processed" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def dup_sid_rules(self, tmp_path):
+        """A ruleset with one ERROR (duplicate sid) and warnings."""
+        path = tmp_path / "dup.rules"
+        path.write_text(
+            dump_rules(
+                [
+                    Signature(sid=7, pattern=b"abcdefghijklmnopqrstuvwx", msg="a"),
+                    Signature(sid=7, pattern=b"zyxwvutsrqponmlkjihgfedc", msg="b"),
+                ]
+            )
+        )
+        return path
+
+    @pytest.fixture
+    def warn_only_rules(self, tmp_path):
+        """A ruleset with a warning (unsplittable short pattern), no errors."""
+        path = tmp_path / "warn.rules"
+        path.write_text(dump_rules([Signature(sid=9, pattern=b"ab", msg="w")]))
+        return path
+
+    def test_errors_exit_nonzero(self, dup_sid_rules, capsys):
+        code = main(["lint", "--rules", str(dup_sid_rules), "--no-model"])
+        assert code == 1
+        assert "duplicate-sid" in capsys.readouterr().out
+
+    def test_warnings_alone_exit_zero(self, warn_only_rules, capsys):
+        assert main(["lint", "--rules", str(warn_only_rules), "--no-model"]) == 0
+        assert "unsplittable" in capsys.readouterr().out
+
+    def test_strict_fails_on_warnings(self, warn_only_rules):
+        code = main(["lint", "--rules", str(warn_only_rules), "--no-model",
+                     "--strict"])
+        assert code == 1
+
+    def test_strict_passes_clean_ruleset(self, tmp_path):
+        path = tmp_path / "clean.rules"
+        path.write_text(
+            dump_rules([Signature(sid=1, pattern=b"abcdefghijklmnopqrstuvwx",
+                                  msg="m")])
+        )
+        assert main(["lint", "--rules", str(path), "--no-model", "--strict"]) == 0
+
+    def test_json_output_machine_readable(self, dup_sid_rules, capsys):
+        code = main(["lint", "--rules", str(dup_sid_rules), "--no-model",
+                     "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == 2
+        assert payload["errors"] == 1
+        codes = {finding["code"] for finding in payload["findings"]}
+        assert "duplicate-sid" in codes
+        levels = {finding["level"] for finding in payload["findings"]}
+        assert levels <= {"error", "warning", "info"}
+
+    def test_json_on_bundled_corpus(self, capsys):
+        assert main(["lint", "--no-model", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == 351
+        assert payload["errors"] == 0
+
+
+class TestCheckCommand:
+    def test_repo_is_clean(self, capsys):
+        """`splitdetect check src/repro` exits 0 against the committed config."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        assert main(["check", str(root / "src" / "repro"),
+                     "--root", str(root)]) == 0
+        assert "0 new finding" in capsys.readouterr().out
+
+    def test_check_json_mode(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        code = main(["check", str(root / "src" / "repro" / "runtime"),
+                     "--root", str(root), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] == []
+        assert payload["checked_files"] > 5

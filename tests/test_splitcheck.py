@@ -1,0 +1,760 @@
+"""Tests for the splitcheck static invariant analyzer.
+
+Each SDxxx rule gets: fixture snippets that must flag, and near-miss
+snippets (the guarded / deterministic / module-level / CPU-clock /
+well-formed versions of the same code) that must pass.  A self-run
+asserts the real ``core/``, ``match/``, and ``runtime/`` trees are
+clean with zero baseline entries -- the invariant this PR exists to
+pin.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.splitcheck import (
+    Config,
+    Finding,
+    PragmaIndex,
+    Severity,
+    all_rules,
+    check_paths,
+    load_baseline,
+    load_config,
+    partition,
+    write_baseline,
+)
+from repro.devtools.splitcheck.cli import main as splitcheck_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def run_rules(
+    tmp_path: Path, rel_name: str, source: str, *, select: str | None = None
+) -> list[Finding]:
+    """Write ``source`` under a repro-shaped tree and analyze it."""
+    target = tmp_path / "repro" / rel_name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    config = Config(root=tmp_path)
+    selected = frozenset({select}) if select else None
+    findings, checked = check_paths([tmp_path], config, select=selected)
+    assert checked == 1
+    return findings
+
+
+def rule_ids(findings: list[Finding]) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+# ---------------------------------------------------------------------------
+# SD101: hot-path telemetry guard
+# ---------------------------------------------------------------------------
+
+
+class TestSD101:
+    def test_unguarded_inc_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+        )
+        assert rule_ids(findings) == {"SD101"}
+        assert findings[0].line == 3
+
+    def test_unguarded_observe_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "match/streaming.py",
+            "class M:\n"
+            "    def scan(self, data):\n"
+            "        self._h_latency.observe(1.0)\n",
+        )
+        assert rule_ids(findings) == {"SD101"}
+
+    def test_if_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        if self._tel_on:\n"
+            "            self._c_packets.inc()\n",
+        )
+        assert findings == []
+
+    def test_local_guard_variable_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        tel_on = self._tel_on\n"
+            "        if tel_on:\n"
+            "            self._h_stage.observe(2.0)\n",
+        )
+        assert findings == []
+
+    def test_early_return_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "streams/active.py",
+            "class S:\n"
+            "    def sample(self):\n"
+            "        if not self._tel_on:\n"
+            "            return\n"
+            "        self._g_flows.set(3)\n",
+        )
+        assert findings == []
+
+    def test_registry_enabled_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/fastpath.py",
+            "class F:\n"
+            "    def track(self):\n"
+            "        if self.telemetry.enabled:\n"
+            "            self._c_anomaly.inc()\n",
+        )
+        assert findings == []
+
+    def test_init_and_refresh_are_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/slowpath.py",
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._g_flows.set(0)\n"
+            "    def refresh_telemetry(self):\n"
+            "        self._g_flows.set(1)\n",
+        )
+        assert findings == []
+
+    def test_threading_event_set_not_flagged(self, tmp_path):
+        # .set() on a bare name is threading, not telemetry.
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def stop(self, event):\n"
+            "        event.set()\n",
+        )
+        assert findings == []
+
+    def test_outside_hot_dirs_not_in_scope(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "metrics/report.py",
+            "class R:\n"
+            "    def tally(self):\n"
+            "        self._c_runs.inc()\n",
+            select="SD101",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD102: merge/digest determinism
+# ---------------------------------------------------------------------------
+
+
+class TestSD102:
+    def test_wall_clock_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import time\n\ndef merge():\n    return time.time()\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
+
+    def test_random_import_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import random\n\ndef merge(xs):\n    return random.choice(xs)\n",
+        )
+        assert {"SD102"} == rule_ids(findings)
+        assert len(findings) == 2  # the import and the call
+
+    def test_datetime_now_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "from datetime import datetime\n\n"
+            "def stamp():\n    return datetime.now()\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
+
+    def test_set_iteration_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "def merge(shards):\n"
+            "    out = []\n"
+            "    for shard in set(shards):\n"
+            "        out.append(shard)\n"
+            "    return out\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
+
+    def test_keys_iteration_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "def merge(reasons):\n"
+            "    return [k for k in reasons.keys()]\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
+
+    def test_sorted_set_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "def merge(shards, reasons):\n"
+            "    a = [s for s in sorted(set(shards))]\n"
+            "    b = [k for k in sorted(reasons.keys())]\n"
+            "    return a + b\n",
+        )
+        assert findings == []
+
+    def test_packet_timestamp_arithmetic_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "def merge(alerts):\n"
+            "    return sorted(alerts, key=lambda a: a.timestamp)\n",
+        )
+        assert findings == []
+
+    def test_items_iteration_passes(self, tmp_path):
+        # dict insertion order is deterministic per shard; only set order
+        # and .keys() of rebuilt dicts are digest hazards.
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "def merge(reasons):\n"
+            "    return {k: v for k, v in reasons.items()}\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD103: shard safety
+# ---------------------------------------------------------------------------
+
+
+class TestSD103:
+    def test_lambda_to_queue_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "def feed(queue):\n    queue.put(lambda b: b)\n",
+        )
+        assert rule_ids(findings) == {"SD103"}
+
+    def test_closure_to_queue_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "def feed(queue):\n"
+            "    def handler(batch):\n"
+            "        return batch\n"
+            "    queue.put_nowait(handler)\n",
+        )
+        assert rule_ids(findings) == {"SD103"}
+
+    def test_lambda_process_target_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "from multiprocessing import Process\n\n"
+            "def launch():\n"
+            "    return Process(target=lambda: None)\n",
+        )
+        assert rule_ids(findings) == {"SD103"}
+
+    def test_bound_method_target_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "from multiprocessing import Process\n\n"
+            "class Runner:\n"
+            "    def launch(self):\n"
+            "        return Process(target=self.work)\n",
+        )
+        assert rule_ids(findings) == {"SD103"}
+
+    def test_module_level_target_and_data_pass(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "from multiprocessing import Process\n\n"
+            "def worker_main(spec, queue):\n"
+            "    pass\n\n"
+            "def launch(spec, queue, batch):\n"
+            "    queue.put(batch)\n"
+            "    queue.put(None)\n"
+            "    return Process(target=worker_main, args=(spec, queue))\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD104: timing discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSD104:
+    def test_wall_clock_busy_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "from time import perf_counter_ns\n\n"
+            "class Shard:\n"
+            "    def feed(self, batch):\n"
+            "        t0 = perf_counter_ns()\n"
+            "        self.busy_ns += perf_counter_ns() - t0\n",
+        )
+        assert rule_ids(findings) == {"SD104"}
+
+    def test_tainted_local_busy_flags(self, tmp_path):
+        # the wall clock reaches busy_ns only through the local t0
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "from time import monotonic_ns\n\n"
+            "class Shard:\n"
+            "    def feed(self, batch):\n"
+            "        t0 = monotonic_ns()\n"
+            "        work(batch)\n"
+            "        self.busy_ns += compute() - t0\n",
+        )
+        assert rule_ids(findings) == {"SD104"}
+
+    def test_cpu_clock_wall_keyword_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/serial.py",
+            "from time import process_time\n\n"
+            "def run(report_cls, start):\n"
+            "    return report_cls(wall_seconds=process_time() - start)\n",
+        )
+        assert rule_ids(findings) == {"SD104"}
+
+    def test_correct_clock_families_pass(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "from time import perf_counter, process_time_ns\n\n"
+            "class Shard:\n"
+            "    def feed(self, batch, report_cls):\n"
+            "        t0 = process_time_ns()\n"
+            "        work(batch)\n"
+            "        self.busy_ns += process_time_ns() - t0\n"
+            "        start = perf_counter()\n"
+            "        return report_cls(wall_seconds=perf_counter() - start)\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD105: packet-layer byte hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSD105:
+    def test_str_bytes_concat_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/tcp.py",
+            "def build():\n    return b'host' + 'name'\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_str_bytes_comparison_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/ip.py",
+            "def check():\n    return b'GET' == 'GET'\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_invalid_format_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/udp.py",
+            "import struct\n\nFMT = struct.Struct('!ZZ')\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_pack_arity_mismatch_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/udp.py",
+            "import struct\n\n"
+            "def build(a, b):\n"
+            "    return struct.pack('!HHH', a, b)\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_bound_struct_arity_mismatch_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/tcp.py",
+            "import struct\n\n"
+            "_HDR = struct.Struct('!HHI')\n\n"
+            "def build(a, b):\n"
+            "    return _HDR.pack(a, b)\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_str_into_bytes_field_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/ether.py",
+            "import struct\n\n"
+            "def build():\n"
+            "    return struct.pack('!4s', 'abcd')\n",
+        )
+        assert rule_ids(findings) == {"SD105"}
+
+    def test_well_formed_packing_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/tcp.py",
+            "import struct\n\n"
+            "_HDR = struct.Struct('!HHI')\n\n"
+            "def build(sport, dport, seq, payload):\n"
+            "    if payload == b'GET':\n"
+            "        pass\n"
+            "    return _HDR.pack(sport, dport, seq) + struct.pack('!4s', b'abcd')\n",
+        )
+        assert findings == []
+
+    def test_repeat_and_pad_codes_counted(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "packet/ip.py",
+            "import struct\n\n"
+            "def build(a, b, c):\n"
+            "    return struct.pack('!2Hxx4s', a, b, c)\n",  # 2H=2 + 4s=1 -> 3 ok
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Framework: pragmas, baseline, config, CLI
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_line_pragma_suppresses_named_rule(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()  # splitcheck: ignore[SD101]\n",
+        )
+        assert findings == []
+
+    def test_bare_pragma_suppresses_everything(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import time\n\n"
+            "def merge():\n"
+            "    return time.time()  # splitcheck: ignore\n",
+        )
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()  # splitcheck: ignore[SD105]\n",
+        )
+        assert rule_ids(findings) == {"SD101"}
+
+    def test_skip_file_pragma(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "# splitcheck: skip-file\n"
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+        )
+        assert findings == []
+
+    def test_pragma_index_parsing(self):
+        index = PragmaIndex(
+            "x = 1  # splitcheck: ignore[SD101, SD102]\n"
+            "y = 2  # splitcheck: ignore\n"
+        )
+        assert index.ignores(1, "SD101") and index.ignores(1, "sd102")
+        assert not index.ignores(1, "SD105")
+        assert index.ignores(2, "SD105")
+        assert not index.ignores(3, "SD101")
+
+    def test_baseline_roundtrip_and_partition(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        config = Config(root=tmp_path)
+        findings, _ = check_paths([tmp_path], config)
+        assert len(findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        fresh, known = partition(findings, baseline)
+        assert fresh == [] and len(known) == 1
+
+        # fingerprints survive pure line shifts ...
+        target.write_text(
+            "import os\n\n\n"
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        shifted, _ = check_paths([tmp_path], config)
+        fresh, known = partition(shifted, baseline)
+        assert fresh == [] and len(known) == 1
+
+        # ... but not content changes on the flagged line
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_other_counter.inc()\n",
+            encoding="utf-8",
+        )
+        changed, _ = check_paths([tmp_path], config)
+        fresh, known = partition(changed, baseline)
+        assert len(fresh) == 1 and known == []
+
+    def test_pyproject_config_loading(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.splitcheck]\n"
+            'baseline = "base.json"\n'
+            'exclude = ["*/generated/*"]\n'
+            'disable = ["SD105"]\n'
+            "[tool.splitcheck.rules.SD101]\n"
+            'paths = ["*/custom/*.py"]\n'
+            'severity = "warning"\n',
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.baseline == "base.json"
+        assert config.baseline_path == tmp_path / "base.json"
+        assert config.exclude == ("*/generated/*",)
+        assert config.disable == frozenset({"SD105"})
+        rule = config.rule_config("sd101")
+        assert rule.paths == ("*/custom/*.py",)
+        assert rule.severity == "warning"
+
+    def test_disabled_rule_does_not_run(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.splitcheck]\ndisable = ["SD101"]\n', encoding="utf-8"
+        )
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        findings, _ = check_paths([tmp_path], load_config(tmp_path))
+        assert findings == []
+
+    def test_severity_override_downgrades_exit_code(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.splitcheck.rules.SD101]\nseverity = "warning"\n',
+            encoding="utf-8",
+        )
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        findings, _ = check_paths([tmp_path], load_config(tmp_path))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        # warnings do not fail the run unless --strict-warnings
+        assert splitcheck_main([str(target), "--root", str(tmp_path)]) == 0
+        assert (
+            splitcheck_main(
+                [str(target), "--root", str(tmp_path), "--strict-warnings"]
+            )
+            == 1
+        )
+
+    def test_syntax_error_becomes_sd000(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def broken(:\n", encoding="utf-8")
+        findings, _ = check_paths([tmp_path], Config(root=tmp_path))
+        assert rule_ids(findings) == {"SD000"}
+
+    def test_all_five_rules_registered(self):
+        assert set(all_rules()) == {"SD101", "SD102", "SD103", "SD104", "SD105"}
+
+
+class TestCli:
+    def write_bad_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def test_exit_codes(self, tmp_path, capsys):
+        target = self.write_bad_file(tmp_path)
+        assert splitcheck_main([str(target), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SD101" in out and "1 new finding" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = self.write_bad_file(tmp_path)
+        code = splitcheck_main([str(target), "--root", str(tmp_path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checked_files"] == 1
+        assert payload["new"][0]["rule"] == "SD101"
+        assert payload["new"][0]["fingerprint"]
+        assert payload["baselined"] == []
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        target = self.write_bad_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            splitcheck_main(
+                [
+                    str(target),
+                    "--root",
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            splitcheck_main(
+                [str(target), "--root", str(tmp_path), "--baseline", str(baseline)]
+            )
+            == 0
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path):
+        target = self.write_bad_file(tmp_path)
+        assert (
+            splitcheck_main(
+                [str(target), "--root", str(tmp_path), "--select", "SD999"]
+            )
+            == 2
+        )
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert (
+            splitcheck_main(
+                [str(tmp_path / "nope.py"), "--root", str(tmp_path)]
+            )
+            == 2
+        )
+
+    def test_list_rules(self, capsys):
+        assert splitcheck_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SD101", "SD102", "SD103", "SD104", "SD105"):
+            assert rule_id in out
+
+    def test_splitdetect_check_subcommand(self, tmp_path):
+        """The ``splitdetect check`` wiring reaches the same engine."""
+        from repro.cli import main as repro_main
+
+        target = self.write_bad_file(tmp_path)
+        assert repro_main(["check", str(target), "--root", str(tmp_path)]) == 1
+        assert (
+            repro_main(
+                ["check", str(target), "--root", str(tmp_path), "--no-baseline",
+                 "--select", "SD102"]
+            )
+            == 0
+        )
+
+    def test_module_entry_point(self, tmp_path):
+        target = self.write_bad_file(tmp_path)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.devtools.splitcheck",
+                str(target),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "SD101" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Self-run: the real tree must be clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfRun:
+    def test_core_match_runtime_clean_with_zero_baseline(self):
+        """The acceptance invariant: hot-path dirs clean, baseline empty."""
+        config = load_config(REPO_ROOT)
+        findings, checked = check_paths(
+            [SRC / "core", SRC / "match", SRC / "runtime"], config
+        )
+        assert checked > 10
+        assert findings == [], "\n".join(f.render() for f in findings)
+        baseline = load_baseline(config.baseline_path)
+        assert baseline == {}, "repo policy: no grandfathered findings"
+
+    def test_full_package_clean(self):
+        config = load_config(REPO_ROOT)
+        findings, checked = check_paths([SRC], config)
+        assert checked > 50
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_telemetry_and_packet_clean(self):
+        config = load_config(REPO_ROOT)
+        findings, _ = check_paths(
+            [SRC / "telemetry", SRC / "packet", SRC / "streams"], config
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,58 @@
+"""Gates for the external static-analysis tools (mypy, ruff).
+
+The container used for tier-1 testing does not ship mypy or ruff, so
+these tests skip cleanly when the tools are absent; the CI
+``static-analysis`` job installs pinned versions and runs them for
+real.  The splitcheck analyzer itself is pure stdlib and is covered
+unconditionally by ``tests/test_splitcheck.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tool_available(module: str) -> bool:
+    try:
+        __import__(module)
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.mark.skipif(not _tool_available("mypy"), reason="mypy not installed")
+def test_mypy_clean() -> None:
+    """``mypy`` (configured in pyproject.toml) must pass over the package."""
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(not _tool_available("ruff"), reason="ruff not installed")
+def test_ruff_clean() -> None:
+    """``ruff check src`` must pass with the pyproject.toml rule set."""
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_py_typed_marker_registered() -> None:
+    """The py.typed marker must exist and be listed in package-data."""
+    marker = REPO_ROOT / "src" / "repro" / "py.typed"
+    assert marker.exists()
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "py.typed" in pyproject

@@ -1,0 +1,279 @@
+"""Fault recovery gate -- a killed worker must not cost correctness.
+
+Two modes over the same invariants:
+
+- **soak gate** (the pytest test, also the default standalone run): a
+  seeded crash in shard 1 mid-gauntlet.  The run must complete, record
+  a non-empty degraded interval whose loss accounting closes the
+  ``examined + shed + quarantined + lost == input`` identity, keep every
+  produced alert inside the serial reference set, leave the untouched
+  shards' alert streams byte-identical to serial, and reap every child
+  process.
+- **chaos mode** (``--chaos N``, run nightly by CI): N random seeded
+  :meth:`FaultPlan.random` plans, each held to the same invariants.
+  Failing seeds are written to ``benchmarks/results/chaos_failures.json``
+  so CI can upload them as an artifact and a human can replay any seed
+  with ``--chaos 1 --seed-base <seed>``.
+
+The machine-readable soak results land in ``BENCH_fault_recovery.json``
+at the repo root.  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py --chaos 25
+"""
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import sys
+import traceback
+from pathlib import Path
+
+from exp_common import (
+    ATTACK_OFFSET,
+    ATTACK_SIGNATURE,
+    RESULTS_DIR,
+    benign_trace,
+    emit,
+    gauntlet_payload,
+    gauntlet_ruleset,
+)
+from repro.evasion import build_attack
+from repro.runtime import (
+    EngineSpec,
+    FaultPlan,
+    ParallelRunner,
+    RunnerConfig,
+    SerialRunner,
+)
+from repro.traffic import inject_attacks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKERS = 2
+BATCH_SIZE = 64
+TRACE_FLOWS = 120
+#: Packet index for the deterministic mid-gauntlet crash (shard-local).
+CRASH_AT = 400
+
+
+def recovery_trace():
+    trace = benign_trace(TRACE_FLOWS, seed=2006)
+    attacks = [
+        build_attack(
+            name,
+            gauntlet_payload(),
+            signature_span=(ATTACK_OFFSET, len(ATTACK_SIGNATURE)),
+            src=f"10.66.0.{i + 1}",
+            seed=i,
+        )
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8", "stealth_segments"])
+    ]
+    return inject_attacks(trace, attacks)
+
+
+def make_config(faults: FaultPlan | None = None) -> RunnerConfig:
+    """Supervised config with CI-friendly failure-detection latencies."""
+    return RunnerConfig(
+        batch_size=BATCH_SIZE,
+        max_restarts=2,
+        restart_backoff=0.01,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=1.0,
+        drain_timeout=30.0,
+        faults=faults,
+    )
+
+
+def alert_keys(alerts):
+    return {(a.timestamp, str(a.flow), a.sid, a.msg) for a in alerts}
+
+
+def verify_invariants(report, serial, n_input: int, *, require_degraded: bool) -> None:
+    """The degraded-mode contract; raises AssertionError with the hole."""
+    accounted = (
+        report.packets
+        + report.shed_packets
+        + report.quarantined_packets
+        + report.degraded_packets
+    )
+    assert accounted == n_input, (
+        f"accounting hole: examined={report.packets} shed={report.shed_packets} "
+        f"quarantined={report.quarantined_packets} lost={report.degraded_packets} "
+        f"!= input={n_input}"
+    )
+    if require_degraded:
+        assert report.degraded, "faulted run recorded no degraded interval"
+        assert report.degraded_packets > 0, "degraded interval lost zero packets"
+        assert report.worker_restarts >= 1, "supervisor never restarted the worker"
+    produced = alert_keys(report.alerts)
+    reference = alert_keys(serial.alerts)
+    assert produced <= reference, (
+        f"degraded run invented {len(produced - reference)} alert(s) "
+        "absent from the serial reference"
+    )
+    # Shards that never degraded must match serial byte-for-byte.
+    degraded_shards = {iv.shard for iv in report.degraded}
+    quarantined_shards = {s.shard for s in report.shards if s.quarantined}
+    ref_by_shard = {s.shard: s.alerts for s in serial.shards}
+    for shard_report in report.shards:
+        if shard_report.shard in degraded_shards | quarantined_shards:
+            continue
+        assert shard_report.alerts == ref_by_shard[shard_report.shard], (
+            f"untouched shard {shard_report.shard} diverged from serial"
+        )
+    assert mp.active_children() == [], "run left live child processes"
+
+
+def run_recovery() -> dict:
+    trace = recovery_trace()
+    spec = EngineSpec(rules=gauntlet_ruleset())
+    serial = SerialRunner(spec, shards=WORKERS, config=make_config()).run(trace)
+
+    plan = FaultPlan.parse([f"crash:shard=1,at={CRASH_AT}"])
+    report = ParallelRunner(spec, workers=WORKERS, config=make_config(plan)).run(trace)
+    verify_invariants(report, serial, len(trace), require_degraded=True)
+
+    recovered = alert_keys(report.alerts)
+    reference = alert_keys(serial.alerts)
+    return {
+        "trace": {"flows": TRACE_FLOWS, "packets": len(trace)},
+        "host": {"cpu_count": os.cpu_count()},
+        "workers": WORKERS,
+        "fault_plan": plan.describe(),
+        "wall_seconds": round(report.wall_seconds, 4),
+        "worker_restarts": report.worker_restarts,
+        "degraded_intervals": [
+            {
+                "shard": iv.shard,
+                "generation": iv.generation,
+                "reason": iv.reason,
+                "packets_lost": iv.packets_lost,
+                "alerts_salvaged": iv.alerts_salvaged,
+            }
+            for iv in report.degraded
+        ],
+        "packets_examined": report.packets,
+        "packets_lost": report.degraded_packets,
+        "packets_quarantined": report.quarantined_packets,
+        "serial_alerts": len(serial.alerts),
+        "recovered_alerts": len(report.alerts),
+        "alerts_retained_pct": round(100.0 * len(recovered) / max(1, len(reference)), 1),
+    }
+
+
+def check_and_emit(result: dict, capfd=None) -> None:
+    (REPO_ROOT / "BENCH_fault_recovery.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    lines = [
+        f"trace: {result['trace']['packets']} packets, {result['workers']} workers, "
+        f"plan: {result['fault_plan']}",
+        f"restarts: {result['worker_restarts']}, "
+        f"lost: {result['packets_lost']} packet(s) across "
+        f"{len(result['degraded_intervals'])} degraded interval(s)",
+        f"alerts: {result['recovered_alerts']}/{result['serial_alerts']} "
+        f"({result['alerts_retained_pct']}% of serial reference) "
+        f"in {result['wall_seconds']:.2f}s",
+    ]
+    for iv in result["degraded_intervals"]:
+        lines.append(
+            f"  shard {iv['shard']} gen {iv['generation']}: {iv['reason']}, "
+            f"{iv['packets_lost']} lost, {iv['alerts_salvaged']} alerts salvaged"
+        )
+    emit("fault_recovery", lines, capfd)
+    assert result["worker_restarts"] >= 1
+    assert result["degraded_intervals"], "no degraded interval recorded"
+    assert result["recovered_alerts"] > 0, "degraded run produced zero alerts"
+
+
+def run_chaos(count: int, seed_base: int) -> int:
+    """Chaos mode: *count* random fault plans, same invariants each run.
+
+    Returns the number of failing seeds; failures (seed, plan,
+    traceback) are persisted for artifact upload and replay.
+    """
+    trace = recovery_trace()
+    spec = EngineSpec(rules=gauntlet_ruleset())
+    serial = SerialRunner(spec, shards=WORKERS, config=make_config()).run(trace)
+    # The flow-hash split is uneven; keep triggers well inside the
+    # smallest shard's packet count so plans actually fire.
+    max_packet = min(s.stats.packets_total for s in serial.shards) * 3 // 4
+
+    failures = []
+    for i in range(count):
+        seed = seed_base + i
+        plan = FaultPlan.random(seed, shards=WORKERS, max_packet=max_packet)
+        try:
+            report = ParallelRunner(
+                spec, workers=WORKERS, config=make_config(plan)
+            ).run(trace)
+            verify_invariants(report, serial, len(trace), require_degraded=False)
+            print(
+                f"seed {seed}: ok ({plan.describe()}; "
+                f"restarts={report.worker_restarts} "
+                f"lost={report.degraded_packets} "
+                f"quarantined={report.quarantined_packets})",
+                file=sys.stderr,
+            )
+        except Exception:
+            failures.append(
+                {
+                    "seed": seed,
+                    "plan": plan.describe(),
+                    "error": traceback.format_exc(),
+                }
+            )
+            print(f"seed {seed}: FAILED ({plan.describe()})", file=sys.stderr)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "chaos_failures.json"
+    out.write_text(
+        json.dumps(
+            {"seed_base": seed_base, "count": count, "failures": failures}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"chaos: {count - len(failures)}/{count} seeds passed "
+        f"(failures recorded in {out})",
+        file=sys.stderr,
+    )
+    return len(failures)
+
+
+def test_fault_recovery(capfd):
+    """Crash mid-gauntlet: run completes, loss accounted, alerts sound.
+
+    Emits BENCH_fault_recovery.json."""
+    check_and_emit(run_recovery(), capfd)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        metavar="N",
+        help="run N random fault plans instead of the deterministic soak",
+    )
+    parser.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="first chaos seed (seeds are SEED..SEED+N-1)",
+    )
+    args = parser.parse_args(argv)
+    if args.chaos is not None:
+        return 1 if run_chaos(args.chaos, args.seed_base) else 0
+    check_and_emit(run_recovery())
+    print("fault recovery gate passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent))
+    raise SystemExit(main())

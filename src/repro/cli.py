@@ -22,10 +22,11 @@ from .metrics import (
     run_split_detect,
     state_bytes_ratio,
 )
-from .pcap import read_trace, write_trace
+from .pcap import read_records, read_trace, write_trace
 from .runtime import (
     Backpressure,
     EngineSpec,
+    FaultPlan,
     ParallelRunner,
     RunnerConfig,
     ShardPolicy,
@@ -105,6 +106,14 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
     spec = EngineSpec(
         rules=rules, split_policy=SplitPolicy(piece_length=args.piece_length)
     )
+    faults = None
+    if args.inject:
+        try:
+            faults = FaultPlan.parse(args.inject)
+        except ValueError as exc:
+            print(f"bad --inject spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault plan: {faults.describe()}")
     config = RunnerConfig(
         batch_size=args.batch_size,
         shard_policy=ShardPolicy(args.shard_policy),
@@ -112,9 +121,14 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
         queue_depth=args.queue_depth,
         evict_interval=args.evict_interval,
         telemetry=not args.no_telemetry,
+        max_restarts=args.max_restarts,
+        restart_backoff=args.restart_backoff,
+        faults=faults,
     )
     runner = ParallelRunner(spec, workers=args.workers, config=config)
-    report = runner.run(read_trace(args.pcap))
+    # Undecoded records, not parsed packets: the runner's quarantine
+    # owns malformed frames, so a hostile capture cannot kill the run.
+    report = runner.run(read_records(args.pcap))
     print(
         f"processed {report.packets} packets across {report.workers} shards "
         f"in {report.wall_seconds:.2f}s "
@@ -124,6 +138,26 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
     if report.shed_packets:
         print(f"SHED {report.shed_packets} packets "
               f"({report.shed_batches} batches) under backpressure")
+    if report.worker_restarts:
+        print(f"RESTARTED {report.worker_restarts} worker(s)")
+    for interval in report.degraded:
+        if interval.start_ts is not None and interval.end_ts is not None:
+            window = f"{interval.start_ts:.3f}..{interval.end_ts:.3f}"
+        elif interval.open:
+            window = "open"
+        else:
+            window = "unconfirmed start"
+        print(
+            f"DEGRADED shard {interval.shard} gen {interval.generation} "
+            f"[{interval.reason}] packets_lost={interval.packets_lost} "
+            f"flows_reset={interval.flows_reset} "
+            f"alerts_salvaged={interval.alerts_salvaged} window={window}"
+        )
+    if report.quarantined:
+        causes = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(report.quarantined.items())
+        )
+        print(f"QUARANTINED {report.quarantined_packets} malformed frame(s): {causes}")
     print(f"diverted flows: {report.diverted_flows}  "
           f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
     for reason, count in sorted(report.divert_reasons.items()):
@@ -151,6 +185,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.workers and args.engine != "split":
         print("--workers shards the split engine only; conventional/naive "
               "baselines run single-process", file=sys.stderr)
+        return 2
+    if (args.inject or args.max_restarts) and not args.workers:
+        print("--inject/--max-restarts drive the sharded runtime; add "
+              "--workers N", file=sys.stderr)
+        return 2
+    if args.max_restarts < 0:
+        print(f"--max-restarts must be >= 0, got {args.max_restarts}",
+              file=sys.stderr)
         return 2
     rules = _load_ruleset(args.rules)
     print(f"loaded {len(rules)} signatures")
@@ -389,6 +431,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="sweep idle flow state every SECONDS of packet time "
              "(default: no automatic eviction)",
+    )
+    run.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="supervise workers: restart a dead/hung shard up to N times "
+             "with a fresh engine, reporting the gap as a degraded "
+             "interval (default 0: any worker failure aborts the run)",
+    )
+    run.add_argument(
+        "--restart-backoff",
+        type=_positive_float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base of the supervisor's exponential restart backoff "
+             "(default: 0.05)",
+    )
+    run.add_argument(
+        "--inject",
+        action="append",
+        metavar="FAULT",
+        help="inject a deterministic fault, e.g. 'crash:shard=1,at=500' "
+             "or 'stall:shard=0,at=100,seconds=0.2'; kinds: crash, hang, "
+             "stall, slowdown, decode, skew (repeatable; needs --workers)",
     )
     run.set_defaults(func=cmd_run)
 

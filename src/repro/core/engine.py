@@ -60,6 +60,10 @@ class EngineStats:
     slow_bytes_normalized: int = 0
     diversions: int = 0
     alerts: int = 0
+    decode_errors: int = 0
+    """Packets whose transport header failed to decode: counted and
+    passed unexamined on the fast path rather than crashing the engine
+    (the engine-level face of the malformed-input quarantine)."""
 
 
 class SplitDetectIPS:
@@ -162,6 +166,12 @@ class SplitDetectIPS:
         )
         self._c_alerts_fast = alerts_total.labels(path="fast")
         self._c_alerts_slow = alerts_total.labels(path="slow")
+        self._c_decode_errors = tel.counter(
+            "repro_engine_decode_errors_total",
+            "Packets whose transport decode failed (passed unexamined), "
+            "by exception class",
+            ("cause",),
+        )
         self._c_reinstated = tel.counter(
             "repro_engine_reinstated_flows_total",
             "Diverted flows returned to the fast path after clean probation",
@@ -290,6 +300,10 @@ class SplitDetectIPS:
         else:
             result = self.fast_path.process(packet, _prescanned)
         self.stats.fast_bytes_scanned += self.fast_path.bytes_scanned - before
+        if result.decode_error is not None:
+            self.stats.decode_errors += 1
+            if tel_on:
+                self._c_decode_errors.labels(cause=result.decode_error).inc()
         alerts = list(result.alerts)
         self.stats.alerts += len(alerts)
         if alerts and tel_on:

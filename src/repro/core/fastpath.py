@@ -27,6 +27,7 @@ from ..packet import (
     flow_key_of,
     seq_diff,
 )
+from ..packet.errors import PacketError
 from ..signatures import Piece, Signature, SplitRuleSet
 from .alerts import Alert, AlertKind, DivertReason
 from .flowtable import FlowTable
@@ -107,6 +108,10 @@ class FastPathResult:
     alerts: list[Alert] = field(default_factory=list)
     piece_hits: list[Piece] = field(default_factory=list)
     detail: str = ""
+    decode_error: str | None = None
+    """Exception class name when the transport header failed to decode
+    (the packet passed unexamined) -- the engine's decode-quarantine
+    accounting reads this; None for a clean decode."""
     flow_expected_seq: int | None = None
     """The monitor's expected sequence number for this packet's direction,
     snapshotted *before* this packet advanced it -- i.e. where in-order
@@ -306,7 +311,11 @@ class FastPath:
             # No stream, no monitor: one stateless scan per datagram.
             try:
                 datagram = decode_udp(ip)
+            except PacketError as exc:
+                result.decode_error = type(exc).__name__
+                return result
             except Exception:
+                result.decode_error = "DecodeError"
                 return result
             if datagram.payload and self.automaton is not None:
                 self._scan(
@@ -319,7 +328,11 @@ class FastPath:
             return result
         try:
             segment = decode_tcp(ip)
+        except PacketError as exc:
+            result.decode_error = type(exc).__name__
+            return result
         except Exception:
+            result.decode_error = "DecodeError"
             return result
         flow = flow_key_of(ip)
         if self.config.min_ttl and segment.payload and ip.ttl < self.config.min_ttl:

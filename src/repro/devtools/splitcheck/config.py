@@ -19,9 +19,16 @@ checkouts.
 
 from __future__ import annotations
 
-import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on the 3.10 CI leg
+    try:
+        import tomli as tomllib  # type: ignore[import-not-found, no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
 
 __all__ = ["Config", "RuleConfig", "find_root", "load_config"]
 
@@ -72,7 +79,7 @@ def load_config(root: Path | None = None, *, start: Path | None = None) -> Confi
     root = root.resolve()
     pyproject = root / "pyproject.toml"
     table: dict[str, object] = {}
-    if pyproject.is_file():
+    if pyproject.is_file() and tomllib is not None:
         with pyproject.open("rb") as handle:
             data = tomllib.load(handle)
         tool = data.get("tool", {})

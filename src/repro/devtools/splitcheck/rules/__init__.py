@@ -14,6 +14,7 @@ from . import (  # noqa: F401
     sd103_shard_safety,
     sd104_timing,
     sd105_bytes,
+    sd106_worker_status,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "sd103_shard_safety",
     "sd104_timing",
     "sd105_bytes",
+    "sd106_worker_status",
 ]

@@ -1,0 +1,93 @@
+"""SD106: worker exception handlers must report before exiting.
+
+Invariant (PR 5): the supervisor's failure taxonomy depends on workers
+being loud.  A worker that catches an exception and exits *without*
+putting a status message on the results queue is indistinguishable from
+a hard crash -- the parent can only infer death from process exit or
+heartbeat silence, losing the traceback and misclassifying an engine
+error as a crash.  So in the worker modules, every ``except`` handler
+that exits the worker (``return``, ``sys.exit``, ``os._exit``) must
+contain a queue ``put``/``put_nowait`` first.
+
+Scoped structurally, not by name: the rule applies inside functions that
+take an ``out_queue`` parameter -- the worker wire-protocol functions --
+so engine-side handlers (e.g. the quarantine's catch-and-return in
+``ShardProcessor.feed``) are exempt.  Injected crashes (``os._exit`` in
+``runtime/faults.py``) are outside the scoped paths by design: they
+simulate exactly the silent death this rule forbids our own code to
+produce.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import dotted_name
+from ..engine import FileContext, Rule, register
+
+__all__ = ["WorkerStatusRule"]
+
+EXIT_CALLS = frozenset({"sys.exit", "os._exit"})
+PUT_METHODS = frozenset({"put", "put_nowait"})
+
+
+def _protocol_functions(tree: ast.Module) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions speaking the worker wire protocol (take ``out_queue``)."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names = [arg.arg for arg in node.args.args + node.args.kwonlyargs]
+            if "out_queue" in names:
+                found.append(node)
+    return found
+
+
+def _exits_worker(handler: ast.ExceptHandler) -> bool:
+    """Does this handler body leave the worker (return or exit call)?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Return):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in EXIT_CALLS:
+                return True
+    return False
+
+
+def _puts_status(handler: ast.ExceptHandler) -> bool:
+    """Does this handler put anything on a queue before leaving?"""
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in PUT_METHODS
+        ):
+            return True
+        if isinstance(node, ast.Raise):
+            # Re-raising hands the exception to an enclosing handler,
+            # which this rule holds to the same contract.
+            return True
+    return False
+
+
+@register
+class WorkerStatusRule(Rule):
+    id = "SD106"
+    title = "worker exception handler exits without a status message"
+    default_paths = ("*/repro/runtime/worker*.py",)
+
+    def check(self, ctx: FileContext) -> None:
+        for function in _protocol_functions(ctx.tree):
+            for node in ast.walk(function):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if _exits_worker(node) and not _puts_status(node):
+                    ctx.report(
+                        self,
+                        node,
+                        "except handler in worker-protocol function "
+                        f"{function.name!r} exits without an out_queue.put() "
+                        "status message; a silent exit is indistinguishable "
+                        "from a crash and loses the traceback -- report "
+                        '("error", shard, generation, detail) first',
+                    )

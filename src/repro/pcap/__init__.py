@@ -6,7 +6,14 @@ from .format import (
     PcapFormatError,
     PcapHeader,
 )
-from .io import PcapReader, PcapWriter, read_trace, trace_to_bytes, write_trace
+from .io import (
+    PcapReader,
+    PcapWriter,
+    read_records,
+    read_trace,
+    trace_to_bytes,
+    write_trace,
+)
 
 __all__ = [
     "LINKTYPE_ETHERNET",
@@ -15,6 +22,7 @@ __all__ = [
     "PcapHeader",
     "PcapReader",
     "PcapWriter",
+    "read_records",
     "read_trace",
     "trace_to_bytes",
     "write_trace",

@@ -153,6 +153,34 @@ def read_trace(path: str | os.PathLike) -> Iterator[TimedPacket]:
             yield TimedPacket(timestamp, IPv4Packet.parse(data))
 
 
+def read_records(path: str | os.PathLike) -> Iterator[tuple[float, bytes]]:
+    """Yield undecoded ``(timestamp, IP bytes)`` records from a savefile.
+
+    The quarantine-aware feed for the runners: Ethernet framing is
+    unwrapped and non-IPv4 ethertypes skipped, but the IP layer is *not*
+    parsed here -- a corrupt record reaches the caller as raw bytes, so
+    the runtime's decode quarantine can count it per cause instead of
+    this reader raising mid-trace (:func:`read_trace`'s behaviour).  A
+    record too short to carry an Ethernet header passes through whole,
+    for the same reason.
+    """
+    with PcapReader(path) as reader:
+        ethernet = reader.linktype == LINKTYPE_ETHERNET
+        if not ethernet and reader.linktype != LINKTYPE_RAW_IP:
+            raise PcapFormatError(f"unsupported linktype {reader.linktype}")
+        for timestamp, data in reader:
+            if ethernet:
+                try:
+                    frame = EthernetFrame.parse(data)
+                except Exception:
+                    yield timestamp, data
+                    continue
+                if frame.ethertype != ETHERTYPE_IPV4:
+                    continue
+                data = frame.payload
+            yield timestamp, data
+
+
 def trace_to_bytes(packets: Iterable[TimedPacket]) -> bytes:
     """Render a trace to an in-memory pcap image (handy for tests)."""
     buffer = io.BytesIO()

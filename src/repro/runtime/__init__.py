@@ -22,16 +22,27 @@ Quick tour::
 - :class:`SerialRunner` -- same router + merge, one thread, for tests
   and bit-for-bit comparison against :class:`ParallelRunner`;
 - :class:`ParallelRunner` -- multiprocessing workers behind bounded
-  queues with block/shed backpressure and graceful drain;
+  queues with block/shed backpressure and graceful drain; with
+  ``RunnerConfig(max_restarts=N)`` it supervises workers (heartbeats,
+  restart with fresh engine, explicit :class:`DegradedInterval` loss
+  accounting) instead of failing fast;
+- :mod:`~repro.runtime.faults` -- deterministic, seed-driven fault
+  injection (``RunnerConfig(faults=...)`` / the CLI ``--inject`` flag);
+- :mod:`~repro.runtime.quarantine` -- malformed frames are counted per
+  cause and dropped at the decode boundary, never raised;
 - :mod:`~repro.runtime.report` -- deterministic alert ordering, summed
   counters, merged telemetry, and the equivalence digest.
 """
 
 from .batching import iter_batches
 from .config import Backpressure, RunnerConfig
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from .parallel import ParallelRunner, WorkerFailure
+from .quarantine import DECODE_ERRORS, Quarantine, decode_packets
 from .report import (
+    DegradedInterval,
     RuntimeReport,
+    ShardDelta,
     ShardReport,
     alert_sort_key,
     equivalence_digest,
@@ -43,18 +54,27 @@ from .spec import EngineSpec
 from .worker import ShardProcessor
 
 __all__ = [
+    "DECODE_ERRORS",
     "Backpressure",
+    "DegradedInterval",
     "EngineSpec",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "ParallelRunner",
+    "Quarantine",
     "RunnerConfig",
     "RuntimeReport",
     "SerialRunner",
+    "ShardDelta",
     "ShardPolicy",
     "ShardProcessor",
     "ShardReport",
     "ShardRouter",
     "WorkerFailure",
     "alert_sort_key",
+    "decode_packets",
     "equivalence_digest",
     "iter_batches",
     "merge_shard_reports",

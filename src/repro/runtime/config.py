@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .faults import FaultPlan
 from .sharding import ShardPolicy
 
 __all__ = ["Backpressure", "RunnerConfig"]
@@ -62,6 +63,38 @@ class RunnerConfig:
     """``multiprocessing`` start method (``fork``/``spawn``/...); None
     picks the platform default."""
 
+    max_restarts: int = 0
+    """Per-shard restart budget.  0 (default) keeps the historical
+    fail-fast contract: any worker death raises
+    :class:`~repro.runtime.parallel.WorkerFailure`.  A positive value
+    turns on supervision: dead or hung workers are restarted with a
+    fresh engine (exponential backoff), the loss is recorded as a
+    :class:`~repro.runtime.report.DegradedInterval`, and a shard whose
+    budget is exhausted is marked dead -- the run still completes, with
+    that shard's subsequent traffic counted as lost."""
+
+    restart_backoff: float = 0.05
+    """Base seconds of the supervisor's exponential restart backoff
+    (the n-th restart of a shard waits ``restart_backoff * 2**n``)."""
+
+    heartbeat_interval: float = 0.2
+    """Supervised workers flush a result delta (or an idle heartbeat) at
+    least this often, bounding both failure-detection latency and how
+    much confirmed work a crash can lose."""
+
+    heartbeat_timeout: float = 5.0
+    """Seconds of heartbeat silence after which a supervised worker that
+    is still alive is declared hung, killed, and restarted."""
+
+    faults: FaultPlan | None = None
+    """Deterministic fault-injection plan (tests/chaos CI only); None
+    disables every injection point."""
+
+    @property
+    def supervised(self) -> bool:
+        """True when worker supervision (restart + degraded mode) is on."""
+        return self.max_restarts > 0
+
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
@@ -73,3 +106,18 @@ class RunnerConfig:
             )
         if self.drain_timeout <= 0:
             raise ValueError(f"drain_timeout must be positive, got {self.drain_timeout}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.restart_backoff <= 0:
+            raise ValueError(
+                f"restart_backoff must be positive, got {self.restart_backoff}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval, got "
+                f"{self.heartbeat_timeout} <= {self.heartbeat_interval}"
+            )

@@ -13,20 +13,50 @@ packet (:class:`~repro.runtime.config.Backpressure`).  Shutdown is a
 graceful drain -- a sentinel per queue, workers flush everything already
 enqueued, then report -- so no in-flight batch is ever lost on the
 lossless path.
+
+Two failure regimes, selected by ``RunnerConfig.max_restarts``:
+
+- **legacy fail-fast** (``max_restarts == 0``, the default): any worker
+  death or engine error raises :class:`WorkerFailure` and the whole run
+  aborts -- appropriate for correctness tests, where a failure must be
+  loud.
+- **supervised** (``max_restarts > 0``): the feeder doubles as a
+  supervisor.  Workers heartbeat and flush result deltas (see
+  :mod:`repro.runtime.worker`); a dead, hung, or erroring worker is
+  replaced with a fresh engine on the *same* input queue (bounded
+  restarts, exponential backoff), so batches enqueued but not yet
+  consumed survive the failure.  Whatever did not survive -- packets
+  consumed but never confirmed by a delta, flow state, unflushed alerts
+  -- is recorded as a :class:`~repro.runtime.report.DegradedInterval` in
+  the merged report.  Coverage degrades; it never degrades *silently*.
+
+Known limitation, accepted and documented: a worker that dies while
+holding a shared queue's internal lock (mid-``get``/``put``) can wedge
+the survivors.  Injected crashes fire between batches, never inside
+queue operations, and real mid-pipe deaths additionally trip the
+heartbeat timeout, whereupon the run ends with loss accounted rather
+than hanging forever (the drain deadline backstops the rest).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-from collections.abc import Iterable
+import time
 from time import monotonic, perf_counter
 from typing import Any
 
 from ..packet import TimedPacket
 from .batching import iter_batches
 from .config import Backpressure, RunnerConfig
-from .report import RuntimeReport, merge_shard_reports
+from .quarantine import PacketSource, Quarantine, decode_packets
+from .report import (
+    DegradedInterval,
+    RuntimeReport,
+    ShardDelta,
+    ShardReport,
+    merge_shard_reports,
+)
 from .sharding import ShardRouter
 from .spec import EngineSpec
 from .worker import DRAIN, shard_worker_main
@@ -37,9 +67,55 @@ __all__ = ["ParallelRunner", "WorkerFailure"]
 #: queue (a dead worker must not hang the feeder forever).
 _PUT_POLL_SECONDS = 0.5
 
+#: Seconds the supervisor's drain loop waits per results-queue read
+#: between liveness sweeps.
+_DRAIN_POLL_SECONDS = 0.1
+
 
 class WorkerFailure(RuntimeError):
     """A shard worker died or reported an engine error."""
+
+
+class _Seat:
+    """Supervisor-side state for one shard slot across restarts."""
+
+    def __init__(self, index: int, in_queue: Any, process: Any) -> None:
+        self.index = index
+        self.in_queue = in_queue
+        self.process = process
+        self.generation = 0
+        self.restarts_used = 0
+        self.dead = False
+        """Restart budget exhausted: no process, traffic counts as lost."""
+
+        self.finished = False
+        """Final ``ok`` report received for the current generation."""
+
+        self.routed_packets = 0
+        self.routed_batches = 0
+        """Work actually enqueued to this seat (all generations); the
+        basis of the loss accounting ``routed - accounted``."""
+
+        self.accounted_packets = 0
+        self.accounted_batches = 0
+        """Work confirmed by finished generations: final reports plus
+        the last delta of each failed generation."""
+
+        self.dead_dropped_packets = 0
+        self.dead_dropped_batches = 0
+        """Traffic that arrived after the seat died (never enqueued)."""
+
+        self.chunks: list = []
+        """Alert chunks flushed by the current generation's deltas."""
+
+        self.last_delta: ShardDelta | None = None
+        self.last_seen = monotonic()
+        self.reports: list[ShardReport] = []
+        """Salvaged partials from failed generations + the final report."""
+
+        self.open_interval: DegradedInterval | None = None
+        """The latest failure's interval, until the replacement confirms
+        it is processing traffic again (which closes it)."""
 
 
 class ParallelRunner:
@@ -59,7 +135,60 @@ class ParallelRunner:
         self.config = config or RunnerConfig()
         self.router = ShardRouter(workers, self.config.shard_policy)
 
-    # -- feeding ---------------------------------------------------------
+    # -- shared plumbing -------------------------------------------------
+
+    def _spawn(self, ctx: Any, shard: int, generation: int, in_queue: Any, out_queue: Any) -> Any:
+        process = ctx.Process(
+            target=shard_worker_main,
+            args=(shard, generation, self.spec, self.config, in_queue, out_queue),
+            daemon=True,
+            name=f"repro-shard-{shard}-g{generation}",
+        )
+        process.start()
+        return process
+
+    @staticmethod
+    def _reap(processes: list[Any], in_queues: list[Any], out_queue: Any) -> None:
+        """Leave no zombie process or stuck feeder thread behind.
+
+        Runs on every exit path, successful or not.  Ordering matters:
+        nudge blocked workers with a best-effort sentinel, escalate
+        join -> terminate -> kill until every child is gone, then drain
+        the queues (releasing their background feeder threads, which
+        otherwise block forever writing to a full pipe nobody reads) and
+        close everything, including the ``Process`` objects themselves.
+        """
+        for in_queue in in_queues:
+            try:
+                in_queue.put_nowait(DRAIN)
+            except (queue_mod.Full, ValueError, OSError):
+                pass
+        live = [p for p in processes if p is not None]
+        for process in live:
+            process.join(timeout=2.0)
+        for process in live:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for process in live:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        for some_queue in [*in_queues, out_queue]:
+            while True:
+                try:
+                    some_queue.get_nowait()
+                except (queue_mod.Empty, ValueError, OSError):
+                    break
+            some_queue.close()
+            some_queue.cancel_join_thread()
+        for process in live:
+            try:
+                process.close()
+            except ValueError:
+                pass  # unkillable straggler; nothing more we can do
+
+    # -- legacy fail-fast path -------------------------------------------
 
     def _put_blocking(
         self,
@@ -79,31 +208,37 @@ class ParallelRunner:
                         f"shard {shard} worker exited with its queue full"
                     ) from None
 
-    def run(self, packets: Iterable[TimedPacket]) -> RuntimeReport:
-        """Route, process in parallel, drain gracefully, merge."""
+    def run(self, packets: PacketSource) -> RuntimeReport:
+        """Route, process in parallel, drain gracefully, merge.
+
+        Accepts parsed :class:`TimedPacket` streams (zero-cost
+        passthrough) or raw ``(timestamp, bytes)`` records, which are
+        decoded here with malformed frames quarantined rather than
+        raised (see :mod:`repro.runtime.quarantine`).
+        """
+        if self.config.supervised:
+            return self._run_supervised(packets)
+        return self._run_legacy(packets)
+
+    def _run_legacy(self, packets: PacketSource) -> RuntimeReport:
         config = self.config
         ctx = mp.get_context(config.start_method)
         in_queues = [ctx.Queue(maxsize=config.queue_depth) for _ in range(self.workers)]
         out_queue = ctx.Queue()
+        start = perf_counter()
         processes = [
-            ctx.Process(
-                target=shard_worker_main,
-                args=(index, self.spec, config, in_queues[index], out_queue),
-                daemon=True,
-                name=f"repro-shard-{index}",
-            )
+            self._spawn(ctx, index, 0, in_queues[index], out_queue)
             for index in range(self.workers)
         ]
-        start = perf_counter()
-        for process in processes:
-            process.start()
+        quarantine = Quarantine()
         shed_packets = 0
         shed_batches = 0
         batches_routed = 0
         shard_of = self.router.shard_of
         shed = config.backpressure is Backpressure.SHED
         try:
-            for batch in iter_batches(packets, config.batch_size):
+            stream = decode_packets(packets, quarantine)
+            for batch in iter_batches(stream, config.batch_size):
                 buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
                 for packet in batch:
                     buckets[shard_of(packet)].append(packet)
@@ -136,7 +271,7 @@ class ParallelRunner:
                         f"drain timed out; shards reporting: {sorted(reports)}"
                     )
                 try:
-                    status, shard, payload = out_queue.get(timeout=remaining)
+                    status, shard, _generation, payload = out_queue.get(timeout=remaining)
                 except queue_mod.Empty:
                     raise WorkerFailure(
                         f"drain timed out; shards reporting: {sorted(reports)}"
@@ -151,17 +286,7 @@ class ParallelRunner:
                 )
                 raise WorkerFailure(f"{len(errors)} shard worker(s) failed:\n{detail}")
         finally:
-            for process in processes:
-                process.join(timeout=5.0)
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5.0)
-            for in_queue in in_queues:
-                in_queue.close()
-                in_queue.cancel_join_thread()
-            out_queue.close()
-            out_queue.cancel_join_thread()
+            self._reap(processes, in_queues, out_queue)
         return merge_shard_reports(
             list(reports.values()),
             mode="parallel",
@@ -170,4 +295,266 @@ class ParallelRunner:
             batches_routed=batches_routed,
             shed_packets=shed_packets,
             shed_batches=shed_batches,
+            quarantined=dict(quarantine.counts),
+        )
+
+    # -- supervised path --------------------------------------------------
+
+    def _run_supervised(self, packets: PacketSource) -> RuntimeReport:
+        config = self.config
+        ctx = mp.get_context(config.start_method)
+        out_queue = ctx.Queue()
+        seats: list[_Seat] = []
+        for index in range(self.workers):
+            in_queue = ctx.Queue(maxsize=config.queue_depth)
+            seats.append(
+                _Seat(index, in_queue, self._spawn(ctx, index, 0, in_queue, out_queue))
+            )
+        quarantine = Quarantine()
+        degraded: list[DegradedInterval] = []
+        restarts = 0
+        shed_packets = 0
+        shed_batches = 0
+        batches_routed = 0
+        shard_of = self.router.shard_of
+        shed = config.backpressure is Backpressure.SHED
+        start = perf_counter()
+        drain_started = False
+
+        def fail_seat(seat: _Seat, reason: str, detail: str) -> None:
+            """Salvage the dying generation, then restart or bury the seat."""
+            nonlocal restarts
+            delta = seat.last_delta
+            salvaged_alerts = list(seat.chunks)
+            start_ts: float | None = None
+            flows_reset = 0
+            if delta is not None:
+                salvaged = delta.report
+                salvaged.alerts = salvaged_alerts
+                seat.reports.append(salvaged)
+                seat.accounted_packets += salvaged.accounted_packets
+                seat.accounted_batches += salvaged.batches
+                start_ts = delta.last_ts
+                flows_reset = delta.tracked_flows
+            interval = DegradedInterval(
+                shard=seat.index,
+                generation=seat.generation,
+                reason=reason,
+                start_ts=start_ts,
+                flows_reset=flows_reset,
+                alerts_salvaged=len(salvaged_alerts),
+                detail=detail,
+            )
+            degraded.append(interval)
+            seat.open_interval = interval
+            seat.chunks = []
+            seat.last_delta = None
+            process = seat.process
+            if process is not None:
+                process.join(timeout=0.5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+                try:
+                    process.close()
+                except ValueError:
+                    pass
+                seat.process = None
+            if seat.restarts_used >= config.max_restarts:
+                seat.dead = True
+                return
+            time.sleep(config.restart_backoff * 2**seat.restarts_used)
+            seat.restarts_used += 1
+            restarts += 1
+            seat.generation += 1
+            seat.process = self._spawn(
+                ctx, seat.index, seat.generation, seat.in_queue, out_queue
+            )
+            seat.last_seen = monotonic()
+            if drain_started:
+                # The original sentinel may have died with the old
+                # worker; a duplicate is harmless (the replacement stops
+                # at the first one it sees).
+                seat.in_queue.put(DRAIN)
+
+        def handle_message(kind: str, shard: int, generation: int, payload: Any) -> None:
+            seat = seats[shard]
+            if generation != seat.generation or seat.dead or seat.process is None:
+                return  # stale chatter from a generation already buried
+            seat.last_seen = monotonic()
+            if kind == "hb":
+                return
+            if kind == "delta":
+                seat.chunks.extend(payload.report.alerts)
+                seat.last_delta = payload
+                return
+            if kind == "error":
+                fail_seat(seat, "error", payload)
+                return
+            if kind == "ok":
+                payload.alerts = seat.chunks + payload.alerts
+                seat.reports.append(payload)
+                seat.accounted_packets += payload.accounted_packets
+                seat.accounted_batches += payload.batches
+                seat.chunks = []
+                seat.last_delta = None
+                seat.finished = True
+
+        def poll() -> None:
+            """Drain pending worker messages, then sweep for the dead."""
+            while True:
+                try:
+                    kind, shard, generation, payload = out_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                handle_message(kind, shard, generation, payload)
+            now = monotonic()
+            for seat in seats:
+                if seat.dead or seat.finished or seat.process is None:
+                    continue
+                if not seat.process.is_alive():
+                    # One last sweep: the worker may have reported (an
+                    # error, or even its final ok) and exited cleanly
+                    # between our reads.
+                    exitcode = seat.process.exitcode
+                    drained = True
+                    while drained:
+                        try:
+                            kind, shard, generation, payload = out_queue.get_nowait()
+                        except queue_mod.Empty:
+                            drained = False
+                            break
+                        handle_message(kind, shard, generation, payload)
+                    if seat.finished or seat.dead or seat.process is None:
+                        continue
+                    if seat.process.is_alive():
+                        continue  # a restart replaced it mid-sweep
+                    fail_seat(seat, "crash", f"exit code {exitcode}")
+                elif now - seat.last_seen > config.heartbeat_timeout:
+                    fail_seat(
+                        seat,
+                        "hang",
+                        f"no heartbeat for {config.heartbeat_timeout:g}s",
+                    )
+
+        def route(seat: _Seat, bucket: list[TimedPacket]) -> None:
+            nonlocal shed_packets, shed_batches, batches_routed
+            if seat.dead:
+                seat.dead_dropped_packets += len(bucket)
+                seat.dead_dropped_batches += 1
+                return
+            if shed:
+                try:
+                    seat.in_queue.put_nowait(bucket)
+                except queue_mod.Full:
+                    shed_packets += len(bucket)
+                    shed_batches += 1
+                    return
+            else:
+                while True:
+                    try:
+                        seat.in_queue.put(bucket, timeout=_PUT_POLL_SECONDS)
+                        break
+                    except queue_mod.Full:
+                        poll()  # a dead consumer gets replaced right here
+                        if seat.dead:
+                            seat.dead_dropped_packets += len(bucket)
+                            seat.dead_dropped_batches += 1
+                            return
+            seat.routed_packets += len(bucket)
+            seat.routed_batches += 1
+            batches_routed += 1
+            interval = seat.open_interval
+            if interval is not None and bucket:
+                # The replacement generation is taking traffic again;
+                # close the coverage gap at this batch's first packet.
+                interval.end_ts = bucket[0].timestamp
+                seat.open_interval = None
+
+        try:
+            stream = decode_packets(packets, quarantine)
+            for batch in iter_batches(stream, config.batch_size):
+                poll()
+                buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
+                for packet in batch:
+                    buckets[shard_of(packet)].append(packet)
+                for index, bucket in enumerate(buckets):
+                    if bucket:
+                        route(seats[index], bucket)
+            drain_started = True
+            for seat in seats:
+                if seat.dead:
+                    continue
+                while True:
+                    try:
+                        seat.in_queue.put(DRAIN, timeout=_PUT_POLL_SECONDS)
+                        break
+                    except queue_mod.Full:
+                        poll()
+                        if seat.dead:
+                            break
+            deadline = monotonic() + config.drain_timeout
+            while any(not (seat.finished or seat.dead) for seat in seats):
+                if monotonic() > deadline:
+                    for seat in seats:
+                        if not (seat.finished or seat.dead):
+                            seat.restarts_used = config.max_restarts  # no respawn
+                            fail_seat(seat, "drain_loss", "drain deadline passed")
+                    break
+                try:
+                    kind, shard, generation, payload = out_queue.get(
+                        timeout=_DRAIN_POLL_SECONDS
+                    )
+                except queue_mod.Empty:
+                    poll()
+                    continue
+                handle_message(kind, shard, generation, payload)
+                poll()
+        finally:
+            self._reap(
+                [seat.process for seat in seats],
+                [seat.in_queue for seat in seats],
+                out_queue,
+            )
+        # Close the books: whatever was routed to a seat but never
+        # confirmed by any generation is lost -- pin it on the seat's
+        # final failure interval (there is one whenever loss is nonzero).
+        for seat in seats:
+            lost_packets = (
+                seat.routed_packets - seat.accounted_packets + seat.dead_dropped_packets
+            )
+            lost_batches = (
+                seat.routed_batches - seat.accounted_batches + seat.dead_dropped_batches
+            )
+            if lost_packets <= 0 and lost_batches <= 0:
+                continue
+            seat_intervals = [iv for iv in degraded if iv.shard == seat.index]
+            if not seat_intervals:
+                # Defensive: loss with no recorded failure should be
+                # impossible; surface it rather than swallowing it.
+                seat_intervals = [
+                    DegradedInterval(
+                        shard=seat.index,
+                        generation=seat.generation,
+                        reason="drain_loss",
+                        detail="unaccounted loss with no recorded failure",
+                    )
+                ]
+                degraded.extend(seat_intervals)
+            seat_intervals[-1].packets_lost += max(0, lost_packets)
+            seat_intervals[-1].batches_lost += max(0, lost_batches)
+        return merge_shard_reports(
+            [report for seat in seats for report in seat.reports],
+            mode="parallel",
+            workers=self.workers,
+            wall_seconds=perf_counter() - start,
+            batches_routed=batches_routed,
+            shed_packets=shed_packets,
+            shed_batches=shed_batches,
+            degraded=degraded,
+            worker_restarts=restarts,
+            quarantined=dict(quarantine.counts),
         )

@@ -1,0 +1,97 @@
+"""Malformed-input quarantine: bad frames are counted, never fatal.
+
+The PYROLYSE lesson (see PAPERS.md) is that real NIDS stacks die or
+desynchronize on hostile input -- which turns the inspector itself into
+an evasion vector.  This module is the runtime's answer at the *decode*
+boundary: the runners accept undecoded records alongside parsed packets,
+and a frame that fails IPv4 parsing is diverted into a
+:class:`Quarantine` ledger (per-cause counts plus a few exemplars)
+instead of raising out of the feed loop.
+
+Two quarantine sites exist, same ledger shape at both:
+
+- **feeder-side** (this module's :func:`decode_packets`): raw pcap
+  records that never become a :class:`~repro.packet.TimedPacket`;
+- **shard-side** (:meth:`~repro.runtime.worker.ShardProcessor.feed`):
+  a :class:`~repro.packet.errors.PacketError` escaping the engine for a
+  batch that decoded but blew up deeper in the pipeline.
+
+Both feed the merged report's ``quarantined`` map and the
+``repro_runtime_quarantined_packets_total`` counter, so a run under
+malformed traffic is *visibly* degraded, never silently wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+
+from ..packet import IPv4Packet, TimedPacket
+from ..packet.errors import PacketError
+
+__all__ = ["DECODE_ERRORS", "PacketSource", "Quarantine", "decode_packets"]
+
+#: Exception types the decode boundary converts into quarantine entries.
+#: Anything else is a genuine bug and must escape loudly.
+DECODE_ERRORS: tuple[type[BaseException], ...] = (
+    PacketError,
+    ValueError,
+    struct.error,
+)
+
+#: What the runners accept: parsed packets, (timestamp, bytes) records,
+#: or bare frame bytes (timestamped 0.0).
+PacketSource = Iterable["TimedPacket | tuple[float, bytes] | bytes"]
+
+
+class Quarantine:
+    """Per-cause ledger of frames dropped at a decode boundary."""
+
+    #: Exemplars retained per cause (enough to debug, bounded by design).
+    MAX_EXAMPLES = 3
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.examples: dict[str, list[str]] = {}
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def add(self, exc: BaseException, packets: int = 1) -> None:
+        """Record *packets* frames dropped because of *exc*."""
+        cause = type(exc).__name__
+        self.counts[cause] = self.counts.get(cause, 0) + packets
+        examples = self.examples.setdefault(cause, [])
+        if len(examples) < self.MAX_EXAMPLES:
+            examples.append(str(exc))
+
+    def merge_into(self, counts: dict[str, int]) -> None:
+        """Fold this ledger's counts into an accumulating cause map."""
+        for cause in sorted(self.counts):
+            counts[cause] = counts.get(cause, 0) + self.counts[cause]
+
+
+def decode_packets(
+    items: PacketSource, quarantine: Quarantine
+) -> Iterator[TimedPacket]:
+    """Yield parsed packets; malformed frames go to *quarantine*.
+
+    Already-parsed :class:`TimedPacket` items pass through untouched, so
+    existing callers pay nothing; raw ``(timestamp, bytes)`` records (or
+    bare ``bytes``) are parsed here, and a frame the IPv4 layer rejects
+    is counted by exception class and dropped -- the pipeline keeps
+    running.
+    """
+    for item in items:
+        if isinstance(item, TimedPacket):
+            yield item
+            continue
+        if isinstance(item, tuple):
+            timestamp, data = item
+        else:
+            timestamp, data = 0.0, item
+        try:
+            yield TimedPacket(float(timestamp), IPv4Packet.parse(bytes(data)))
+        except DECODE_ERRORS as exc:
+            quarantine.add(exc)

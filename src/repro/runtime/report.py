@@ -32,7 +32,9 @@ from ..core import Alert, EngineStats
 from ..telemetry import TelemetryRegistry
 
 __all__ = [
+    "DegradedInterval",
     "RuntimeReport",
+    "ShardDelta",
     "ShardReport",
     "alert_sort_key",
     "equivalence_digest",
@@ -84,6 +86,13 @@ class ShardReport:
     """Everything one shard produced (crosses the process boundary)."""
 
     shard: int
+    generation: int = 0
+    """Which engine incarnation produced this report: 0 for the original
+    worker, +1 per supervisor restart.  A supervised run can therefore
+    hold several reports for one shard index (a salvaged partial from a
+    crashed generation plus its replacement's final), and the alert
+    merge orders them by generation so replay order is deterministic."""
+
     alerts: list[Alert] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
     divert_reasons: dict[str, int] = field(default_factory=dict)
@@ -99,11 +108,102 @@ class ShardReport:
     and scheduler preemption excluded) -- the per-shard denominator of
     aggregate throughput."""
 
+    quarantined: dict[str, int] = field(default_factory=dict)
+    """Packets dropped by this shard's malformed-input quarantine, by
+    exception class name."""
+
     telemetry: TelemetryRegistry | None = None
 
     @property
     def busy_seconds(self) -> float:
         return self.busy_ns / 1e9
+
+    @property
+    def accounted_packets(self) -> int:
+        """Packets this shard has definitively disposed of: examined by
+        the engine plus quarantined.  The supervisor's loss accounting
+        is ``routed - accounted`` at the moment of death."""
+        return self.stats.packets_total + sum(self.quarantined.values())
+
+
+@dataclass
+class ShardDelta:
+    """A supervised worker's periodic result flush.
+
+    Everything except ``report.alerts`` is *cumulative* for the worker's
+    current generation; the alerts list carries only those raised since
+    the previous flush (the parent reassembles the full list by
+    concatenating chunks).  A crash loses at most one flush interval of
+    alerts -- the supervisor salvages the rest from the last delta.
+    """
+
+    seq: int
+    """Monotonic flush counter within one generation (sanity check)."""
+
+    report: ShardReport
+    """Cumulative counters + the alerts-since-last-flush chunk.  Never
+    carries a telemetry registry (too heavy to ship per flush); a
+    crashed generation's telemetry is part of its reported loss."""
+
+    last_ts: float | None = None
+    """Packet-time timestamp of the last packet this shard disposed of;
+    becomes the start of the degraded interval if the worker dies now."""
+
+    tracked_flows: int = 0
+    """Live flow records (fast-path monitor + slow-path streams) at
+    flush time -- the ``flows_reset`` figure a restart would report."""
+
+
+@dataclass
+class DegradedInterval:
+    """One supervision gap: what a worker failure cost, made explicit.
+
+    The paper's contract is that anomalous traffic is *diverted*, never
+    silently dropped; the runtime extends that to its own failures.  A
+    worker crash/hang/error never loses coverage silently -- it produces
+    one of these in the merged report, bounding exactly which packets
+    and flows the replacement engine cannot vouch for.
+    """
+
+    shard: int
+    generation: int
+    """The engine incarnation that failed (its replacement, if any, is
+    ``generation + 1``)."""
+
+    reason: str
+    """``crash`` (process died), ``hang`` (heartbeat silence), ``error``
+    (engine raised and the worker reported before exiting), or
+    ``drain_loss`` (died after the drain sentinel, results gone)."""
+
+    start_ts: float | None = None
+    """Packet time of the last packet whose results were confirmed by a
+    delta flush -- alerts at or before this time are intact.  None when
+    the generation never confirmed anything."""
+
+    end_ts: float | None = None
+    """Packet time of the first packet handed to the replacement
+    generation; None when the shard stayed dead to end of run."""
+
+    packets_lost: int = 0
+    """Packets routed to the failed generation but never confirmed:
+    in-queue at death, in-flight, or processed-but-unflushed (whose
+    alerts are gone either way)."""
+
+    batches_lost: int = 0
+    flows_reset: int = 0
+    """Flow records the replacement engine starts without (its fresh
+    tables treat mid-stream packets as new flows)."""
+
+    alerts_salvaged: int = 0
+    """Alerts recovered from the failed generation's delta flushes."""
+
+    detail: str = ""
+    """Worker traceback for ``error``; exit code for ``crash``."""
+
+    @property
+    def open(self) -> bool:
+        """True while the shard has no replacement processing traffic."""
+        return self.end_ts is None
 
 
 @dataclass
@@ -127,6 +227,16 @@ class RuntimeReport:
     batches_routed: int = 0
     shed_packets: int = 0
     shed_batches: int = 0
+    degraded: list[DegradedInterval] = field(default_factory=list)
+    """Supervision gaps, in failure order; empty for a clean run."""
+
+    worker_restarts: int = 0
+    """Workers the supervisor replaced with a fresh engine."""
+
+    quarantined: dict[str, int] = field(default_factory=dict)
+    """Malformed frames dropped at decode boundaries, by exception
+    class (feeder-side parse failures plus shard-side engine escapes)."""
+
     wall_seconds: float = 0.0
     telemetry: dict | None = None
     """Merged registry snapshot (None when telemetry was off)."""
@@ -139,6 +249,23 @@ class RuntimeReport:
     def packets(self) -> int:
         """Packets actually examined (shed packets are not in here)."""
         return self.stats.packets_total
+
+    @property
+    def degraded_packets(self) -> int:
+        """Packets lost to worker failures across every degraded interval."""
+        return sum(interval.packets_lost for interval in self.degraded)
+
+    @property
+    def quarantined_packets(self) -> int:
+        """Malformed frames dropped at decode boundaries (all causes)."""
+        return sum(self.quarantined.values())
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when any coverage was lost: worker gaps, shed batches,
+        or quarantined frames.  The inverse of "this report is
+        bit-for-bit comparable with a serial run"."""
+        return bool(self.degraded or self.shed_packets or self.quarantined)
 
     @property
     def diversion_byte_fraction(self) -> float:
@@ -179,18 +306,32 @@ def merge_shard_reports(
     batches_routed: int = 0,
     shed_packets: int = 0,
     shed_batches: int = 0,
+    degraded: list[DegradedInterval] | None = None,
+    worker_restarts: int = 0,
+    quarantined: dict[str, int] | None = None,
 ) -> RuntimeReport:
-    """Fold per-shard results into the combined report (see module doc)."""
+    """Fold per-shard results into the combined report (see module doc).
+
+    ``quarantined`` carries the *feeder-side* decode quarantine; each
+    shard's own quarantine ledger is folded in on top, so the merged map
+    covers every decode boundary in the run.
+    """
     report = RuntimeReport(mode=mode, workers=workers, wall_seconds=wall_seconds)
-    report.shards = sorted(shard_reports, key=lambda r: r.shard)
+    report.shards = sorted(shard_reports, key=lambda r: (r.shard, r.generation))
     report.batches_routed = batches_routed
     report.shed_packets = shed_packets
     report.shed_batches = shed_batches
+    report.degraded = list(degraded or [])
+    report.worker_restarts = worker_restarts
+    for cause in sorted(quarantined or {}):
+        report.quarantined[cause] = (quarantined or {})[cause]
 
-    ordered: list[tuple[float, int, int, Alert]] = []
+    ordered: list[tuple[float, int, int, int, Alert]] = []
     for shard in report.shards:
         for seq, alert in enumerate(shard.alerts):
-            ordered.append((alert.timestamp, shard.shard, seq, alert))
+            ordered.append(
+                (alert.timestamp, shard.shard, shard.generation, seq, alert)
+            )
         stats = shard.stats
         report.stats.packets_total += stats.packets_total
         report.stats.fast_packets += stats.fast_packets
@@ -199,16 +340,21 @@ def merge_shard_reports(
         report.stats.slow_bytes_normalized += stats.slow_bytes_normalized
         report.stats.diversions += stats.diversions
         report.stats.alerts += stats.alerts
+        report.stats.decode_errors += stats.decode_errors
         for reason, count in shard.divert_reasons.items():
             report.divert_reasons[reason] = report.divert_reasons.get(reason, 0) + count
+        for cause in sorted(shard.quarantined):
+            report.quarantined[cause] = (
+                report.quarantined.get(cause, 0) + shard.quarantined[cause]
+            )
         report.diverted_flows += shard.diverted_flows
         report.reinstated_flows += shard.reinstated_flows
         report.overload_refusals += shard.overload_refusals
         report.peak_state_bytes += shard.peak_state_bytes
         report.peak_flows += shard.peak_flows
         report.evictions += shard.evictions
-    ordered.sort(key=lambda entry: entry[:3])
-    report.alerts = [entry[3] for entry in ordered]
+    ordered.sort(key=lambda entry: entry[:4])
+    report.alerts = [entry[4] for entry in ordered]
 
     registries = [s.telemetry for s in report.shards if s.telemetry is not None]
     if registries:
@@ -228,6 +374,30 @@ def merge_shard_reports(
         )
         if batches_routed:
             runtime_batches.inc(batches_routed)
+        restarts_counter = merged.counter(
+            "repro_runtime_worker_restarts_total",
+            "Workers the supervisor replaced after a crash, hang, or "
+            "reported engine error",
+        )
+        if worker_restarts:
+            restarts_counter.inc(worker_restarts)
+        degraded_counter = merged.counter(
+            "repro_runtime_degraded_packets_total",
+            "Packets lost in supervision gaps (routed to a worker that "
+            "died before confirming them) -- the explicit coverage hole "
+            "of degraded mode",
+        )
+        lost = sum(interval.packets_lost for interval in report.degraded)
+        if lost:
+            degraded_counter.inc(lost)
+        quarantine_counter = merged.counter(
+            "repro_runtime_quarantined_packets_total",
+            "Malformed frames dropped at a decode boundary instead of "
+            "killing the pipeline, by exception class",
+            ("cause",),
+        )
+        for cause in sorted(report.quarantined):
+            quarantine_counter.labels(cause=cause).inc(report.quarantined[cause])
         merged.gauge(
             "repro_runtime_workers", "Shards this run was partitioned across",
             merge="sum",

@@ -10,12 +10,12 @@ SerialRunner", and SerialRunner's is "equal to the unsharded engine"
 
 from __future__ import annotations
 
-from collections.abc import Iterable
 from time import perf_counter
 
 from ..packet import TimedPacket
 from .batching import iter_batches
 from .config import RunnerConfig
+from .quarantine import PacketSource, Quarantine, decode_packets
 from .report import RuntimeReport, merge_shard_reports
 from .sharding import ShardRouter
 from .spec import EngineSpec
@@ -41,16 +41,25 @@ class SerialRunner:
         self.config = config or RunnerConfig()
         self.router = ShardRouter(shards, self.config.shard_policy)
 
-    def run(self, packets: Iterable[TimedPacket]) -> RuntimeReport:
-        """Route, process, and merge one packet stream."""
+    def run(self, packets: PacketSource) -> RuntimeReport:
+        """Route, process, and merge one packet stream.
+
+        Accepts parsed packets or raw ``(timestamp, bytes)`` records;
+        malformed frames are quarantined, never raised (see
+        :mod:`repro.runtime.quarantine`).  Fault injection runs with
+        process-scoped kinds (crash/hang) disabled: an in-process shard
+        taking the interpreter down would kill the caller, not the
+        shard.
+        """
         start = perf_counter()
         processors = [
-            ShardProcessor(index, self.spec, self.config)
+            ShardProcessor(index, self.spec, self.config, allow_process_faults=False)
             for index in range(self.shards)
         ]
+        quarantine = Quarantine()
         shard_of = self.router.shard_of
         batches_routed = 0
-        for batch in iter_batches(packets, self.config.batch_size):
+        for batch in iter_batches(decode_packets(packets, quarantine), self.config.batch_size):
             buckets: list[list[TimedPacket]] = [[] for _ in range(self.shards)]
             for packet in batch:
                 buckets[shard_of(packet)].append(packet)
@@ -65,4 +74,5 @@ class SerialRunner:
             workers=self.shards,
             wall_seconds=perf_counter() - start,
             batches_routed=batches_routed,
+            quarantined=dict(quarantine.counts),
         )

@@ -7,22 +7,47 @@ calls :meth:`ShardProcessor.feed` inline, the parallel runner runs the
 identical code behind a queue, and both see the same batch boundaries
 (the router splits each input batch per shard *before* feeding), so
 state sampling and eviction ticks land at the same packet positions.
+
+Worker wire protocol (every message on the results queue is a 4-tuple
+``(kind, shard, generation, payload)``):
+
+- ``("hb", s, g, None)``       -- supervised worker with an empty queue,
+  proving liveness once per heartbeat interval;
+- ``("delta", s, g, ShardDelta)`` -- supervised periodic result flush:
+  cumulative counters plus the alerts raised since the previous flush;
+- ``("ok", s, g, ShardReport)``   -- final report at drain.  Supervised
+  workers send only the unflushed alert tail (the parent reassembles the
+  full list from delta chunks); legacy workers send everything;
+- ``("error", s, g, traceback)``  -- the engine raised.  A supervised
+  worker reports *immediately* and exits (the supervisor restarts it); a
+  legacy worker keeps consuming to the sentinel first so the feeder can
+  never deadlock against a full queue whose consumer died silently.
+
+Every worker exit path must put a status message first -- enforced
+statically by splitcheck rule SD106.  The one exception is an injected
+``crash`` (``os._exit`` in :mod:`repro.runtime.faults`), which simulates
+the silent death SD106 exists to prevent in our own code.
 """
 
 from __future__ import annotations
 
+import queue as queue_mod
 import traceback
-from time import process_time_ns
+from dataclasses import replace
+from time import monotonic, process_time_ns
 from typing import Any
 
 from ..core import Alert
 from ..packet import TimedPacket
+from ..packet.errors import PacketError
 from ..telemetry import TelemetryRegistry
 from .config import RunnerConfig
-from .report import ShardReport
+from .faults import FaultInjector
+from .quarantine import Quarantine
+from .report import ShardDelta, ShardReport
 from .spec import EngineSpec
 
-__all__ = ["ShardProcessor"]
+__all__ = ["ShardProcessor", "shard_worker_main"]
 
 #: Queue sentinel telling a worker to drain and report.
 DRAIN = None
@@ -31,37 +56,94 @@ DRAIN = None
 class ShardProcessor:
     """One shard: an engine, its alert log, and its housekeeping clock."""
 
-    def __init__(self, shard: int, spec: EngineSpec, config: RunnerConfig) -> None:
+    def __init__(
+        self,
+        shard: int,
+        spec: EngineSpec,
+        config: RunnerConfig,
+        *,
+        generation: int = 0,
+        allow_process_faults: bool = False,
+    ) -> None:
         self.shard = shard
+        self.generation = generation
         self.config = config
         self.telemetry = TelemetryRegistry() if config.telemetry else None
         self.engine = spec.build(telemetry=self.telemetry)
         self.alerts: list[Alert] = []
+        self.quarantine = Quarantine()
+        self.injector: FaultInjector | None = None
+        if config.faults is not None:
+            self.injector = FaultInjector(
+                config.faults, shard, allow_process_faults=allow_process_faults
+            )
         self.peak_state_bytes = 0
         self.peak_flows = 0
         self.evictions = 0
         self.batches = 0
         self.busy_ns = 0
+        self.packets_seen = 0
+        """Every packet fed to this shard, quarantined ones included --
+        the index fault-injection points trigger on."""
+
+        self.last_ts: float | None = None
+        """Packet time of the last packet disposed of (examined or
+        quarantined); the supervisor's degraded-interval start mark."""
+
+        self.alerts_flushed = 0
+        """How many leading entries of :attr:`alerts` have already been
+        shipped in a :class:`ShardDelta` chunk."""
+
+        self._flush_seq = 0
         self._evict_anchor: float | None = None
 
     def feed(self, batch: list[TimedPacket]) -> None:
-        """Process one routed batch (engine work + periodic housekeeping)."""
+        """Process one routed batch (engine work + periodic housekeeping).
+
+        A :class:`PacketError` raised at this boundary -- by an injected
+        decode fault or by the engine itself -- quarantines the affected
+        packets and returns normally: malformed input degrades coverage
+        (visibly, via the ledger), never the pipeline.
+        """
         if not batch:
             return
+        self.packets_seen += len(batch)
+        self.last_ts = batch[-1].timestamp
+        if self.injector is not None:
+            try:
+                self.injector.before_batch(self.packets_seen - len(batch), batch)
+            except PacketError as exc:
+                self.quarantine.add(exc, packets=len(batch))
+                return
         # CPU time, not wall time: on a host with fewer cores than
         # workers the wall clock counts time spent scheduled out, which
         # would make per-shard rates look like contention instead of
         # capacity.
         t0 = process_time_ns()
-        self.alerts.extend(self.engine.process_batch(batch))
+        examined_before = self.engine.stats.packets_total
+        try:
+            self.alerts.extend(self.engine.process_batch(batch))
+        except PacketError as exc:
+            # The engine raised mid-batch.  The packets it already
+            # counted stay counted (their alerts are lost with the
+            # exception -- part of the quarantine's cost); the rest of
+            # the batch is not replayed, because re-feeding the prefix
+            # would double-process flow state.
+            examined = self.engine.stats.packets_total - examined_before
+            self.quarantine.add(exc, packets=len(batch) - examined)
         self.batches += 1
         interval = self.config.evict_interval
         if interval is not None:
             # Packet time, not wall time: replayed traces must evict at
             # the same points no matter how fast the box replays them.
-            now = batch[-1].timestamp
+            # Injected clock skew lands here -- on the housekeeping
+            # clock only, never on alert timestamps -- so a skewed run
+            # stays alert-equivalent while its eviction behaviour is
+            # stressed.
+            skew = self.injector.clock_skew if self.injector is not None else 0.0
+            now = batch[-1].timestamp + skew
             if self._evict_anchor is None:
-                self._evict_anchor = batch[0].timestamp
+                self._evict_anchor = batch[0].timestamp + skew
             if now - self._evict_anchor >= interval:
                 self.evictions += self.engine.evict_idle(now)
                 self._evict_anchor = now
@@ -74,16 +156,20 @@ class ShardProcessor:
                 engine.refresh_telemetry()
         self.busy_ns += process_time_ns() - t0
 
-    def finish(self) -> ShardReport:
-        """Final state sample + report assembly (call exactly once)."""
+    def tracked_flows(self) -> int:
+        """Live flow records across both paths (what a restart resets)."""
         engine = self.engine
-        self.peak_state_bytes = max(self.peak_state_bytes, engine.state_bytes())
-        if self.telemetry is not None:
-            engine.refresh_telemetry()
+        return engine.fast_path.tracked_flows + engine.slow_path.active_flows
+
+    def _report(self, alerts: list[Alert]) -> ShardReport:
+        engine = self.engine
         return ShardReport(
             shard=self.shard,
-            alerts=self.alerts,
-            stats=engine.stats,
+            generation=self.generation,
+            alerts=alerts,
+            # A copy, not the live object: deltas cross the process
+            # boundary while the engine keeps mutating its stats.
+            stats=replace(engine.stats),
             divert_reasons={
                 reason.value: count for reason, count in engine.divert_reasons.items()
             },
@@ -95,12 +181,94 @@ class ShardProcessor:
             evictions=self.evictions,
             batches=self.batches,
             busy_ns=self.busy_ns,
-            telemetry=self.telemetry,
+            quarantined=dict(self.quarantine.counts),
         )
+
+    def flush_delta(self) -> ShardDelta:
+        """Snapshot cumulative counters + the unshipped alert chunk."""
+        self._flush_seq += 1
+        chunk = self.alerts[self.alerts_flushed :]
+        self.alerts_flushed = len(self.alerts)
+        return ShardDelta(
+            seq=self._flush_seq,
+            report=self._report(list(chunk)),
+            last_ts=self.last_ts,
+            tracked_flows=self.tracked_flows(),
+        )
+
+    def finish(self) -> ShardReport:
+        """Final state sample + report assembly (call exactly once)."""
+        engine = self.engine
+        self.peak_state_bytes = max(self.peak_state_bytes, engine.state_bytes())
+        if self.telemetry is not None:
+            engine.refresh_telemetry()
+        report = self._report(self.alerts)
+        report.telemetry = self.telemetry
+        return report
+
+
+def _supervised_loop(
+    processor: ShardProcessor,
+    config: RunnerConfig,
+    in_queue: Any,
+    out_queue: Any,
+) -> None:
+    """Consume batches with heartbeats and periodic delta flushes."""
+    shard = processor.shard
+    generation = processor.generation
+    interval = config.heartbeat_interval
+    last_flush = monotonic()
+    while True:
+        try:
+            batch = in_queue.get(timeout=interval)
+        except queue_mod.Empty:
+            # Idle but alive.  A worker busy inside feed() proves
+            # liveness through its delta flushes instead; one stalled
+            # longer than the heartbeat timeout is indistinguishable
+            # from hung, and restarting it is the correct response.
+            out_queue.put(("hb", shard, generation, None))
+            continue
+        if batch is DRAIN:
+            break
+        processor.feed(batch)
+        now = monotonic()
+        if now - last_flush >= interval:
+            out_queue.put(("delta", shard, generation, processor.flush_delta()))
+            last_flush = now
+    report = processor.finish()
+    # The parent already holds every flushed chunk; ship only the tail.
+    report.alerts = processor.alerts[processor.alerts_flushed :]
+    out_queue.put(("ok", shard, generation, report))
+
+
+def _legacy_loop(
+    processor: ShardProcessor | None,
+    failure: str | None,
+    shard: int,
+    in_queue: Any,
+    out_queue: Any,
+) -> None:
+    """Historical fail-fast contract: report errors only at drain time."""
+    while True:
+        batch = in_queue.get()
+        if batch is DRAIN:
+            break
+        if failure is None:
+            assert processor is not None  # no failure implies construction worked
+            try:
+                processor.feed(batch)
+            except Exception:
+                failure = traceback.format_exc()
+    if failure is not None:
+        out_queue.put(("error", shard, 0, failure))
+    else:
+        assert processor is not None
+        out_queue.put(("ok", shard, 0, processor.finish()))
 
 
 def shard_worker_main(
     shard: int,
+    generation: int,
     spec: EngineSpec,
     config: RunnerConfig,
     in_queue: Any,
@@ -108,29 +276,28 @@ def shard_worker_main(
 ) -> None:
     """Process entry point: drain batches until the sentinel, then report.
 
-    Results (or a formatted traceback on failure) go back on
-    ``out_queue`` as ``(status, shard, payload)`` tuples.  The worker
-    always consumes up to the sentinel, even after an engine error, so
-    the feeder can never deadlock against a full queue whose consumer
-    died silently.
+    Supervised workers (``config.supervised``) heartbeat, flush deltas,
+    and report engine errors immediately; legacy workers keep the
+    original consume-to-sentinel, report-once contract.  Either way the
+    worker's last act before any exit is a status message on
+    ``out_queue`` (SD106) -- the supervisor treats silence as death.
     """
-    processor: ShardProcessor | None = None
-    failure: str | None = None
     try:
-        processor = ShardProcessor(shard, spec, config)
+        processor: ShardProcessor | None = ShardProcessor(
+            shard, spec, config, generation=generation, allow_process_faults=True
+        )
+        failure: str | None = None
     except Exception:
+        processor = None
         failure = traceback.format_exc()
-    while True:
-        batch = in_queue.get()
-        if batch is DRAIN:
-            break
-        if failure is None:
-            try:
-                processor.feed(batch)
-            except Exception:
-                failure = traceback.format_exc()
-    if failure is not None:
-        out_queue.put(("error", shard, failure))
-    else:
-        assert processor is not None  # failure is None implies construction worked
-        out_queue.put(("ok", shard, processor.finish()))
+    if not config.supervised:
+        _legacy_loop(processor, failure, shard, in_queue, out_queue)
+        return
+    if failure is not None or processor is None:
+        out_queue.put(("error", shard, generation, failure or "engine build failed"))
+        return
+    try:
+        _supervised_loop(processor, config, in_queue, out_queue)
+    except Exception:
+        out_queue.put(("error", shard, generation, traceback.format_exc()))
+        return

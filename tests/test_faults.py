@@ -1,0 +1,367 @@
+"""Fault tolerance: injection plans, quarantine, supervision, cleanup.
+
+The contract under test is the runtime's "never silently" guarantee:
+whatever a worker failure or a malformed frame costs, the merged report
+accounts for it exactly -- ``examined + shed + quarantined + lost``
+equals the input -- and a clean supervised run stays byte-identical to
+the serial reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.evasion import build_attack
+from repro.packet import IPv4Packet, TimedPacket
+from repro.packet.errors import MalformedPacketError
+from repro.runtime import (
+    DECODE_ERRORS,
+    EngineSpec,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ParallelRunner,
+    Quarantine,
+    RunnerConfig,
+    SerialRunner,
+    WorkerFailure,
+    decode_packets,
+)
+from repro.signatures import SplitPolicy
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+from helpers import ATTACK_SIGNATURE, SIGNATURE_OFFSET, attack_payload, attack_ruleset
+
+
+def make_spec() -> EngineSpec:
+    return EngineSpec(rules=attack_ruleset(), split_policy=SplitPolicy(piece_length=8))
+
+
+def gauntlet_trace(flows: int = 30) -> list[TimedPacket]:
+    trace = generate_trace(TrafficProfile(flows=flows), seed=7)
+    span = (SIGNATURE_OFFSET, len(ATTACK_SIGNATURE))
+    attacks = [
+        build_attack(
+            name,
+            attack_payload(),
+            signature_span=span,
+            src=f"10.66.0.{i + 1}",
+            dst_port=80,
+            seed=i,
+        )
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8", "stealth_segments"])
+    ]
+    return inject_attacks(trace, attacks)
+
+
+def supervised_config(**overrides) -> RunnerConfig:
+    """Fast failure detection so supervision tests finish in CI time."""
+    defaults = dict(
+        batch_size=32,
+        max_restarts=2,
+        restart_backoff=0.01,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=1.0,
+        drain_timeout=60.0,
+    )
+    defaults.update(overrides)
+    return RunnerConfig(**defaults)
+
+
+def assert_accounting(report, n_input: int) -> None:
+    """The never-silently identity: every input packet is disposed of."""
+    total = (
+        report.packets
+        + report.shed_packets
+        + report.quarantined_packets
+        + report.degraded_packets
+    )
+    assert total == n_input, (
+        f"accounting hole: examined={report.packets} shed={report.shed_packets} "
+        f"quarantined={report.quarantined_packets} lost={report.degraded_packets} "
+        f"!= input={n_input}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+
+def test_fault_plan_parse_grammar():
+    plan = FaultPlan.parse(["crash:shard=1,at=500", "stall:at=10,seconds=0.25"])
+    assert plan.specs == (
+        FaultSpec(FaultKind.CRASH, shard=1, at=500),
+        FaultSpec(FaultKind.STALL, shard=0, at=10, seconds=0.25),
+    )
+    assert "crash:shard=1,at=500" in plan.describe()
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "segfault:shard=0",  # unknown kind
+        "crash:when=5",  # unknown field
+        "crash:shard=x",  # bad int
+        "stall:shard=0,at=5",  # timed kind without seconds
+        "crash:shard=-1",  # negative shard
+    ],
+)
+def test_fault_plan_parse_rejects(text):
+    with pytest.raises(ValueError):
+        FaultPlan.parse([text])
+
+
+def test_fault_plan_random_is_deterministic():
+    one = FaultPlan.random(42, shards=4)
+    two = FaultPlan.random(42, shards=4)
+    assert one == two
+    assert one.seed == 42
+    assert 1 <= len(one.specs) <= 3
+    assert all(0 <= spec.shard < 4 for spec in one.specs)
+    assert FaultPlan.random(43, shards=4) != one
+
+
+def test_for_shard_orders_by_packet_index():
+    plan = FaultPlan.parse(
+        ["stall:shard=1,at=50,seconds=0.1", "decode:shard=1,at=5", "crash:shard=0,at=1"]
+    )
+    assert [spec.at for spec in plan.for_shard(1)] == [5, 50]
+    assert [spec.kind for spec in plan.for_shard(0)] == [FaultKind.CRASH]
+
+
+def test_injector_in_process_ignores_process_faults():
+    """crash/hang must never take down the SerialRunner's own process."""
+    plan = FaultPlan.parse(["crash:shard=0,at=0", "hang:shard=0,at=0"])
+    injector = FaultInjector(plan, 0, allow_process_faults=False)
+    injector.before_batch(0, [None] * 4)  # returns instead of exiting
+    assert injector.pending == 0
+
+
+def test_injector_decode_fault_raises_packet_error():
+    plan = FaultPlan.parse(["decode:shard=0,at=2"])
+    injector = FaultInjector(plan, 0, allow_process_faults=False)
+    with pytest.raises(MalformedPacketError):
+        injector.before_batch(0, [None] * 4)  # at=2 falls inside [0, 4)
+    assert injector.pending == 0  # one-shot: consumed even though it raised
+    late = FaultInjector(plan, 0, allow_process_faults=False)
+    with pytest.raises(MalformedPacketError):
+        # Catch-up semantics: a trigger index the batching skipped past
+        # still fires on the next batch rather than being lost.
+        late.before_batch(4, [None] * 4)
+
+
+def test_injector_skew_accumulates():
+    plan = FaultPlan.parse(
+        ["skew:shard=0,at=0,seconds=100", "skew:shard=0,at=5,seconds=-40"]
+    )
+    injector = FaultInjector(plan, 0, allow_process_faults=False)
+    injector.before_batch(0, [None] * 10)
+    assert injector.clock_skew == pytest.approx(60.0)
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+def test_decode_packets_quarantines_garbage():
+    quarantine = Quarantine()
+    good = gauntlet_trace(flows=2)[:5]
+    items = [good[0], b"\x00\x01", (1.5, b"junk"), good[1], bytes(range(20))]
+    out = list(decode_packets(items, quarantine))
+    assert out[:1] == [good[0]]
+    assert good[1] in out
+    assert quarantine.total == len(items) - len(out)
+    assert all(count > 0 for count in quarantine.counts.values())
+
+
+def test_serial_runner_survives_garbage_and_counts_it():
+    trace = gauntlet_trace(flows=5)
+    garbage = [b"", b"\xff" * 3, (0.5, b"\x45\x00")]
+    clean = SerialRunner(make_spec(), shards=2).run(trace)
+    mixed = SerialRunner(make_spec(), shards=2).run(list(trace) + garbage)
+    assert mixed.quarantined_packets == len(garbage)
+    assert mixed.is_degraded
+    # Quarantined junk never changes what the valid traffic produced.
+    assert mixed.digest() == clean.digest()
+    assert_accounting(mixed, len(trace) + len(garbage))
+
+
+def test_engine_counts_transport_decode_errors():
+    """A truncated TCP header is counted, not raised, at the engine level."""
+    spec = make_spec()
+    runner = SerialRunner(spec, shards=1)
+    bad_transport = TimedPacket(
+        0.0, IPv4Packet(src="10.0.0.1", dst="10.0.0.2", protocol=6, payload=b"\x01")
+    )
+    report = runner.run([bad_transport])
+    assert report.stats.packets_total == 1
+    assert report.stats.decode_errors == 1
+
+
+def test_injected_decode_fault_quarantines_batch():
+    trace = gauntlet_trace(flows=5)
+    config = RunnerConfig(
+        batch_size=16, faults=FaultPlan.parse(["decode:shard=0,at=0"])
+    )
+    report = SerialRunner(make_spec(), shards=2, config=config).run(trace)
+    # The whole first routed bucket for shard 0 (at most one batch_size,
+    # less after the per-shard split) is quarantined conservatively.
+    quarantined = report.quarantined.get("MalformedPacketError")
+    assert quarantined is not None and 1 <= quarantined <= 16
+    assert_accounting(report, len(trace))
+
+
+# ---------------------------------------------------------------------------
+# Supervision
+# ---------------------------------------------------------------------------
+
+
+def test_supervised_clean_run_matches_serial():
+    trace = gauntlet_trace()
+    config = supervised_config()
+    serial = SerialRunner(make_spec(), shards=2, config=config).run(trace)
+    parallel = ParallelRunner(make_spec(), workers=2, config=config).run(trace)
+    assert parallel.digest() == serial.digest()
+    assert parallel.alerts == serial.alerts
+    assert parallel.degraded == []
+    assert parallel.worker_restarts == 0
+    assert mp.active_children() == []
+
+
+def test_supervised_crash_restart_and_loss_accounting():
+    trace = gauntlet_trace()
+    config = supervised_config(faults=FaultPlan.parse(["crash:shard=0,at=120"]))
+    report = ParallelRunner(make_spec(), workers=2, config=config).run(trace)
+    assert report.worker_restarts >= 1
+    assert report.degraded
+    assert any(iv.reason == "crash" for iv in report.degraded)
+    assert report.degraded_packets > 0
+    assert_accounting(report, len(trace))
+    # Salvaged + surviving alerts are a subset of the serial reference.
+    serial = SerialRunner(make_spec(), shards=2, config=supervised_config()).run(trace)
+    reference = {(a.timestamp, str(a.flow), a.sid, a.msg) for a in serial.alerts}
+    produced = {(a.timestamp, str(a.flow), a.sid, a.msg) for a in report.alerts}
+    assert produced <= reference
+    # The untouched shard's alerts survive byte-identical.
+    ref_by_shard = {s.shard: s.alerts for s in serial.shards}
+    for shard_report in report.shards:
+        if shard_report.shard != 0:
+            assert shard_report.alerts == ref_by_shard[shard_report.shard]
+    assert mp.active_children() == []
+
+
+def test_supervised_hang_detection_restarts_worker():
+    trace = gauntlet_trace()
+    config = supervised_config(
+        heartbeat_timeout=0.4,
+        max_restarts=1,
+        faults=FaultPlan.parse(["hang:shard=1,at=60"]),
+    )
+    report = ParallelRunner(make_spec(), workers=2, config=config).run(trace)
+    assert any(iv.reason == "hang" for iv in report.degraded)
+    assert report.worker_restarts >= 1
+    assert_accounting(report, len(trace))
+    assert mp.active_children() == []
+
+
+def test_supervised_budget_exhaustion_completes_degraded():
+    """A shard that keeps dying is buried, not retried forever -- and the
+    run still completes with its loss on the books."""
+    trace = gauntlet_trace()
+    config = supervised_config(
+        max_restarts=1, faults=FaultPlan.parse(["crash:shard=0,at=0"])
+    )
+    report = ParallelRunner(make_spec(), workers=2, config=config).run(trace)
+    # Generation 0 and its single replacement both crash at packet 0.
+    assert report.worker_restarts == 1
+    assert len([iv for iv in report.degraded if iv.shard == 0]) == 2
+    assert report.degraded[-1].open  # the shard stayed dead
+    assert_accounting(report, len(trace))
+    assert mp.active_children() == []
+
+
+def test_legacy_mode_still_fails_fast():
+    """max_restarts=0 preserves the historical fail-fast contract."""
+    trace = gauntlet_trace(flows=3)
+    config = RunnerConfig(batch_size=32, faults=FaultPlan.parse(["crash:shard=0,at=0"]))
+    assert not config.supervised
+    with pytest.raises(WorkerFailure):
+        ParallelRunner(make_spec(), workers=2, config=config).run(trace)
+    assert mp.active_children() == []
+
+
+def test_no_zombies_after_legacy_failure():
+    """The finally-block audit: an induced failure leaves no child
+    processes (and no stuck queue feeder threads keeping them alive)."""
+    spec = EngineSpec(rules=None)  # construction fails in every worker
+    with pytest.raises(WorkerFailure):
+        ParallelRunner(spec, workers=3).run(gauntlet_trace(flows=2))
+    assert mp.active_children() == []
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RunnerConfig(max_restarts=-1)
+    with pytest.raises(ValueError):
+        RunnerConfig(restart_backoff=0.0)
+    with pytest.raises(ValueError):
+        RunnerConfig(heartbeat_timeout=0.1, heartbeat_interval=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: garbage never escapes the decode boundary
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def _parses_cleanly(data: bytes) -> bool:
+    try:
+        IPv4Packet.parse(data)
+    except DECODE_ERRORS:
+        return False
+    return True
+
+
+@given(
+    frames=st.lists(
+        st.one_of(
+            st.binary(min_size=0, max_size=60),
+            # Start from a plausible IPv4 first byte so some inputs get
+            # deep into the parser before failing (or even succeed).
+            st.builds(
+                lambda body: b"\x45" + body, st.binary(min_size=0, max_size=59)
+            ),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_garbage_frames_never_escape_the_pipeline(frames):
+    """Any byte string either parses and is examined, or is quarantined;
+    nothing raises out of ``run`` and the ledger matches the oracle."""
+    bad = sum(0 if _parses_cleanly(frame) else 1 for frame in frames)
+    report = SerialRunner(make_spec(), shards=2).run(frames)
+    assert report.quarantined_packets == bad
+    assert report.packets == len(frames) - bad
+    assert_accounting(report, len(frames))
+
+
+@given(data=st.binary(min_size=0, max_size=80))
+@settings(max_examples=120, deadline=None)
+def test_single_frame_decode_is_total(data):
+    """decode_packets is total over bytes: yield or quarantine, never raise."""
+    quarantine = Quarantine()
+    out = list(decode_packets([data], quarantine))
+    assert len(out) + quarantine.total == 1
+    if quarantine.total:
+        ((cause, count),) = quarantine.counts.items()
+        assert count == 1
+        assert quarantine.examples[cause]  # an exemplar was retained

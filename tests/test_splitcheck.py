@@ -29,7 +29,15 @@ from repro.devtools.splitcheck import (
     partition,
     write_baseline,
 )
+from repro.devtools.splitcheck import config as splitcheck_config
 from repro.devtools.splitcheck.cli import main as splitcheck_main
+
+# Python 3.10 has no stdlib tomllib; without a tomli fallback installed the
+# analyzer skips the [tool.splitcheck] table and runs with defaults.
+requires_toml = pytest.mark.skipif(
+    splitcheck_config.tomllib is None,
+    reason="no TOML parser available (Python < 3.11 without tomli)",
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SRC = REPO_ROOT / "src" / "repro"
@@ -451,6 +459,108 @@ class TestSD105:
 
 
 # ---------------------------------------------------------------------------
+# SD106: worker status discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSD106:
+    def test_silent_return_in_handler_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "def shard_worker_main(shard, in_queue, out_queue):\n"
+            "    try:\n"
+            "        batch = in_queue.get()\n"
+            "    except Exception:\n"
+            "        return\n"
+            "    out_queue.put(('ok', shard, 0, batch))\n",
+        )
+        assert rule_ids(findings) == {"SD106"}
+
+    def test_silent_os_exit_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "import os\n\n"
+            "def shard_worker_main(shard, in_queue, out_queue):\n"
+            "    try:\n"
+            "        batch = in_queue.get()\n"
+            "    except Exception:\n"
+            "        os._exit(1)\n"
+            "    out_queue.put(('ok', shard, 0, batch))\n",
+        )
+        assert rule_ids(findings) == {"SD106"}
+
+    def test_put_before_return_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "def shard_worker_main(shard, in_queue, out_queue):\n"
+            "    try:\n"
+            "        batch = in_queue.get()\n"
+            "    except Exception as exc:\n"
+            "        out_queue.put(('error', shard, 0, str(exc)))\n"
+            "        return\n"
+            "    out_queue.put(('ok', shard, 0, batch))\n",
+        )
+        assert findings == []
+
+    def test_reraise_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "def shard_worker_main(shard, in_queue, out_queue):\n"
+            "    try:\n"
+            "        batch = in_queue.get()\n"
+            "    except Exception:\n"
+            "        raise\n"
+            "    out_queue.put(('ok', shard, 0, batch))\n",
+        )
+        assert findings == []
+
+    def test_handler_that_continues_is_exempt(self, tmp_path):
+        """A handler that swallows and keeps looping is not an exit."""
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "def shard_worker_main(shard, in_queue, out_queue):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            batch = in_queue.get()\n"
+            "        except Exception:\n"
+            "            continue\n"
+            "        out_queue.put(('ok', shard, 0, batch))\n",
+        )
+        assert findings == []
+
+    def test_functions_without_out_queue_exempt(self, tmp_path):
+        """Engine-side helpers (no out_queue param) may return silently."""
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "def feed(processor, batch):\n"
+            "    try:\n"
+            "        processor.feed(batch)\n"
+            "    except ValueError:\n"
+            "        return\n",
+        )
+        assert findings == []
+
+    def test_scoped_to_worker_modules(self, tmp_path):
+        """The rule's default paths only cover runtime/worker*.py."""
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "def pump(batches, out_queue):\n"
+            "    try:\n"
+            "        out_queue.get()\n"
+            "    except Exception:\n"
+            "        return\n",
+        )
+        assert "SD106" not in rule_ids(findings)
+
+
+# ---------------------------------------------------------------------------
 # Framework: pragmas, baseline, config, CLI
 # ---------------------------------------------------------------------------
 
@@ -549,6 +659,7 @@ class TestFramework:
         fresh, known = partition(changed, baseline)
         assert len(fresh) == 1 and known == []
 
+    @requires_toml
     def test_pyproject_config_loading(self, tmp_path):
         (tmp_path / "pyproject.toml").write_text(
             "[tool.splitcheck]\n"
@@ -569,6 +680,7 @@ class TestFramework:
         assert rule.paths == ("*/custom/*.py",)
         assert rule.severity == "warning"
 
+    @requires_toml
     def test_disabled_rule_does_not_run(self, tmp_path):
         (tmp_path / "pyproject.toml").write_text(
             '[tool.splitcheck]\ndisable = ["SD101"]\n', encoding="utf-8"
@@ -584,6 +696,7 @@ class TestFramework:
         findings, _ = check_paths([tmp_path], load_config(tmp_path))
         assert findings == []
 
+    @requires_toml
     def test_severity_override_downgrades_exit_code(self, tmp_path):
         (tmp_path / "pyproject.toml").write_text(
             '[tool.splitcheck.rules.SD101]\nseverity = "warning"\n',
@@ -616,8 +729,15 @@ class TestFramework:
         findings, _ = check_paths([tmp_path], Config(root=tmp_path))
         assert rule_ids(findings) == {"SD000"}
 
-    def test_all_five_rules_registered(self):
-        assert set(all_rules()) == {"SD101", "SD102", "SD103", "SD104", "SD105"}
+    def test_all_rules_registered(self):
+        assert set(all_rules()) == {
+            "SD101",
+            "SD102",
+            "SD103",
+            "SD104",
+            "SD105",
+            "SD106",
+        }
 
 
 class TestCli:
@@ -693,7 +813,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert splitcheck_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SD101", "SD102", "SD103", "SD104", "SD105"):
+        for rule_id in ("SD101", "SD102", "SD103", "SD104", "SD105", "SD106"):
             assert rule_id in out
 
     def test_splitdetect_check_subcommand(self, tmp_path):

@@ -14,7 +14,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core import Alert, ConventionalIPS, NaivePacketIPS, SplitDetectIPS
+from .core import (
+    Alert,
+    ConventionalIPS,
+    FastPathConfig,
+    NaivePacketIPS,
+    SplitDetectIPS,
+)
 from .evasion import STRATEGIES, build_attack
 from .metrics import (
     RunReport,
@@ -101,10 +107,19 @@ def _print_alerts(alerts: list[Alert], max_alerts: int) -> None:
         print(f"  ... and {len(alerts) - max_alerts} more")
 
 
+def _fast_config(args: argparse.Namespace) -> FastPathConfig | None:
+    """Fast-path config from CLI flags; None keeps the engine defaults."""
+    if args.state_backend == "dict":
+        return None
+    return FastPathConfig(state_backend=args.state_backend)
+
+
 def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
     """The sharded path: N worker processes behind the flow hash."""
     spec = EngineSpec(
-        rules=rules, split_policy=SplitPolicy(piece_length=args.piece_length)
+        rules=rules,
+        split_policy=SplitPolicy(piece_length=args.piece_length),
+        fast_config=_fast_config(args),
     )
     faults = None
     if args.inject:
@@ -186,6 +201,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("--workers shards the split engine only; conventional/naive "
               "baselines run single-process", file=sys.stderr)
         return 2
+    if args.state_backend != "dict" and args.engine != "split":
+        print("--state-backend configures the split engine's fast path; "
+              "conventional/naive baselines have no flow monitor",
+              file=sys.stderr)
+        return 2
     if (args.inject or args.max_restarts) and not args.workers:
         print("--inject/--max-restarts drive the sharded runtime; add "
               "--workers N", file=sys.stderr)
@@ -206,6 +226,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         ips = SplitDetectIPS(
             rules,
             split_policy=SplitPolicy(piece_length=args.piece_length),
+            fast_config=_fast_config(args),
             telemetry=telemetry,
         )
         report = run_split_detect(
@@ -366,6 +387,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("pcap")
     run.add_argument("--rules", help="Snort-content rules file (default: bundled corpus)")
     run.add_argument("--engine", choices=("split", "conventional", "naive"), default="split")
+    run.add_argument(
+        "--state-backend",
+        choices=("dict", "table", "sketch"),
+        default="dict",
+        help="fast-path flow state: 'dict' (unbounded exact map, default), "
+             "'table' (fixed set-associative flow table), or 'sketch' "
+             "(cold slots + count-min anomaly sketch + exact hot set -- "
+             "constant memory at any flow count)",
+    )
     run.add_argument("--piece-length", type=int, default=8)
     run.add_argument("--max-alerts", type=int, default=20)
     run.add_argument(

@@ -9,12 +9,16 @@ from .conventional import (
 from .engine import PROBATION_REASONS, EngineStats, SplitDetectIPS
 from .fastpath import FAST_FLOW_STATE_BYTES, FastPath, FastPathConfig, FastPathResult
 from .flowtable import FlowTable, fnv1a_64
+from .sketch import CountMinSketch, SketchBackend
 from .slowpath import SlowPath
+from .state import DictBackend, FlowState, StateBackend, TableBackend
 
 __all__ = [
     "Alert",
     "AlertKind",
     "ConventionalIPS",
+    "CountMinSketch",
+    "DictBackend",
     "Diversion",
     "DivertReason",
     "EngineStats",
@@ -22,11 +26,15 @@ __all__ = [
     "FastPath",
     "FastPathConfig",
     "FastPathResult",
+    "FlowState",
     "FlowTable",
     "NaivePacketIPS",
     "PROBATION_REASONS",
     "PROVISIONED_BUFFER_PER_FLOW",
+    "SketchBackend",
     "SlowPath",
     "SplitDetectIPS",
+    "StateBackend",
+    "TableBackend",
     "fnv1a_64",
 ]

@@ -27,7 +27,13 @@ class DivertReason(enum.Enum):
     """The packet was an IP fragment (the fast path never defragments)."""
 
     SHORT_SIGNATURE = "short_signature"
-    """An unsplittable (too short) signature matched whole in a packet."""
+    """An unsplittable (too short) signature matched whole in a packet.
+
+    Retained for report compatibility: since the fast path started
+    treating a fully-confirmed whole-signature match as a final verdict
+    (alert, no slow-path round trip), nothing diverts with this reason.
+    A whole match still *awaiting* its extra contents diverts as
+    :attr:`PIECE_MATCH`."""
 
     TTL_FLOOR = "ttl_floor"
     """A data packet's TTL was low enough that it might expire between the

@@ -38,8 +38,9 @@ from .slowpath import SlowPath
 #: Diversion reasons eligible for probation (return to the fast path after
 #: a clean interval).  Fragmented flows stay diverted -- fragments keep
 #: arriving and the fast path cannot handle them; tiny-segment flows are
-#: typically interactive and would bounce straight back; a short-signature
-#: hit is already a confirmed alert.
+#: typically interactive and would bounce straight back.  (A whole-signature
+#: hit confirmed in one packet no longer diverts at all: the fast-path
+#: alert is already the final verdict.)
 PROBATION_REASONS = frozenset(
     {
         DivertReason.PIECE_MATCH,
@@ -476,10 +477,12 @@ class SplitDetectIPS:
                 if tel_on:
                     self._g_diverted.set(len(self._diverted))
             elif canonical in self._probation:
-                self._tick_probation(canonical, alerts)
+                self._tick_probation(canonical, alerts, packet.timestamp)
         return alerts
 
-    def _tick_probation(self, canonical: FlowKey, alerts: list[Alert]) -> None:
+    def _tick_probation(
+        self, canonical: FlowKey, alerts: list[Alert], timestamp: float
+    ) -> None:
         """Count down a diverted flow's probation; reinstate when clean.
 
         Any alert makes the diversion permanent.  Reinstatement waits for
@@ -497,7 +500,10 @@ class SplitDetectIPS:
         del self._probation[canonical]
         self._diverted.discard(canonical)
         for direction, expected in self.slow_path.release_flow(canonical).items():
-            self.fast_path.seed_flow(direction, expected)
+            # Stamp the seed with the releasing packet's clock: a seeded
+            # entry with last_seen=0 would look ancient and be reclaimed
+            # by the very next idle sweep.
+            self.fast_path.seed_flow(direction, expected, now=timestamp)
         for path in self.ensemble_paths:
             path.release_flow(canonical)
         self.reinstated_flows += 1

@@ -30,12 +30,22 @@ from ..packet import (
 from ..packet.errors import PacketError
 from ..signatures import Piece, Signature, SplitRuleSet
 from .alerts import Alert, AlertKind, DivertReason
-from .flowtable import FlowTable
+from .sketch import SketchBackend
+from .state import (
+    FAST_FLOW_STATE_BYTES,
+    DictBackend,
+    FlowState,
+    StateBackend,
+    TableBackend,
+)
 
-#: Per-flow-direction fast-path state in a hardware realization:
-#: a 12-byte five-tuple fingerprint, a 4-byte expected sequence number,
-#: and a flag byte, padded to an 8-byte-aligned table entry.
-FAST_FLOW_STATE_BYTES = 24
+__all__ = [
+    "FAST_FLOW_STATE_BYTES",
+    "FASTPATH_IDLE_TIMEOUT",
+    "FastPath",
+    "FastPathConfig",
+    "FastPathResult",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +89,30 @@ class FastPathConfig:
     table_ways: int = 4
     """Associativity of the fixed flow table."""
 
+    state_backend: str = "dict"
+    """Where per-flow monitor records live: ``dict`` (unbounded exact
+    map), ``table`` (the fixed set-associative flow table), or
+    ``sketch`` (cold slots + count-min anomaly sketch + exact hot set --
+    the 1M-flow configuration).  Setting ``table_buckets`` with the
+    default backend still selects the table, for compatibility with the
+    pre-protocol spelling."""
+
+    sketch_slots: int = 1 << 17
+    """Sketch backend: cold-slot count (power of two)."""
+
+    sketch_hot_capacity: int = 4096
+    """Sketch backend: exact hot-set capacity (entries)."""
+
+    sketch_width: int = 1 << 14
+    """Sketch backend: count-min width (counters per row, power of two)."""
+
+    sketch_depth: int = 4
+    """Sketch backend: count-min rows."""
+
+    sketch_promote_threshold: int = 1
+    """Sketch backend: anomaly-count estimate at which a flow earns an
+    exact hot-set entry (1 == promoted on first anomaly)."""
+
 
 def _flow_key_bytes(flow: FlowKey) -> bytes:
     """Serialize a five-tuple for the hardware hash unit."""
@@ -90,14 +124,6 @@ def _flow_key_bytes(flow: FlowKey) -> bytes:
 #: How long a monitor entry may sit idle before :meth:`FastPath.evict_idle`
 #: reclaims it (matches the slow path's normalizer default).
 FASTPATH_IDLE_TIMEOUT = 300.0
-
-
-@dataclass
-class _FlowState:
-    """What the fast path remembers about one flow direction."""
-
-    expected_seq: int | None = None
-    last_seen: float = 0.0
 
 
 @dataclass
@@ -154,16 +180,28 @@ class FastPath:
             for entry in self._entries
         ]
         self.automaton = DualAutomaton(patterns) if patterns else None
-        if self.config.table_buckets is not None:
-            self._flows: FlowTable[FlowKey, _FlowState] | dict[FlowKey, _FlowState] = (
-                FlowTable(
-                    self.config.table_buckets,
-                    self.config.table_ways,
-                    key_bytes=_flow_key_bytes,
-                )
+        backend = self.config.state_backend
+        if backend == "dict" and self.config.table_buckets is not None:
+            backend = "table"  # pre-protocol spelling of the table backend
+        if backend == "dict":
+            self._flows: StateBackend = DictBackend()
+        elif backend == "table":
+            self._flows = TableBackend(
+                self.config.table_buckets or 1024,
+                self.config.table_ways,
+                key_bytes=_flow_key_bytes,
+            )
+        elif backend == "sketch":
+            self._flows = SketchBackend(
+                self.config.sketch_slots,
+                self.config.sketch_hot_capacity,
+                width=self.config.sketch_width,
+                depth=self.config.sketch_depth,
+                promote_threshold=self.config.sketch_promote_threshold,
+                key_bytes=_flow_key_bytes,
             )
         else:
-            self._flows = {}
+            raise ValueError(f"unknown state backend: {backend!r}")
         # Counters the evaluation reads.
         self.packets_processed = 0
         self.bytes_scanned = 0
@@ -225,17 +263,24 @@ class FastPath:
     def state_bytes(self) -> int:
         """Fast-path per-flow state footprint (excludes the shared automaton).
 
-        With a fixed flow table configured, this is the *provisioned*
-        table size, as a hardware design would count it.
+        Occupied entries for the unbounded dict; full *provisioned*
+        capacity for the fixed-size backends (table, sketch), as a
+        hardware design would count it.
         """
-        if isinstance(self._flows, FlowTable):
-            return self._flows.capacity * FAST_FLOW_STATE_BYTES
-        return len(self._flows) * FAST_FLOW_STATE_BYTES
+        return self._flows.provisioned_bytes()
 
     @property
     def table_evictions(self) -> int:
-        """Fixed-table evictions so far (0 in the unbounded configuration)."""
-        return self._flows.evictions if isinstance(self._flows, FlowTable) else 0
+        """Records lost to capacity: bucket-LRU evictions for the fixed
+        table, cold-slot recycles for the sketch, 0 when unbounded."""
+        return self._flows.table_evictions
+
+    def sketch_snapshot(self):
+        """Copy of the anomaly count-min sketch (None for exact backends).
+
+        The sharded runtime attaches this to each worker's final report
+        and folds the copies bucket-wise into one merged sketch."""
+        return self._flows.sketch_snapshot()
 
     def refresh_telemetry(self) -> None:
         """Sample the point-in-time gauges (occupancy, state, AC stats).
@@ -249,6 +294,28 @@ class FastPath:
         self._g_monitor.set(len(self._flows))
         self._g_state.set(self.state_bytes())
         self._g_table_evictions.set(self.table_evictions)
+        if isinstance(self._flows, SketchBackend):
+            tel = self.telemetry
+            tel.gauge(
+                "repro_fastpath_sketch_hot_entries",
+                "Exact hot-set entries in the sketch backend",
+                merge="sum",
+            ).set(self._flows.hot_entries)
+            tel.gauge(
+                "repro_fastpath_sketch_cold_entries",
+                "Occupied cold slots in the sketch backend",
+                merge="sum",
+            ).set(self._flows.cold_entries)
+            tel.gauge(
+                "repro_fastpath_sketch_promotions",
+                "Cold-to-hot promotions (sketch crossed the anomaly threshold)",
+                merge="sum",
+            ).set(self._flows.promotions)
+            tel.gauge(
+                "repro_fastpath_sketch_demotions",
+                "Hot-to-cold demotions (idle sweep or hot-set overflow)",
+                merge="sum",
+            ).set(self._flows.demotions)
         if self.automaton is not None:
             stats = self.automaton.scan_stats()
             tel = self.telemetry
@@ -341,6 +408,10 @@ class FastPath:
         self._monitor(flow, segment, packet.timestamp, result)
         if segment.payload and self.automaton is not None:
             self._scan(flow, segment.payload, packet.timestamp, result, prescanned)
+        if result.divert is not None:
+            # Feed the per-flow anomaly counters: the sketch backend's
+            # promotion signal (exact backends ignore this).
+            self._flows.record_anomaly(flow)
         if segment.rst:
             # A reset tears down the whole connection: retire the monitor
             # entries for *both* directions, or the reverse one lives on
@@ -359,14 +430,22 @@ class FastPath:
 
         Handed to the slow path at diversion time so its reassembled
         stream starts exactly where in-order fast-path delivery stopped.
+        This is a passive probe -- the flow did not just send a packet --
+        so it reads via :meth:`~repro.core.state.StateBackend.peek` and
+        leaves LRU order and hit/miss accounting untouched.
         """
-        state = self._flows.get(flow)
+        state = self._flows.peek(flow)
         return state.expected_seq if state else None
 
-    def seed_flow(self, flow: FlowKey, expected_seq: int) -> None:
+    def seed_flow(self, flow: FlowKey, expected_seq: int, now: float = 0.0) -> None:
         """Prime the monitor with a known stream position (used when a
-        probationed flow returns from the slow path)."""
-        self._flows[flow] = _FlowState(expected_seq=expected_seq)
+        probationed flow returns from the slow path).
+
+        ``now`` stamps the entry's ``last_seen``; without it a re-seeded
+        flow looks 300+ seconds idle and the very next
+        :meth:`evict_idle` sweep reclaims it before the flow sends
+        another packet."""
+        self._flows.put(flow, FlowState(expected_seq=expected_seq, last_seen=now))
 
     def forget_flow(self, flow: FlowKey) -> None:
         """Drop monitor state for both directions (called after diversion)."""
@@ -384,18 +463,13 @@ class FastPath:
 
         Dead flows that never said goodbye (no FIN/RST seen, half-open
         scans, one-sided traffic) otherwise pin entries forever in the
-        unbounded-dict configuration."""
-        stale = [
-            flow
-            for flow, state in self._flows.items()
-            if now - state.last_seen > idle_timeout
-        ]
-        for flow in stale:
-            self._flows.pop(flow, None)
-        if stale and self._tel_on:
-            self._c_evict_idle.inc(len(stale))
+        unbounded-dict configuration.  The sketch backend *demotes* idle
+        hot flows to cold slots instead of dropping them."""
+        count = self._flows.evict_idle(now, idle_timeout)
+        if count and self._tel_on:
+            self._c_evict_idle.inc(count)
             self._g_monitor.set(len(self._flows))
-        return len(stale)
+        return count
 
     def live_flows(self) -> set[FlowKey]:
         """Canonical keys of flows currently holding monitor entries."""
@@ -429,10 +503,22 @@ class FastPath:
                 # creating an entry for it would let the final ACK of a
                 # FIN handshake resurrect an already-closed direction.
                 return
-            state = _FlowState()
-            self._flows[flow] = state
+            state = FlowState()
         state.last_seen = timestamp
         result.flow_expected_seq = state.expected_seq
+        self._check_progression(segment, state, result)
+        # Write-back completes the read/mutate/write discipline: a no-op
+        # for the dict (same object), the LRU position ``get`` already
+        # granted for the table, and the only persistence point for the
+        # sketch backend's cold slots.
+        self._flows.put(flow, state)
+
+    def _check_progression(
+        self,
+        segment: TcpSegment,
+        state: FlowState,
+        result: FastPathResult,
+    ) -> None:
         if segment.syn:
             state.expected_seq = segment.end_seq
             return
@@ -496,6 +582,15 @@ class FastPath:
                     extra in folded for extra in entry.match_extras
                 )
                 if extras_here:
+                    # Fully confirmed inside one packet: the alert IS the
+                    # verdict, for TCP and UDP alike -- no slow-path round
+                    # trip, which is scan_whole_signatures' contract.
+                    # (Historically the TCP case also diverted via a
+                    # SHORT_SIGNATURE fallthrough here, buying nothing:
+                    # the slow path could only re-confirm what the alert
+                    # already states.)  A *split* occurrence of the same
+                    # signature elsewhere in the stream still diverts
+                    # through its own piece hits.
                     result.alerts.append(
                         Alert(
                             kind=AlertKind.SIGNATURE,
@@ -511,7 +606,3 @@ class FastPath:
                     # stream; let the slow path track completion.
                     result.divert = DivertReason.PIECE_MATCH
                     result.detail = f"sid={entry.sid} awaiting extra contents"
-                # A UDP datagram is self-contained: the verdict is final and
-                # there is no stream to hand to the slow path.
-                if result.divert is None and flow.protocol == IP_PROTO_TCP:
-                    result.divert = DivertReason.SHORT_SIGNATURE

@@ -20,20 +20,15 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable, Iterator
 from typing import Generic, TypeVar
 
+# Historical home of fnv1a_64; the shared implementation now lives in
+# repro.hashing (one hash feeds the flow table, the sketch backend, and
+# the shard router) and is re-exported here for compatibility.
+from ..hashing import fnv1a_64
+
+__all__ = ["FlowTable", "fnv1a_64"]
+
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
-
-_FNV_OFFSET = 0xCBF29CE484222325
-_FNV_PRIME = 0x100000001B3
-
-
-def fnv1a_64(data: bytes) -> int:
-    """64-bit FNV-1a hash -- cheap enough to model a hardware hash unit."""
-    value = _FNV_OFFSET
-    for byte in data:
-        value ^= byte
-        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
-    return value
 
 
 class FlowTable(Generic[K, V]):
@@ -86,6 +81,21 @@ class FlowTable(Generic[K, V]):
                 self.hits += 1
                 return value
         self.misses += 1
+        return None
+
+    def peek(self, key: K) -> V | None:
+        """Look up ``key`` WITHOUT refreshing LRU order or counting telemetry.
+
+        For passive probes -- reads that only inspect state and carry no
+        evidence the flow is active (e.g. the fast path snapshotting an
+        expected sequence number at diversion time).  A :meth:`get` at
+        such a site would both promote the entry (protecting it from
+        replacement on the strength of a bookkeeping read) and skew the
+        hit/miss statistics that size-tuning reads.
+        """
+        for existing, value in self._bucket_of(key):
+            if existing == key:
+                return value
         return None
 
     def put(self, key: K, value: V) -> K | None:

@@ -28,7 +28,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
-from ..core import Alert, EngineStats
+from ..core import Alert, CountMinSketch, EngineStats
 from ..telemetry import TelemetryRegistry
 
 __all__ = [
@@ -113,6 +113,11 @@ class ShardReport:
     exception class name."""
 
     telemetry: TelemetryRegistry | None = None
+
+    sketch: CountMinSketch | None = None
+    """This shard's anomaly count-min sketch snapshot (sketch state
+    backend only).  Attached by ``finish()``, never by a delta flush --
+    like the telemetry registry, it is too heavy to ship per flush."""
 
     @property
     def busy_seconds(self) -> float:
@@ -241,6 +246,13 @@ class RuntimeReport:
     telemetry: dict | None = None
     """Merged registry snapshot (None when telemetry was off)."""
 
+    sketch: CountMinSketch | None = None
+    """Bucket-wise merge of every shard's anomaly sketch (sketch state
+    backend only).  Deliberately outside :meth:`digest`: count-min
+    merging is exact cell addition, but keeping the equivalence hash
+    over alerts + counters means a sketch-shape config change can never
+    masquerade as a detection difference."""
+
     registry: TelemetryRegistry | None = None
     """The live merged registry behind :attr:`telemetry`, for exporters
     (:func:`repro.telemetry.write_telemetry`) and further merging."""
@@ -353,6 +365,15 @@ def merge_shard_reports(
         report.peak_state_bytes += shard.peak_state_bytes
         report.peak_flows += shard.peak_flows
         report.evictions += shard.evictions
+        if shard.sketch is not None:
+            # Bucket-wise fold: cell-by-cell saturating addition keeps
+            # the merged estimates overestimate-only (see
+            # CountMinSketch.merge), so one merged sketch stands in for
+            # N per-shard sketches.
+            if report.sketch is None:
+                report.sketch = shard.sketch.copy()
+            else:
+                report.sketch.merge(shard.sketch)
     ordered.sort(key=lambda entry: entry[:4])
     report.alerts = [entry[4] for entry in ordered]
 

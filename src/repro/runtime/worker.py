@@ -204,6 +204,10 @@ class ShardProcessor:
             engine.refresh_telemetry()
         report = self._report(self.alerts)
         report.telemetry = self.telemetry
+        # Like telemetry, the anomaly sketch ships only with the final
+        # report -- a per-flush copy would dominate delta traffic.  The
+        # merge layer folds shard sketches bucket-wise.
+        report.sketch = engine.fast_path.sketch_snapshot()
         return report
 
 

@@ -60,6 +60,37 @@ class TestRun:
         assert main(["run", str(demo_pcap), "--engine", "naive"]) == 0
         assert "alerts:" in capsys.readouterr().out
 
+    def test_state_backend_sketch(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        assert main(["run", str(path), "--state-backend", "sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "diverted flows" in out
+        assert "peak state" in out
+
+    def test_state_backend_table(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6"])
+        capsys.readouterr()
+        assert main(["run", str(path), "--state-backend", "table"]) == 0
+        assert "peak state" in capsys.readouterr().out
+
+    def test_state_backend_needs_split_engine(self, demo_pcap, capsys):
+        code = main(["run", str(demo_pcap), "--engine", "naive",
+                     "--state-backend", "sketch"])
+        assert code == 2
+        assert "state-backend" in capsys.readouterr().err
+
+    def test_state_backend_sketch_parallel(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "8", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        assert main(["run", str(path), "--state-backend", "sketch",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+
     def test_custom_rules_file(self, tmp_path, capsys):
         rules_path = tmp_path / "my.rules"
         rules_path.write_text(

@@ -277,3 +277,143 @@ class TestPieceScanning:
         payload = b"aaaa tiny! bbbb" + b"c" * 100
         results, _ = run(fp, packets_for(payload))
         assert all(not r.alerts for r in results)
+
+
+class TestSeedFlowLifecycle:
+    """A re-seeded flow must survive the idle sweep that follows it."""
+
+    def _flow(self):
+        from repro.packet import FlowKey
+
+        return FlowKey("10.9.9.9", "10.0.0.2", 44000, 80)
+
+    def test_seeded_flow_survives_next_idle_sweep(self):
+        # Regression: seed_flow used to leave last_seen=0.0, so a flow
+        # released from slow-path probation at t=1000 looked 1000s idle
+        # and the very next sweep reclaimed it.
+        fp = make_fastpath()
+        fp.seed_flow(self._flow(), 5000, now=1000.0)
+        assert fp.evict_idle(1000.5) == 0
+        assert fp.expected_seq(self._flow()) == 5000
+
+    def test_seeded_flow_still_ages_out_when_genuinely_idle(self):
+        fp = make_fastpath()
+        fp.seed_flow(self._flow(), 5000, now=1000.0)
+        assert fp.evict_idle(1000.0 + 301.0) == 1
+        assert fp.expected_seq(self._flow()) is None
+
+    def test_seed_then_traffic_resumes_in_order(self):
+        fp = make_fastpath()
+        fp.seed_flow(self._flow(), 5000, now=1000.0)
+        fp.evict_idle(1000.5)  # the sweep that used to kill the seed
+        seg = TcpSegment(src_port=44000, dst_port=80, seq=5000,
+                         flags=TCP_ACK, payload=b"z" * 600)
+        result = fp.process(
+            TimedPacket(1001.0, build_tcp_packet("10.9.9.9", "10.0.0.2", seg))
+        )
+        assert result.divert is None  # in order from the seeded position
+
+    def test_expected_seq_probe_is_passive_on_table_backend(self):
+        # The diversion-time snapshot must not promote the probed entry
+        # over genuinely active flows in the fixed table.
+        fp = make_fastpath(FastPathConfig(table_buckets=1, table_ways=2))
+        table = fp._flows
+        fp.seed_flow(self._flow(), 100, now=0.0)
+        other = self._flow().reversed()
+        fp.seed_flow(other, 200, now=0.0)
+        hits_before, misses_before = table.hits, table.misses
+        assert fp.expected_seq(self._flow()) == 100
+        assert (table.hits, table.misses) == (hits_before, misses_before)
+        # LRU order unchanged: the probed flow is still the victim.
+        assert next(iter(table.items()))[0] == self._flow()
+
+
+class TestConfirmedWholeMatchSemantics:
+    """A whole-signature occurrence confirmed in one packet is a final
+    fast-path verdict: alert, no slow-path round trip."""
+
+    def _tiny_ruleset(self):
+        from repro.signatures import Signature
+
+        return attack_ruleset(extra=[Signature(sid=9001, pattern=b"tiny!", msg="short")])
+
+    def test_confirmed_short_signature_does_not_divert(self):
+        split = split_ruleset(self._tiny_ruleset(), SplitPolicy(piece_length=8))
+        fp = FastPath(split)
+        payload = b"aaaa tiny! bbbb" + b"c" * 600
+        results, diverts = run(fp, packets_for(payload, size=700))
+        alerts = [a for r in results for a in r.alerts]
+        assert any(a.sid == 9001 and a.path == "fast" for a in alerts)
+        assert diverts == []
+
+    def test_confirmed_match_emits_one_alert_not_short_signature_divert(self):
+        split = split_ruleset(self._tiny_ruleset(), SplitPolicy(piece_length=8))
+        fp = FastPath(split)
+        payload = b"aaaa tiny! bbbb" + b"c" * 600
+        results, _ = run(fp, packets_for(payload, size=700))
+        assert all(r.divert is not DivertReason.SHORT_SIGNATURE for r in results)
+
+    def test_split_signature_in_one_packet_still_diverts_via_pieces(self):
+        # The whole-signature fast confirm must not swallow the piece
+        # hits: a split signature's occurrence keeps diverting so the
+        # slow path can catch other, split-across-packets occurrences.
+        fp = make_fastpath()
+        payload = b"A" * 100 + ATTACK_SIGNATURE + b"B" * 100
+        results, diverts = run(fp, packets_for(payload, size=1460))
+        assert DivertReason.PIECE_MATCH in diverts
+        assert any(a.sid == 5001 and a.path == "fast" for r in results for a in r.alerts)
+
+
+class TestSequenceWraparound:
+    """32-bit sequence arithmetic through the monitor (RFC 793 wrap)."""
+
+    CLIENT = "10.9.9.9"
+    SERVER = "10.0.0.2"
+
+    def _seg(self, seq, payload=b"", flags=TCP_ACK):
+        return TcpSegment(src_port=44000, dst_port=80, seq=seq,
+                          flags=flags, payload=payload)
+
+    def test_in_order_advance_across_wrap(self):
+        from repro.packet import TCP_SYN
+
+        fp = make_fastpath()
+        start = 2**32 - 300
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          self._seg(start, flags=TCP_SYN)))
+        r1 = fp.process(tcp_at(0.1, self.CLIENT, self.SERVER,
+                               self._seg(start + 1, payload=b"a" * 600)))
+        assert r1.divert is None
+        from repro.packet import FlowKey
+
+        # 600 bytes from 2**32-299 crosses the wrap: expected is now 301.
+        flow = FlowKey(self.CLIENT, self.SERVER, 44000, 80)
+        assert fp.expected_seq(flow) == 301
+        r2 = fp.process(tcp_at(0.2, self.CLIENT, self.SERVER,
+                               self._seg(301, payload=b"b" * 600)))
+        assert r2.divert is None
+        assert fp.expected_seq(flow) == 901
+
+    def test_ahead_across_wrap_is_out_of_order(self):
+        from repro.packet import TCP_SYN
+
+        fp = make_fastpath()
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          self._seg(2**32 - 1, flags=TCP_SYN)))
+        # Expected is 0 (the SYN consumed the last pre-wrap number); a
+        # segment at 700 is 700 bytes ahead across the boundary.
+        result = fp.process(tcp_at(0.1, self.CLIENT, self.SERVER,
+                                   self._seg(700, payload=b"x" * 600)))
+        assert result.divert == DivertReason.OUT_OF_ORDER
+
+    def test_behind_across_wrap_is_retransmission(self):
+        from repro.packet import TCP_SYN
+
+        fp = make_fastpath()
+        fp.process(tcp_at(0.0, self.CLIENT, self.SERVER,
+                          self._seg(2**32 - 1, flags=TCP_SYN)))
+        # Expected is 0; a segment at 2**32-700 is 700 bytes *behind*
+        # (seq_diff is negative), not ~4 billion ahead.
+        result = fp.process(tcp_at(0.1, self.CLIENT, self.SERVER,
+                                   self._seg(2**32 - 700, payload=b"x" * 600)))
+        assert result.divert == DivertReason.RETRANSMISSION

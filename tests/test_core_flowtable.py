@@ -100,6 +100,23 @@ class TestFlowTable:
         table.get("zz")
         assert table.hits == 1 and table.misses == 1
 
+    def test_peek_returns_value_without_counting(self):
+        table = FlowTable(buckets=4, ways=2)
+        table.put("a", 1)
+        assert table.peek("a") == 1
+        assert table.peek("zz") is None
+        assert table.hits == 0 and table.misses == 0
+
+    def test_peek_does_not_refresh_lru(self):
+        # Same shape as test_lru_refresh_on_get, but the passive read
+        # must NOT protect "a": it stays the LRU victim.
+        table = FlowTable(buckets=1, ways=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.peek("a")
+        evicted = table.put("c", 3)
+        assert evicted == "a"
+
     @given(
         ops=st.lists(
             st.tuples(st.integers(min_value=0, max_value=40), st.booleans()),

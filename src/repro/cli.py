@@ -11,7 +11,9 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from .core import (
@@ -45,7 +47,15 @@ from .signatures import (
     load_rules,
     split_ruleset,
 )
-from .telemetry import NULL_REGISTRY, TelemetryRegistry, write_telemetry
+from .telemetry import (
+    NULL_REGISTRY,
+    FlowTracer,
+    TelemetryPublisher,
+    TelemetryRegistry,
+    TelemetryServer,
+    span_sort_key,
+    write_telemetry,
+)
 from .traffic import TrafficProfile, generate_trace, inject_attacks
 
 
@@ -99,6 +109,42 @@ def _finish_telemetry(
         print(f"telemetry ({args.telemetry_format}) written to {path}")
 
 
+def _write_trace_dump(path: Path, snapshot: dict | None) -> None:
+    """Dump a flight-recorder snapshot as JSONL (one span per line)."""
+    spans = (snapshot or {}).get("spans", [])
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True) + "\n")
+    dropped = (snapshot or {}).get("dropped", 0)
+    note = f" ({dropped} older spans dropped by the ring)" if dropped else ""
+    print(f"trace: {len(spans)} spans written to {path}{note}")
+
+
+def _start_serve(args: argparse.Namespace) -> tuple[TelemetryPublisher, TelemetryServer] | None:
+    """Bring up the live telemetry endpoint when --serve-telemetry is set."""
+    if args.serve_telemetry is None:
+        return None
+    publisher = TelemetryPublisher()
+    server = TelemetryServer(publisher, port=args.serve_telemetry).start()
+    print(f"telemetry endpoint: {server.url} (/metrics /healthz /traces)")
+    return publisher, server
+
+
+def _finish_serve(
+    serve: tuple[TelemetryPublisher, TelemetryServer] | None,
+    hold_seconds: float | None,
+) -> None:
+    """Hold the endpoint open for scrapers, then shut it down."""
+    if serve is None:
+        return
+    publisher, server = serve
+    publisher.health = {**publisher.health, "status": "ok", "finished": True}
+    if hold_seconds is not None and hold_seconds > 0:
+        print(f"holding telemetry endpoint {server.url} for {hold_seconds:g}s")
+        time.sleep(hold_seconds)
+    server.stop()
+
+
 def _print_alerts(alerts: list[Alert], max_alerts: int) -> None:
     print(f"alerts: {len(alerts)}")
     for alert in alerts[:max_alerts]:
@@ -129,6 +175,7 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
             print(f"bad --inject spec: {exc}", file=sys.stderr)
             return 2
         print(f"fault plan: {faults.describe()}")
+    trace_on = args.trace_out is not None or args.serve_telemetry is not None
     config = RunnerConfig(
         batch_size=args.batch_size,
         shard_policy=ShardPolicy(args.shard_policy),
@@ -136,14 +183,34 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
         queue_depth=args.queue_depth,
         evict_interval=args.evict_interval,
         telemetry=not args.no_telemetry,
+        trace=trace_on,
+        trace_sample=args.trace_sample,
         max_restarts=args.max_restarts,
         restart_backoff=args.restart_backoff,
         faults=faults,
     )
+    serve = _start_serve(args)
     runner = ParallelRunner(spec, workers=args.workers, config=config)
+    if serve is not None:
+        serve[0].health = {"status": "running", "mode": "parallel",
+                           "workers": args.workers}
     # Undecoded records, not parsed packets: the runner's quarantine
     # owns malformed frames, so a hostile capture cannot kill the run.
     report = runner.run(read_records(args.pcap))
+    if serve is not None:
+        publisher = serve[0]
+        if report.registry is not None:
+            publisher.registry = report.registry
+        publisher.trace_snapshot = report.trace or {}
+        publisher.health = {
+            "status": "ok",
+            "mode": "parallel",
+            "workers": report.workers,
+            "packets": report.packets,
+            "alerts": len(report.alerts),
+            "diverted_flows": report.diverted_flows,
+            "worker_restarts": report.worker_restarts,
+        }
     print(
         f"processed {report.packets} packets across {report.workers} shards "
         f"in {report.wall_seconds:.2f}s "
@@ -189,12 +256,40 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
             report.registry, args.telemetry_out, format=args.telemetry_format
         )
         print(f"telemetry ({args.telemetry_format}) written to {path}")
+    if report.profile is not None:
+        _print_profile(report.profile)
+    if args.trace_out is not None:
+        _write_trace_dump(args.trace_out, report.trace)
+    _finish_serve(serve, args.serve_hold)
     return 0
+
+
+def _print_profile(profile: dict) -> None:
+    """One line per stage: count, p50/p99, and the max-bucket bound."""
+    print("stage profile (ns):")
+    for stage in sorted(profile.get("stages", {})):
+        entry = profile["stages"][stage]
+        print(
+            f"  {stage:<10} count={entry['count']:<8} "
+            f"p50={entry['p50_ns']:,.0f} p99={entry['p99_ns']:,.0f} "
+            f"max<={entry['max_le_ns']:,.0f}"
+        )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     if args.no_telemetry and args.telemetry_out is not None:
         print("--telemetry-out needs instrumentation; drop --no-telemetry",
+              file=sys.stderr)
+        return 2
+    if args.no_telemetry and args.serve_telemetry is not None:
+        print("--serve-telemetry needs instrumentation; drop --no-telemetry",
+              file=sys.stderr)
+        return 2
+    if (
+        args.trace_out is not None or args.serve_telemetry is not None
+    ) and args.engine != "split":
+        print("--trace-out/--serve-telemetry trace the split engine's "
+              "decision procedure; conventional/naive baselines have none",
               file=sys.stderr)
         return 2
     if args.workers and args.engine != "split":
@@ -223,12 +318,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     trace = read_trace(args.pcap)
     telemetry = NULL_REGISTRY if args.no_telemetry else TelemetryRegistry()
     if args.engine == "split":
+        tracer = None
+        if args.trace_out is not None or args.serve_telemetry is not None:
+            tracer = FlowTracer(sample=args.trace_sample)
         ips = SplitDetectIPS(
             rules,
             split_policy=SplitPolicy(piece_length=args.piece_length),
             fast_config=_fast_config(args),
             telemetry=telemetry,
+            tracer=tracer,
         )
+        serve = _start_serve(args)
+        if serve is not None:
+            # Live wiring: a mid-run scrape refreshes the gauges and
+            # reads the engine's registry directly.
+            publisher = serve[0]
+            publisher.registry = telemetry
+            publisher.refresh = ips.refresh_telemetry
+            publisher.health = {"status": "running", "mode": "single"}
         report = run_split_detect(
             ips,
             trace,
@@ -240,6 +347,26 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
         for reason, count in sorted(report.divert_reasons.items()):
             print(f"  divert[{reason}] = {count}")
+        if report.profile is not None:
+            _print_profile(report.profile)
+        if args.trace_out is not None:
+            _write_trace_dump(args.trace_out, report.trace)
+        if serve is not None:
+            publisher = serve[0]
+            publisher.trace_snapshot = report.trace or {}
+            publisher.health = {
+                "status": "ok",
+                "mode": "single",
+                "packets": report.packets,
+                "alerts": len(report.alerts),
+                "diverted_flows": report.diverted_flows,
+            }
+        print(f"peak state: {report.peak_state_bytes} bytes over "
+              f"{report.peak_flows} flows")
+        _print_alerts(report.alerts, args.max_alerts)
+        _finish_telemetry(args, ips, report)
+        _finish_serve(serve, args.serve_hold)
+        return 0
     elif args.engine == "conventional":
         ips = ConventionalIPS(rules, telemetry=telemetry)
         report = run_conventional(ips, trace)
@@ -258,6 +385,79 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"peak state: {report.peak_state_bytes} bytes over {report.peak_flows} flows")
     _print_alerts(report.alerts, args.max_alerts)
     _finish_telemetry(args, ips, report)
+    return 0
+
+
+def _load_spans(path: str) -> list[dict]:
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not a JSON span: {exc}") from exc
+    return spans
+
+
+def _matches_selector(span: dict, selector: str) -> bool:
+    """A span matches a 16-hex trace id (prefix ok) or a flow substring."""
+    lowered = selector.lower()
+    if all(ch in "0123456789abcdef" for ch in lowered) and lowered:
+        if span.get("trace", "").startswith(lowered):
+            return True
+    return selector in span.get("flow", "")
+
+
+def _format_span(span: dict) -> str:
+    base_keys = ("trace", "ts", "shard", "gen", "seq", "stage", "event", "flow")
+    extras = " ".join(
+        f"{key}={span[key]}" for key in span if key not in base_keys
+    )
+    return (
+        f"  t={span.get('ts', 0.0):>12.6f}  shard {span.get('shard', 0)}"
+        f"/g{span.get('gen', 0)}  [{span.get('stage', '?'):<7}] "
+        f"{span.get('event', '?'):<14}{(' ' + extras) if extras else ''}"
+    )
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct a flow's decision timeline from a JSONL trace dump."""
+    try:
+        spans = _load_spans(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not args.selector:
+        # No selector: list the traced flows so the operator can pick one.
+        flows: dict[str, tuple[str, int]] = {}
+        for span in spans:
+            trace_id = span.get("trace", "?")
+            flow, count = flows.get(trace_id, ("", 0))
+            flows[trace_id] = (flow or span.get("flow", ""), count + 1)
+        print(f"{len(spans)} spans across {len(flows)} traces in {args.trace_file}")
+        for trace_id in sorted(flows):
+            flow, count = flows[trace_id]
+            print(f"  {trace_id}  spans={count:<5} {flow}")
+        return 0
+    matched = [span for span in spans if _matches_selector(span, args.selector)]
+    if not matched:
+        print(f"no spans match {args.selector!r} in {args.trace_file}",
+              file=sys.stderr)
+        return 1
+    matched.sort(key=span_sort_key)
+    trace_ids = sorted({span.get("trace", "?") for span in matched})
+    print(
+        f"{len(matched)} spans for trace "
+        f"{', '.join(trace_ids)} ({args.selector!r}):"
+    )
+    for span in matched:
+        print(_format_span(span))
     return 0
 
 
@@ -304,7 +504,6 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    import json
     import random
 
     from .signatures import ByteFrequencyModel, lint_ruleset
@@ -422,6 +621,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with the no-op registry (skips all instrumentation)",
     )
     run.add_argument(
+        "--trace-out",
+        type=_writable_file,
+        metavar="PATH",
+        help="write the flight-recorder span dump as JSONL (one span per "
+             "line; feed it to 'splitdetect explain')",
+    )
+    run.add_argument(
+        "--trace-sample",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="trace 1-in-N flows by trace id (default: 1 = every flow); "
+             "diverted flows are always traced in full",
+    )
+    run.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics, /healthz and /traces over HTTP on this "
+             "port for the duration of the run (0 picks a free port)",
+    )
+    run.add_argument(
+        "--serve-hold",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="keep the telemetry endpoint up this long after the run "
+             "finishes (default: stop immediately)",
+    )
+    run.add_argument(
         "--workers",
         type=_positive_int,
         default=0,
@@ -527,6 +757,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_check(check)
     check.set_defaults(func=cmd_check)
+
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct a flow's decision timeline from a --trace-out dump",
+    )
+    explain.add_argument("trace_file", help="JSONL span dump written by --trace-out")
+    explain.add_argument(
+        "selector",
+        nargs="?",
+        help="trace id (16-hex, prefix ok) or flow substring; omit to "
+             "list the traced flows",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     stats = sub.add_parser("stats", help="characterize a pcap trace")
     stats.add_argument("pcap")

@@ -29,7 +29,7 @@ from ..packet import (
 )
 from ..signatures import ByteFrequencyModel, RuleSet, SplitPolicy, split_ruleset
 from ..streams import FLOW_OVERHEAD_BYTES, OverlapPolicy
-from ..telemetry import NULL_REGISTRY
+from ..telemetry import NULL_REGISTRY, NULL_TRACER, StageProfiler
 from .alerts import Alert, AlertKind, Diversion, DivertReason
 from .conventional import PROVISIONED_BUFFER_PER_FLOW
 from .fastpath import FastPath, FastPathConfig
@@ -82,14 +82,20 @@ class SplitDetectIPS:
         slow_capacity_flows: int | None = None,
         ensemble_policies: tuple[OverlapPolicy, ...] = (),
         telemetry=None,
+        tracer=None,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_enabled = self.tracer.enabled
         self.split_rules = split_ruleset(rules, split_policy, model)
         self.fast_path = FastPath(
-            self.split_rules, fast_config, telemetry=self.telemetry
+            self.split_rules, fast_config, telemetry=self.telemetry, tracer=self.tracer
         )
         self.slow_path = SlowPath(
-            self.split_rules, policy=overlap_policy, telemetry=self.telemetry
+            self.split_rules,
+            policy=overlap_policy,
+            telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         self.ensemble_paths: list[SlowPath] = [
             SlowPath(self.split_rules, policy=policy)
@@ -129,6 +135,10 @@ class SplitDetectIPS:
         # ``_tel_on`` so the disabled engine never reads the clock.
         tel = self.telemetry
         self._tel_on = tel.enabled
+        # Self-profiler: top-N slowest flows per stage, fed from the same
+        # timing deltas the stage histogram consumes (so it costs nothing
+        # extra when telemetry is off, and one heap comparison when on).
+        self.profiler: StageProfiler | None = StageProfiler() if tel.enabled else None
         stages = tel.histogram(
             "repro_engine_stage_latency_ns",
             "Per-stage wall-clock latency (monotonic ns): decode = routing up "
@@ -260,6 +270,14 @@ class SplitDetectIPS:
                 except ValueError:
                     frag_flow = None
                 if frag_flow is not None:
+                    if self._trace_enabled:
+                        self.tracer.record(
+                            frag_flow,
+                            "decode",
+                            "fragment",
+                            packet.timestamp,
+                            force=True,
+                        )
                     if not self._divert(
                         frag_flow, DivertReason.IP_FRAGMENT, packet.timestamp
                     ):
@@ -286,16 +304,23 @@ class SplitDetectIPS:
             except ValueError:
                 flow = None
         if flow is not None and flow.canonical() in self._diverted:
+            if self._trace_enabled:
+                self.tracer.record(flow, "decode", "slow_route", packet.timestamp)
             if tel_on:
                 self._stage_decode.observe(perf_counter_ns() - t0)
             return self._to_slow(packet, flow)
         self.stats.fast_packets += 1
+        if self._trace_enabled and flow is not None:
+            self.tracer.record(flow, "decode", "fast_route", packet.timestamp)
         before = self.fast_path.bytes_scanned
         if tel_on:
             t1 = perf_counter_ns()
             self._stage_decode.observe(t1 - t0)
             result = self.fast_path.process(packet, _prescanned)
-            self._stage_fast.observe(perf_counter_ns() - t1)
+            fast_ns = perf_counter_ns() - t1
+            self._stage_fast.observe(fast_ns)
+            if self.profiler is not None and flow is not None:
+                self.profiler.note("fast_path", str(flow.canonical()), fast_ns)
             self._c_packets_fast.inc()
             self._c_bytes_fast.inc(self.fast_path.bytes_scanned - before)
         else:
@@ -309,6 +334,17 @@ class SplitDetectIPS:
         self.stats.alerts += len(alerts)
         if alerts and tel_on:
             self._c_alerts_fast.inc(len(alerts))
+        if alerts and self._trace_enabled and flow is not None:
+            for alert in alerts:
+                self.tracer.record(
+                    flow,
+                    "fast",
+                    "alert",
+                    packet.timestamp,
+                    force=True,
+                    kind=alert.kind.value,
+                    sid=alert.sid,
+                )
         if result.divert is not None and flow is not None:
             if not self._divert(flow, result.divert, packet.timestamp, result.detail):
                 alerts.extend(self._refusal_alert(flow, packet.timestamp))
@@ -423,6 +459,16 @@ class SplitDetectIPS:
                     flow=str(flow),
                     capacity=self.slow_capacity_flows,
                 )
+            if self._trace_enabled:
+                self.tracer.record(
+                    flow,
+                    "engine",
+                    "divert_refused",
+                    timestamp,
+                    force=True,
+                    reason=reason.value,
+                    capacity=self.slow_capacity_flows,
+                )
             return False
         self._diverted.add(canonical)
         if self.probation_packets and reason in PROBATION_REASONS:
@@ -440,6 +486,18 @@ class SplitDetectIPS:
                 "divert",
                 ts=timestamp,
                 flow=str(flow),
+                reason=reason.value,
+                detail=detail,
+            )
+        if self._trace_enabled:
+            # force=True pins the trace id: every subsequent slow-path
+            # span of this flow is recorded regardless of --trace-sample.
+            self.tracer.record(
+                flow,
+                "engine",
+                "divert",
+                timestamp,
+                force=True,
                 reason=reason.value,
                 detail=detail,
             )
@@ -462,11 +520,28 @@ class SplitDetectIPS:
                         alerts.append(alert)
         self.stats.alerts += len(alerts)
         if tel_on:
-            self._stage_slow.observe(perf_counter_ns() - t0)
+            slow_ns = perf_counter_ns() - t0
+            self._stage_slow.observe(slow_ns)
+            if self.profiler is not None and flow is not None:
+                self.profiler.note("slow_path", str(flow.canonical()), slow_ns)
             self._c_packets_slow.inc()
             self._c_bytes_slow.inc(self.slow_path.bytes_normalized - before)
             if alerts:
                 self._c_alerts_slow.inc(len(alerts))
+        if alerts and self._trace_enabled:
+            for alert in alerts:
+                alert_flow = alert.flow if alert.flow is not None else flow
+                if alert_flow is None:
+                    continue
+                self.tracer.record(
+                    alert_flow,
+                    "slow",
+                    "confirm",
+                    packet.timestamp,
+                    force=True,
+                    kind=alert.kind.value,
+                    sid=alert.sid,
+                )
         if flow is not None:
             canonical = flow.canonical()
             if canonical in self._diverted and canonical not in self.slow_path.normalizer.live_flows():
@@ -476,6 +551,10 @@ class SplitDetectIPS:
                 self._probation.pop(canonical, None)
                 if tel_on:
                     self._g_diverted.set(len(self._diverted))
+                if self._trace_enabled:
+                    self.tracer.record(
+                        canonical, "engine", "flow_closed", packet.timestamp
+                    )
             elif canonical in self._probation:
                 self._tick_probation(canonical, alerts, packet.timestamp)
         return alerts
@@ -513,6 +592,8 @@ class SplitDetectIPS:
             self.telemetry.journal.record(
                 "engine", "reinstate", flow=str(canonical)
             )
+        if self._trace_enabled:
+            self.tracer.record(canonical, "engine", "reinstate", timestamp)
 
     def evict_idle(self, now: float) -> int:
         """Expire idle state everywhere (long-run housekeeping).
@@ -557,6 +638,14 @@ class SplitDetectIPS:
                     fast_evicted=fast_evicted,
                     slow_evicted=slow_evicted,
                 )
+        if self._trace_enabled and (fast_evicted or slow_evicted):
+            self.tracer.record_system(
+                "engine",
+                "evict_sweep",
+                ts=now,
+                fast_evicted=fast_evicted,
+                slow_evicted=slow_evicted,
+            )
         return fast_evicted + slow_evicted
 
     # -- telemetry -------------------------------------------------------
@@ -575,6 +664,8 @@ class SplitDetectIPS:
         """
         if not self._tel_on:
             return
+        if self.profiler is not None:
+            self.profiler.publish(self.telemetry)
         self.fast_path.refresh_telemetry()
         self.slow_path.refresh_telemetry()
         fast_state = self.fast_path.state_bytes()

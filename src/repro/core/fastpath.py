@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..match import DualAutomaton
-from ..telemetry import NULL_REGISTRY, SIZE_BYTES_BUCKETS
+from ..telemetry import NULL_REGISTRY, NULL_TRACER, SIZE_BYTES_BUCKETS
 from ..packet import (
     IP_PROTO_TCP,
     IP_PROTO_UDP,
@@ -154,7 +154,10 @@ class FastPath:
         config: FastPathConfig | None = None,
         *,
         telemetry=None,
+        tracer=None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_enabled = self.tracer.enabled
         self.config = config or FastPathConfig()
         self.split_rules = split_rules
         self.threshold = (
@@ -412,6 +415,29 @@ class FastPath:
             # Feed the per-flow anomaly counters: the sketch backend's
             # promotion signal (exact backends ignore this).
             self._flows.record_anomaly(flow)
+        if self._trace_enabled:
+            if result.divert is not None:
+                # The detail string carries the expected/observed seq
+                # pair from _check_progression (or the ttl/size bound).
+                self.tracer.record(
+                    flow,
+                    "fast",
+                    "anomaly",
+                    packet.timestamp,
+                    force=True,
+                    cause=result.divert.value,
+                    detail=result.detail,
+                )
+            if result.piece_hits:
+                self.tracer.record(
+                    flow,
+                    "fast",
+                    "piece_hit",
+                    packet.timestamp,
+                    force=True,
+                    pieces=len(result.piece_hits),
+                    sids=sorted({p.signature.sid for p in result.piece_hits}),
+                )
         if segment.rst:
             # A reset tears down the whole connection: retire the monitor
             # entries for *both* directions, or the reverse one lives on

@@ -21,7 +21,7 @@ from ..match import DualAutomaton, DualStreamMatcher
 from ..packet import IP_PROTO_UDP, FlowKey, TimedPacket, decode_udp
 from ..signatures import SplitRuleSet
 from ..streams import OverlapPolicy, StreamEvent, StreamNormalizer
-from ..telemetry import NULL_REGISTRY
+from ..telemetry import NULL_REGISTRY, NULL_TRACER
 from .alerts import Alert, AlertKind
 from .matching import SignatureMatcher, StreamMatchState
 
@@ -60,7 +60,10 @@ class SlowPath:
         *,
         policy: OverlapPolicy = OverlapPolicy.BSD,
         telemetry=None,
+        tracer=None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_enabled = self.tracer.enabled
         self.split_rules = split_rules
         self.normalizer = StreamNormalizer(policy=policy)
         signatures = (
@@ -169,6 +172,19 @@ class SlowPath:
         output = self.normalizer.process(packet)
         alerts: list[Alert] = []
         flow = output.flow
+        if self._trace_enabled and flow is not None:
+            # Diverted flows are always sampled (the divert span pinned
+            # their trace id), so the reassembly record survives 1/N.
+            self.tracer.record(
+                flow,
+                "slow",
+                "reassemble",
+                packet.timestamp,
+                chunks=len(output.chunks),
+                bytes=sum(len(chunk) for chunk in output.chunks),
+                events=len(output.events),
+                closed=bool(output.flow_closed),
+            )
         if flow is not None:
             for record in output.events:
                 if record.event in _AMBIGUITY_EVENTS:

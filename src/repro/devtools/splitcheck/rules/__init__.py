@@ -15,6 +15,7 @@ from . import (  # noqa: F401
     sd104_timing,
     sd105_bytes,
     sd106_worker_status,
+    sd107_trace_guard,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "sd104_timing",
     "sd105_bytes",
     "sd106_worker_status",
+    "sd107_trace_guard",
 ]

@@ -1,0 +1,141 @@
+"""SD107: flight-recorder and journal emission must be guarded.
+
+Invariant (PR 7): the decision tracer follows the same discipline as
+the telemetry registry (SD101) -- tracing off costs at most one boolean
+check per hot site, which is what keeps the traced-run overhead under
+the <=1.15x gate in ``benchmarks/bench_trace_overhead.py``.  Concretely,
+any span or journal emission -- a ``.record(...)`` / ``.record_system(...)``
+/ ``.event(...)`` call whose receiver names the tracer or journal
+(``self.tracer.record(...)``, ``journal.event(...)``) -- inside a
+function under ``core/``, ``match/``, or ``runtime/`` must sit behind a
+``tel_on``/``enabled``/``trace`` guard, exactly as SD101 demands for
+instrument mutations.
+
+SD101 already flags *bare* ``.record(...)`` calls in ``core/`` and
+``match/``; this rule adds ``.record_system`` and ``.event`` (which
+SD101's instrument set deliberately omits) and extends coverage to
+``runtime/``, where the worker loop emits quarantine spans per batch.
+Tracer construction and snapshot/merge plumbing run per shard or per
+report, not per packet, and share SD101's exemption list.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import build_parents, enclosing_function, statement_chain
+from ..engine import FileContext, Rule, register
+from .sd101_telemetry_guard import EXEMPT_FUNCTIONS, GUARD_TOKENS, _mentions_guard
+
+__all__ = ["TraceGuardRule"]
+
+#: Emission methods on a tracer or journal receiver.
+EMIT_METHODS = frozenset({"record", "record_system", "event"})
+
+#: Substrings that mark a receiver as a tracer/journal, not some other
+#: object that happens to grow a ``record`` method.
+RECEIVER_TOKENS = ("trace", "tracer", "journal")
+
+#: ``trace`` joins the guard vocabulary: ``if self._trace_enabled:`` is
+#: the canonical guard, but ``if tracing:`` must count too.
+TRACE_GUARD_TOKENS = GUARD_TOKENS + ("trace",)
+
+
+def _receiver_mentions_tracer(func: ast.Attribute) -> bool:
+    """Does the call receiver (``self.tracer`` in ``self.tracer.record``)
+    name a tracer or journal anywhere in its attribute chain?"""
+    for node in ast.walk(func.value):
+        if isinstance(node, ast.Name) and any(
+            token in node.id.lower() for token in RECEIVER_TOKENS
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and any(
+            token in node.attr.lower() for token in RECEIVER_TOKENS
+        ):
+            return True
+    return False
+
+
+def _is_emission_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in EMIT_METHODS
+        and _receiver_mentions_tracer(node.func)
+    )
+
+
+def _mentions_trace_guard(expr: ast.AST) -> bool:
+    if _mentions_guard(expr):
+        return True
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "trace" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "trace" in node.attr.lower():
+            return True
+    return False
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    if not stmts:
+        return False
+    return isinstance(stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+@register
+class TraceGuardRule(Rule):
+    id = "SD107"
+    title = "trace/journal emission not guarded by a trace/enabled check"
+    default_paths = (
+        "*/repro/core/*.py",
+        "*/repro/match/*.py",
+        "*/repro/runtime/*.py",
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        parents = build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not _is_emission_call(node):
+                continue
+            function = enclosing_function(node, parents)
+            if function is None or function.name in EXEMPT_FUNCTIONS:
+                continue
+            if self._guarded(node, function, parents):
+                continue
+            ctx.report(
+                self,
+                node,
+                f"trace emission .{node.func.attr}(...) in "  # type: ignore[attr-defined]
+                f"{function.name}() is not under a trace/enabled guard; "
+                "span recording must cost one boolean when tracing is off "
+                "(PR 7's <=1.15x overhead gate)",
+            )
+
+    def _guarded(
+        self,
+        node: ast.AST,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        parents: dict[ast.AST, ast.AST],
+    ) -> bool:
+        # Same two shapes SD101 accepts, with ``trace`` in the guard
+        # vocabulary: an enclosing conditional, or an earlier
+        # early-return sibling (``if not self._trace_enabled: return``).
+        current: ast.AST = node
+        while current is not function:
+            parent = parents.get(current)
+            if parent is None:
+                break
+            if isinstance(parent, (ast.If, ast.IfExp)) and _mentions_trace_guard(
+                parent.test
+            ):
+                return True
+            current = parent
+        for body, index in statement_chain(node, parents, stop=function):
+            for earlier in body[:index]:
+                if (
+                    isinstance(earlier, ast.If)
+                    and _mentions_trace_guard(earlier.test)
+                    and _terminates(earlier.body)
+                ):
+                    return True
+        return False

@@ -17,6 +17,7 @@ from ..core.fastpath import FAST_FLOW_STATE_BYTES
 from ..packet import TimedPacket
 from ..runtime.batching import iter_batches
 from ..streams import FLOW_OVERHEAD_BYTES
+from ..telemetry import stage_profile
 from .cost import CostReport, HardwareModel, conventional_cost, split_detect_cost
 
 __all__ = [
@@ -57,6 +58,15 @@ class RunReport:
     telemetry: dict | None = None
     """Registry snapshot taken at the end of the run (None when the
     engine ran with the no-op registry)."""
+
+    profile: dict | None = None
+    """Stage self-profile (p50/p90/p99/max per stage + top-N slowest
+    flows), derived from the stage latency histogram; None when the
+    engine ran with the no-op registry."""
+
+    trace: dict | None = None
+    """Flight-recorder snapshot (spans + ring accounting); None when the
+    engine ran with the no-op tracer."""
 
     @property
     def diversion_byte_fraction(self) -> float:
@@ -129,6 +139,9 @@ def run_split_detect(
             merge="sum",
         ).set(report.peak_flows)
         report.telemetry = ips.telemetry_snapshot()
+        report.profile = stage_profile(tel)
+    if ips.tracer.enabled:
+        report.trace = ips.tracer.snapshot()
     return report
 
 

@@ -50,6 +50,18 @@ class RunnerConfig:
     """Give each shard its own :class:`TelemetryRegistry` and merge the
     snapshots into the combined report."""
 
+    trace: bool = False
+    """Give each shard its own :class:`~repro.telemetry.FlowTracer`
+    flight recorder and merge the span buffers into ``report.trace``
+    (outside the equivalence digest, like telemetry and the sketch)."""
+
+    trace_sample: int = 1
+    """Trace 1-in-N flows (``trace_id % N == 0``); diverted flows are
+    always traced regardless.  1 traces everything."""
+
+    trace_capacity: int = 4096
+    """Span-ring capacity per shard tracer (oldest spans drop first)."""
+
     sample_state: bool = True
     """Sample peak state/flow occupancy after every shard batch (the
     run-harness convention); disable for pure-throughput benchmarks."""
@@ -100,6 +112,12 @@ class RunnerConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.trace_sample < 1:
+            raise ValueError(f"trace_sample must be >= 1, got {self.trace_sample}")
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
         if self.evict_interval is not None and self.evict_interval <= 0:
             raise ValueError(
                 f"evict_interval must be positive, got {self.evict_interval}"

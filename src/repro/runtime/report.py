@@ -29,7 +29,7 @@ import json
 from dataclasses import dataclass, field
 
 from ..core import Alert, CountMinSketch, EngineStats
-from ..telemetry import TelemetryRegistry
+from ..telemetry import TelemetryRegistry, merge_trace_snapshots, stage_profile
 
 __all__ = [
     "DegradedInterval",
@@ -118,6 +118,12 @@ class ShardReport:
     """This shard's anomaly count-min sketch snapshot (sketch state
     backend only).  Attached by ``finish()``, never by a delta flush --
     like the telemetry registry, it is too heavy to ship per flush."""
+
+    trace: dict | None = None
+    """This shard tracer's span-ring snapshot (None when tracing is
+    off).  Unlike telemetry and the sketch, the ring is bounded, so it
+    *is* shipped with every delta flush -- which is what lets a crashed
+    generation's spans be salvaged from its last delta."""
 
     @property
     def busy_seconds(self) -> float:
@@ -256,6 +262,16 @@ class RuntimeReport:
     registry: TelemetryRegistry | None = None
     """The live merged registry behind :attr:`telemetry`, for exporters
     (:func:`repro.telemetry.write_telemetry`) and further merging."""
+
+    trace: dict | None = None
+    """Merged flight-recorder snapshot: every shard's (and salvaged
+    generation's) spans re-sorted by (ts, shard, gen, seq).  Outside
+    :meth:`digest`, like telemetry and the sketch -- tracing must never
+    change what a run *detects*."""
+
+    profile: dict | None = None
+    """Stage self-profile (p50/p90/p99/max per stage + slowest flows),
+    computed from the merged registry; None when telemetry was off."""
 
     @property
     def packets(self) -> int:
@@ -425,4 +441,9 @@ def merge_shard_reports(
         ).set(workers)
         report.registry = merged
         report.telemetry = merged.snapshot()
+        report.profile = stage_profile(merged)
+
+    traces = [s.trace for s in report.shards if s.trace]
+    if traces:
+        report.trace = merge_trace_snapshots(*traces)
     return report

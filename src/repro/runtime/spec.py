@@ -39,7 +39,11 @@ class EngineSpec:
     slow_capacity_flows: int | None = None
     ensemble_policies: tuple[OverlapPolicy, ...] = field(default_factory=tuple)
 
-    def build(self, telemetry: object | None = None) -> SplitDetectIPS:
+    def build(
+        self,
+        telemetry: object | None = None,
+        tracer: object | None = None,
+    ) -> SplitDetectIPS:
         """Construct a fresh engine (one per shard, never shared)."""
         return SplitDetectIPS(
             self.rules,
@@ -51,4 +55,5 @@ class EngineSpec:
             slow_capacity_flows=self.slow_capacity_flows,
             ensemble_policies=self.ensemble_policies,
             telemetry=telemetry,
+            tracer=tracer,
         )

@@ -40,7 +40,7 @@ from typing import Any
 from ..core import Alert
 from ..packet import TimedPacket
 from ..packet.errors import PacketError
-from ..telemetry import TelemetryRegistry
+from ..telemetry import FlowTracer, TelemetryRegistry
 from .config import RunnerConfig
 from .faults import FaultInjector
 from .quarantine import Quarantine
@@ -69,7 +69,20 @@ class ShardProcessor:
         self.generation = generation
         self.config = config
         self.telemetry = TelemetryRegistry() if config.telemetry else None
-        self.engine = spec.build(telemetry=self.telemetry)
+        # Shard + generation stamp every span, so salvaged traces from a
+        # crashed generation stay attributable after the merge.
+        self.tracer: FlowTracer | None = (
+            FlowTracer(
+                capacity=config.trace_capacity,
+                sample=config.trace_sample,
+                shard=shard,
+                generation=generation,
+            )
+            if config.trace
+            else None
+        )
+        self._trace_enabled = self.tracer is not None
+        self.engine = spec.build(telemetry=self.telemetry, tracer=self.tracer)
         self.alerts: list[Alert] = []
         self.quarantine = Quarantine()
         self.injector: FaultInjector | None = None
@@ -114,6 +127,14 @@ class ShardProcessor:
                 self.injector.before_batch(self.packets_seen - len(batch), batch)
             except PacketError as exc:
                 self.quarantine.add(exc, packets=len(batch))
+                if self._trace_enabled and self.tracer is not None:
+                    self.tracer.record_system(
+                        "runtime",
+                        "quarantine",
+                        ts=batch[-1].timestamp,
+                        cause=type(exc).__name__,
+                        packets=len(batch),
+                    )
                 return
         # CPU time, not wall time: on a host with fewer cores than
         # workers the wall clock counts time spent scheduled out, which
@@ -131,6 +152,14 @@ class ShardProcessor:
             # would double-process flow state.
             examined = self.engine.stats.packets_total - examined_before
             self.quarantine.add(exc, packets=len(batch) - examined)
+            if self._trace_enabled and self.tracer is not None:
+                self.tracer.record_system(
+                    "runtime",
+                    "quarantine",
+                    ts=batch[-1].timestamp,
+                    cause=type(exc).__name__,
+                    packets=len(batch) - examined,
+                )
         self.batches += 1
         interval = self.config.evict_interval
         if interval is not None:
@@ -182,6 +211,10 @@ class ShardProcessor:
             batches=self.batches,
             busy_ns=self.busy_ns,
             quarantined=dict(self.quarantine.counts),
+            # The span ring is bounded, so shipping a snapshot with every
+            # delta stays cheap -- and it is exactly what lets a crashed
+            # generation's traces be salvaged from its last flush.
+            trace=self.tracer.snapshot() if self.tracer is not None else None,
         )
 
     def flush_delta(self) -> ShardDelta:

@@ -17,6 +17,14 @@ naming scheme and how the exported series map to the paper's claims.
 """
 
 from .export import summarize, to_json, to_prometheus, write_telemetry
+from .profile import (
+    PROFILE_QUANTILES,
+    SLOW_FLOW_GAUGE,
+    STAGE_HISTOGRAM,
+    StageProfiler,
+    histogram_quantile,
+    stage_profile,
+)
 from .registry import (
     GAUGE_MERGE_MODES,
     JOURNAL_CAPACITY,
@@ -31,22 +39,47 @@ from .registry import (
     TelemetryRegistry,
     merge_snapshots,
 )
+from .serve import TelemetryPublisher, TelemetryServer
+from .trace import (
+    NULL_TRACER,
+    TRACE_CAPACITY,
+    FlowTracer,
+    NullTracer,
+    merge_trace_snapshots,
+    span_sort_key,
+    trace_id_of,
+)
 
 __all__ = [
     "Counter",
     "EventJournal",
+    "FlowTracer",
     "GAUGE_MERGE_MODES",
     "Gauge",
     "Histogram",
     "JOURNAL_CAPACITY",
     "LATENCY_NS_BUCKETS",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
+    "PROFILE_QUANTILES",
     "SIZE_BYTES_BUCKETS",
+    "SLOW_FLOW_GAUGE",
+    "STAGE_HISTOGRAM",
+    "StageProfiler",
+    "TRACE_CAPACITY",
+    "TelemetryPublisher",
     "TelemetryRegistry",
+    "TelemetryServer",
+    "histogram_quantile",
     "merge_snapshots",
+    "merge_trace_snapshots",
+    "span_sort_key",
+    "stage_profile",
     "summarize",
     "to_json",
     "to_prometheus",
+    "trace_id_of",
     "write_telemetry",
 ]

@@ -12,12 +12,21 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .profile import stage_profile
 from .registry import Counter, Gauge, Histogram, NullRegistry, TelemetryRegistry
 
 
 def to_json(registry: TelemetryRegistry | NullRegistry, *, indent: int | None = 2) -> str:
-    """The registry snapshot as a JSON document."""
-    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+    """The registry snapshot as a JSON document.
+
+    When the registry holds stage-latency data, a derived ``profile``
+    section (p50/p90/p99/max per stage + slowest flows) rides along.
+    """
+    snapshot = registry.snapshot()
+    profile = stage_profile(registry)
+    if profile:
+        snapshot["profile"] = profile
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
 
 
 def _format_value(value: float) -> str:
@@ -77,6 +86,23 @@ def to_prometheus(registry: TelemetryRegistry | NullRegistry) -> str:
                 lines.append(
                     f"{metric.name}_count{_label_text(labels)} {child.count}"
                 )
+    # The journal has no Prometheus event type, but its ring accounting
+    # does: without these counters a silently overflowing journal looks
+    # healthy on /metrics (``len + dropped == recorded``).
+    journal = getattr(registry, "journal", None)
+    if registry.enabled and journal is not None:
+        lines.append(
+            "# HELP repro_telemetry_journal_recorded_total "
+            "Structured events recorded by the registry's event journal"
+        )
+        lines.append("# TYPE repro_telemetry_journal_recorded_total counter")
+        lines.append(f"repro_telemetry_journal_recorded_total {journal.recorded}")
+        lines.append(
+            "# HELP repro_telemetry_journal_dropped_total "
+            "Journal events lost to ring overflow (oldest dropped first)"
+        )
+        lines.append("# TYPE repro_telemetry_journal_dropped_total counter")
+        lines.append(f"repro_telemetry_journal_dropped_total {journal.dropped}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,179 @@
+"""Self-profiling: stage latency quantiles + top-N slowest flows.
+
+The engine already feeds per-stage wall-clock latencies into the
+``repro_engine_stage_latency_ns`` histogram (PR 2).  This module turns
+that raw material into the operator-facing profile section the ROADMAP's
+live-service item asks for:
+
+- :func:`histogram_quantile` interpolates p50/p99/... from a fixed-edge
+  histogram child's cumulative counts (the standard Prometheus
+  ``histogram_quantile`` estimator: linear within the bucket);
+- :class:`StageProfiler` keeps the N slowest (stage, flow, duration)
+  samples seen by one engine -- a bounded min-heap fed from the timing
+  deltas the engine already computes when telemetry is on, published
+  into the registry as the ``repro_profile_slow_flow_ns`` gauge at
+  refresh time so it merges across shards for free;
+- :func:`stage_profile` assembles the JSON-safe profile dict embedded
+  in ``RunReport.profile`` / ``RuntimeReport.profile`` and rendered by
+  both exporters.
+
+Everything here runs per snapshot/refresh, never per packet; the only
+per-packet cost is :meth:`StageProfiler.note`'s single comparison
+against the current N-th slowest duration, and that only when telemetry
+is already enabled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from .registry import Histogram, _HistogramChild
+
+__all__ = [
+    "PROFILE_QUANTILES",
+    "SLOW_FLOW_GAUGE",
+    "STAGE_HISTOGRAM",
+    "StageProfiler",
+    "histogram_quantile",
+    "stage_profile",
+]
+
+#: The engine histogram the profile reads (declared in core/engine.py).
+STAGE_HISTOGRAM = "repro_engine_stage_latency_ns"
+
+#: The gauge shards publish their slowest flows through (merge="max"
+#: keeps the larger duration if two generations report the same flow).
+SLOW_FLOW_GAUGE = "repro_profile_slow_flow_ns"
+
+#: Quantiles the profile section reports, worst-case last.
+PROFILE_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def histogram_quantile(
+    edges: tuple[float, ...] | list[float],
+    cumulative: list[int],
+    quantile: float,
+) -> float:
+    """Estimate a quantile from cumulative fixed-edge bucket counts.
+
+    ``cumulative`` has one entry per edge plus the +Inf slot.  Linear
+    interpolation within the containing bucket (the Prometheus
+    ``histogram_quantile`` estimator); values in the +Inf bucket clamp
+    to the last finite edge, so the estimate is a lower bound there.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    total = cumulative[-1] if cumulative else 0
+    if total == 0:
+        return 0.0
+    rank = quantile * total
+    previous = 0
+    lower = 0.0
+    for edge, count in zip(edges, cumulative):
+        if count >= rank:
+            in_bucket = count - previous
+            if in_bucket == 0:
+                return float(edge)
+            fraction = (rank - previous) / in_bucket
+            return lower + (float(edge) - lower) * fraction
+        previous = count
+        lower = float(edge)
+    return float(edges[-1]) if edges else 0.0
+
+
+def _child_profile(edges: tuple[float, ...], child: _HistogramChild) -> dict[str, Any]:
+    cumulative = child.cumulative()
+    out: dict[str, Any] = {
+        "count": child.count,
+        "mean_ns": child.sum / child.count if child.count else 0.0,
+    }
+    for quantile in PROFILE_QUANTILES:
+        key = f"p{int(quantile * 100)}_ns"
+        out[key] = histogram_quantile(edges, cumulative, quantile)
+    # "max": the upper edge of the highest occupied bucket (a bound, not
+    # an exact sample -- the histogram never stores raw values).
+    occupied = 0.0
+    previous = 0
+    for index, count in enumerate(cumulative):
+        if count > previous:
+            occupied = float(edges[index]) if index < len(edges) else float(edges[-1])
+        previous = count
+    out["max_le_ns"] = occupied
+    return out
+
+
+class StageProfiler:
+    """Top-N slowest (flow, duration) samples per stage, bounded heaps."""
+
+    def __init__(self, top_n: int = 5) -> None:
+        if top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        self.top_n = top_n
+        # stage -> min-heap of (dur_ns, flow_str); heap[0] is the bar a
+        # new sample must clear, so the common case is one comparison.
+        self._heaps: dict[str, list[tuple[int, str]]] = {}
+
+    def note(self, stage: str, flow: str, dur_ns: int) -> None:
+        """Offer one timing sample (call only when telemetry is on)."""
+        heap = self._heaps.get(stage)
+        if heap is None:
+            heap = []
+            self._heaps[stage] = heap
+        if len(heap) < self.top_n:
+            heapq.heappush(heap, (dur_ns, flow))
+        elif dur_ns > heap[0][0]:
+            heapq.heapreplace(heap, (dur_ns, flow))
+
+    def publish(self, registry: Any) -> None:
+        """Write the current top-N sets into :data:`SLOW_FLOW_GAUGE`.
+
+        Called from ``refresh_telemetry`` (snapshot time, not per
+        packet).  Children accumulate: a flow displaced from the top-N
+        keeps its last published duration, which cannot change the
+        final selection -- every current member's duration is >= every
+        displaced member's.
+        """
+        gauge = registry.gauge(
+            SLOW_FLOW_GAUGE,
+            "Slowest per-flow stage latencies sampled by the engine "
+            "(top-N per stage; merges across shards by max)",
+            ("stage", "flow"),
+            merge="max",
+        )
+        for stage in sorted(self._heaps):
+            for dur_ns, flow in self._heaps[stage]:
+                gauge.labels(stage=stage, flow=flow).set(dur_ns)
+
+
+def stage_profile(registry: Any, *, top_n: int = 5) -> dict[str, Any] | None:
+    """The profile section: per-stage quantiles + slowest flows.
+
+    Reads only registry state (:data:`STAGE_HISTOGRAM` and
+    :data:`SLOW_FLOW_GAUGE`), so it works identically on a live
+    single-engine registry and on the runtime's merged registry.
+    Returns ``None`` when the registry has no stage data (telemetry off
+    or a run that never processed a packet).
+    """
+    histogram = registry.get(STAGE_HISTOGRAM)
+    if not isinstance(histogram, Histogram):
+        return None
+    stages: dict[str, Any] = {}
+    for labels, child in histogram.samples():
+        if child.count:
+            stages[labels["stage"]] = _child_profile(histogram.edges, child)
+    if not stages:
+        return None
+    profile: dict[str, Any] = {"stages": stages}
+    gauge = registry.get(SLOW_FLOW_GAUGE)
+    if gauge is not None and not isinstance(gauge, Histogram):
+        slowest: dict[str, list[dict[str, Any]]] = {}
+        for labels, value in gauge.samples():
+            slowest.setdefault(labels["stage"], []).append(
+                {"flow": labels["flow"], "dur_ns": value}
+            )
+        for stage in slowest:
+            slowest[stage].sort(key=lambda entry: (-entry["dur_ns"], entry["flow"]))
+            del slowest[stage][top_n:]
+        profile["slowest_flows"] = slowest
+    return profile

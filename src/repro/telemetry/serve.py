@@ -1,0 +1,193 @@
+"""Live telemetry endpoint: /metrics, /healthz, /traces over stdlib HTTP.
+
+The ROADMAP's live-service item needs the Prometheus telemetry exposed
+on an HTTP endpoint; this module is that endpoint, dependency-free
+(``http.server``) and cheap enough to run beside any CLI invocation via
+``splitdetect run ... --serve-telemetry PORT``.
+
+The server never touches engine internals directly: it reads a
+:class:`TelemetryPublisher`, a tiny mutable holder the run loop updates
+(single-process runs point it at the live registry and tracer; sharded
+runs publish the merged registry and trace snapshot when the merge
+completes).  Handlers run on daemon threads, so a hung scrape can never
+stall packet processing, and every response is computed fresh per
+request -- ``/metrics`` is the same text :func:`to_prometheus` writes
+to ``--telemetry-out``, plus the profile quantile series.
+
+Endpoint contract (see DESIGN.md "Tracing & live observability"):
+
+- ``GET /metrics``  -> ``text/plain`` Prometheus exposition of the
+  current registry (404-free even before the run starts: an empty
+  registry exposes zero series);
+- ``GET /healthz``  -> ``application/json`` ``{"status": "ok", ...}``
+  with packet/alert progress counters;
+- ``GET /traces``   -> ``application/json`` span list (the flight
+  recorder's current ring), filterable with ``?trace=<hex id>`` or
+  ``?flow=<substring>``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from .export import to_prometheus
+from .profile import stage_profile
+from .registry import NULL_REGISTRY
+
+__all__ = ["TelemetryPublisher", "TelemetryServer"]
+
+
+class TelemetryPublisher:
+    """Mutable bridge between a running pipeline and the HTTP server.
+
+    The run loop owns it and may swap ``registry`` / ``trace_snapshot``
+    / ``health`` at any time (assignment is atomic under the GIL); the
+    server only ever reads.  ``refresh`` is an optional callable the
+    server invokes before serving ``/metrics`` so point-in-time gauges
+    are sampled at scrape time (single-process runs wire it to
+    ``engine.refresh_telemetry``).
+    """
+
+    def __init__(self) -> None:
+        self.registry: Any = NULL_REGISTRY
+        self.trace_snapshot: dict[str, Any] = {}
+        self.health: dict[str, Any] = {"status": "starting"}
+        self.refresh: Any = None
+
+    def metrics_text(self) -> str:
+        refresh = self.refresh
+        if refresh is not None:
+            refresh()
+        registry = self.registry
+        text = to_prometheus(registry)
+        profile = stage_profile(registry)
+        if profile:
+            lines = [
+                "# HELP repro_profile_stage_latency_ns Stage latency quantiles "
+                "estimated from the stage histogram",
+                "# TYPE repro_profile_stage_latency_ns gauge",
+            ]
+            for stage in sorted(profile["stages"]):
+                entry = profile["stages"][stage]
+                for key in sorted(entry):
+                    if key.startswith("p") and key.endswith("_ns"):
+                        quantile = key[1:-3]
+                        lines.append(
+                            f'repro_profile_stage_latency_ns{{stage="{stage}",'
+                            f'quantile="0.{quantile}"}} {entry[key]:.1f}'
+                        )
+            text += "\n".join(lines) + "\n"
+        return text
+
+    def spans(self, trace: str | None, flow: str | None) -> list[dict[str, Any]]:
+        spans = self.trace_snapshot.get("spans", [])
+        if trace:
+            wanted = trace.lower().lstrip("0x")
+            spans = [s for s in spans if s.get("trace", "").lstrip("0") == wanted.lstrip("0")]
+        if flow:
+            spans = [s for s in spans if flow in s.get("flow", "")]
+        return spans
+
+
+class _Handler(BaseHTTPRequestHandler):
+    publisher: TelemetryPublisher  # set by TelemetryServer per-class
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes must not spam the run's stdout
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        publisher = self.publisher
+        try:
+            if parsed.path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    publisher.metrics_text().encode("utf-8"),
+                )
+            elif parsed.path == "/healthz":
+                self._send(
+                    200,
+                    "application/json",
+                    (json.dumps(publisher.health, sort_keys=True) + "\n").encode(),
+                )
+            elif parsed.path == "/traces":
+                query = parse_qs(parsed.query)
+                spans = publisher.spans(
+                    query.get("trace", [None])[0], query.get("flow", [None])[0]
+                )
+                snapshot = publisher.trace_snapshot
+                body = json.dumps(
+                    {
+                        "recorded": snapshot.get("recorded", 0),
+                        "dropped": snapshot.get("dropped", 0),
+                        "sample": snapshot.get("sample", 1),
+                        "spans": spans,
+                    },
+                    sort_keys=True,
+                )
+                self._send(200, "application/json", (body + "\n").encode())
+            else:
+                self._send(404, "text/plain", b"not found\n")
+        except BrokenPipeError:
+            pass  # scraper went away mid-response; nothing to clean up
+
+
+class TelemetryServer:
+    """A daemon-threaded HTTP server around one :class:`TelemetryPublisher`."""
+
+    def __init__(
+        self,
+        publisher: TelemetryPublisher,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.publisher = publisher
+        handler = type("_BoundHandler", (_Handler,), {"publisher": publisher})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="telemetry-serve",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

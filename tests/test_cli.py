@@ -115,7 +115,10 @@ class TestTelemetryFlags:
         assert main(["run", str(attack_pcap), "--telemetry-out", str(out)]) == 0
         assert "telemetry (json) written" in capsys.readouterr().out
         snapshot = json.loads(out.read_text())
-        assert set(snapshot) == {"counters", "gauges", "histograms", "journal"}
+        assert set(snapshot) == {
+            "counters", "gauges", "histograms", "journal", "profile",
+        }
+        assert "fast_path" in snapshot["profile"]["stages"]
         # The acceptance-criteria series are all present.
         stages = {
             sample["labels"]["stage"]
@@ -169,6 +172,127 @@ class TestTelemetryFlags:
             build_parser().parse_args(
                 ["run", str(attack_pcap), "--telemetry-format", "xml"]
             )
+
+
+class TestTraceFlags:
+    @pytest.fixture
+    def attack_pcap(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        main(["generate", str(path), "--flows", "6", "--attack", "tcp_seg_8"])
+        capsys.readouterr()
+        return path
+
+    def test_trace_out_writes_jsonl(self, attack_pcap, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["run", str(attack_pcap), "--trace-out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "spans written" in stdout
+        assert "stage profile" in stdout
+        spans = [json.loads(line) for line in out.read_text().splitlines()]
+        assert spans
+        events = {span["event"] for span in spans}
+        assert {"divert", "confirm"} <= events
+        for span in spans:
+            assert {"trace", "ts", "shard", "gen", "seq",
+                    "stage", "event", "flow"} <= set(span)
+
+    def test_trace_out_parallel(self, attack_pcap, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["run", str(attack_pcap), "--trace-out", str(out),
+                     "--workers", "2"])
+        assert code == 0
+        spans = [json.loads(line) for line in out.read_text().splitlines()]
+        assert "divert" in {span["event"] for span in spans}
+
+    def test_trace_needs_split_engine(self, attack_pcap, tmp_path, capsys):
+        code = main(["run", str(attack_pcap), "--engine", "naive",
+                     "--trace-out", str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "split engine" in capsys.readouterr().err
+
+    def test_serve_conflicts_with_no_telemetry(self, attack_pcap, capsys):
+        code = main(["run", str(attack_pcap), "--no-telemetry",
+                     "--serve-telemetry", "0"])
+        assert code == 2
+        assert "drop --no-telemetry" in capsys.readouterr().err
+
+    def test_serve_telemetry_announces_endpoint(self, attack_pcap, capsys):
+        assert main(["run", str(attack_pcap), "--serve-telemetry", "0"]) == 0
+        assert "telemetry endpoint: http://127.0.0.1:" in capsys.readouterr().out
+
+    def test_trace_sample_validation(self, attack_pcap):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(attack_pcap), "--trace-sample", "0"]
+            )
+
+
+class TestExplainCommand:
+    @pytest.fixture
+    def trace_dump(self, tmp_path, capsys):
+        pcap = tmp_path / "t.pcap"
+        main(["generate", str(pcap), "--flows", "6", "--attack", "tcp_seg_8"])
+        out = tmp_path / "trace.jsonl"
+        assert main(["run", str(pcap), "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_lists_traces_without_selector(self, trace_dump, capsys):
+        assert main(["explain", str(trace_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "traces in" in out
+        assert "spans=" in out
+
+    def test_flow_selector_reconstructs_timeline(self, trace_dump, capsys):
+        assert main(["explain", str(trace_dump), "10.250.0"]) == 0
+        out = capsys.readouterr().out
+        assert "divert" in out
+        assert "confirm" in out
+        # Timeline lines are time-ordered.
+        times = [
+            float(line.split("t=")[1].split()[0])
+            for line in out.splitlines() if "t=" in line
+        ]
+        assert times == sorted(times)
+
+    def test_trace_id_prefix_selector(self, trace_dump, capsys):
+        first = json.loads(trace_dump.read_text().splitlines()[0])
+        assert main(["explain", str(trace_dump), first["trace"][:8]]) == 0
+        assert first["trace"] in capsys.readouterr().out
+
+    def test_no_match_exits_one(self, trace_dump, capsys):
+        assert main(["explain", str(trace_dump), "no-such-flow"]) == 1
+        assert "no spans match" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parallel_timeline_matches_serial(self, tmp_path, capsys):
+        """The acceptance criterion: explain over a 4-worker run's dump
+        reconstructs the same divert->confirm timeline as the serial
+        single-process dump (modulo the shard column)."""
+        pcap = tmp_path / "t.pcap"
+        main(["generate", str(pcap), "--flows", "6", "--attack", "tcp_seg_8"])
+        serial_out = tmp_path / "serial.jsonl"
+        parallel_out = tmp_path / "parallel.jsonl"
+        assert main(["run", str(pcap), "--trace-out", str(serial_out)]) == 0
+        assert main(["run", str(pcap), "--trace-out", str(parallel_out),
+                     "--workers", "4"]) == 0
+        capsys.readouterr()
+        assert main(["explain", str(serial_out), "10.250.0"]) == 0
+        serial_text = capsys.readouterr().out
+        assert main(["explain", str(parallel_out), "10.250.0"]) == 0
+        parallel_text = capsys.readouterr().out
+
+        def timeline(text):
+            return [
+                (line.split("[", 1)[1],)  # stage] event fields...
+                for line in text.splitlines() if "t=" in line
+            ]
+
+        assert "divert" in serial_text
+        assert timeline(serial_text) == timeline(parallel_text)
 
 
 class TestRulesCommand:

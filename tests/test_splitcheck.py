@@ -561,6 +561,137 @@ class TestSD106:
 
 
 # ---------------------------------------------------------------------------
+# SD107: trace/journal emission guard
+# ---------------------------------------------------------------------------
+
+
+class TestSD107:
+    def test_unguarded_tracer_record_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/engine.py",
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self.tracer.record(pkt.flow, 'fast', 'anomaly', pkt.ts)\n",
+            select="SD107",
+        )
+        assert rule_ids(findings) == {"SD107"}
+        assert findings[0].line == 3
+
+    def test_unguarded_record_system_flags(self, tmp_path):
+        # SD101's instrument set deliberately omits record_system; SD107
+        # must cover it or system spans dodge the guard discipline.
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class W:\n"
+            "    def drain(self, batch):\n"
+            "        self.tracer.record_system('runtime', 'quarantine')\n",
+            select="SD107",
+        )
+        assert rule_ids(findings) == {"SD107"}
+
+    def test_unguarded_journal_event_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class W:\n"
+            "    def drain(self, batch):\n"
+            "        self.registry.journal.event('divert', flow='x')\n",
+            select="SD107",
+        )
+        assert rule_ids(findings) == {"SD107"}
+
+    def test_trace_enabled_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/fastpath.py",
+            "class F:\n"
+            "    def track(self, pkt):\n"
+            "        if self._trace_enabled:\n"
+            "            self.tracer.record(pkt.flow, 'fast', 'anomaly', pkt.ts)\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_early_return_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class W:\n"
+            "    def drain(self, batch):\n"
+            "        if not self._trace_enabled:\n"
+            "            return\n"
+            "        self.tracer.record_system('runtime', 'quarantine')\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_tracer_enabled_attribute_guard_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/slowpath.py",
+            "class S:\n"
+            "    def process(self, pkt):\n"
+            "        if self.tracer.enabled:\n"
+            "            self.tracer.record(pkt.flow, 'slow', 'reassemble', pkt.ts)\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_non_tracer_record_not_flagged(self, tmp_path):
+        # Near miss: a .record() on something that is not a tracer or
+        # journal (e.g. the fast path's anomaly monitor) is SD101's
+        # business, not SD107's.
+        findings = run_rules(
+            tmp_path,
+            "core/fastpath.py",
+            "class F:\n"
+            "    def track(self, pkt):\n"
+            "        self.monitor.record(pkt.seq)\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_tracer_construction_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class W:\n"
+            "    def __init__(self, tracer):\n"
+            "        self.tracer = tracer\n"
+            "        self.tracer.record_system('runtime', 'start')\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_null_tracer_class_record_exempt(self, tmp_path):
+        # The tracer's own record() definition is not a call site.
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class NullTracer:\n"
+            "    def record(self, flow, stage, event, ts):\n"
+            "        pass\n",
+            select="SD107",
+        )
+        assert findings == []
+
+    def test_covers_runtime_unlike_sd101(self, tmp_path):
+        # SD101's default paths stop at core/match/streams; the worker
+        # loop's emissions are exactly what SD107 adds.
+        findings = run_rules(
+            tmp_path,
+            "runtime/worker.py",
+            "class W:\n"
+            "    def drain(self, batch):\n"
+            "        self.tracer.record(batch.flow, 'runtime', 'drain', 0.0)\n",
+        )
+        assert "SD107" in rule_ids(findings)
+        assert "SD101" not in rule_ids(findings)
+
+
+# ---------------------------------------------------------------------------
 # Framework: pragmas, baseline, config, CLI
 # ---------------------------------------------------------------------------
 
@@ -737,6 +868,7 @@ class TestFramework:
             "SD104",
             "SD105",
             "SD106",
+            "SD107",
         }
 
 

@@ -1,0 +1,351 @@
+"""Service soak gate -- ``serve`` must hold a sustained socket load.
+
+Three phases over one mixed workload (benign background + catalog
+attacks):
+
+1. **reference**: drive the workload through a bare
+   :class:`~repro.runtime.worker.ShardProcessor` (batch mode) and
+   through the full :class:`~repro.service.SplitDetectService` replay
+   pipeline, both flat out, recording the packets/second ``serve`` can
+   absorb and both fast-path stage p99s;
+2. **soak**: run the service on a real loopback
+   :class:`~repro.service.SocketSource` while a paced producer process
+   streams framed records at **0.5x the measured capacity** for
+   ``SERVE_SOAK_SECONDS`` (default 60; CI sets a short duration);
+3. **gates**: at half capacity the service must shed **zero** packets
+   and lose zero records to ingest overflow, the loss accounting
+   identity must close, every attack signature in the workload must
+   alert, and the serve-pipeline fast-path stage p99 must stay within
+   **1.3x** of the batch-mode reference (service plumbing -- record
+   decode, tenancy, shed checks, loop overhead -- must not leak into
+   per-packet latency).  The under-load soak p99 is *reported* but not
+   gated: on 1-2 core hosts it measures scheduler preemption by the
+   producer process, not service overhead.
+
+The machine-readable results land in ``BENCH_serve.json`` at the repo
+root.  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_soak.py
+    SERVE_SOAK_SECONDS=10 PYTHONPATH=src python benchmarks/bench_serve_soak.py
+"""
+
+import itertools
+import json
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import socket
+import sys
+import time
+from pathlib import Path
+
+from exp_common import (
+    ATTACK_OFFSET,
+    ATTACK_SIGNATURE,
+    benign_trace,
+    emit,
+    gauntlet_payload,
+    gauntlet_ruleset,
+)
+from repro.evasion import build_attack
+from repro.runtime import EngineSpec, RunnerConfig, ShardProcessor
+from repro.service import (
+    FRAME_MAGIC,
+    DEFAULT_TENANT,
+    ServiceConfig,
+    SocketSource,
+    SplitDetectService,
+    TenantTable,
+    encode_record,
+)
+from repro.signatures import SplitPolicy
+from repro.telemetry import stage_profile
+from repro.traffic import inject_attacks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BATCH_SIZE = 256
+TRACE_FLOWS = 120
+INGEST_BUFFER = 8192
+#: The soak drives the producer at this fraction of measured capacity;
+#: the shed gate (zero sheds) is only meaningful below the shed onset.
+LOAD_FRACTION = 0.5
+#: Serve-side fast-path p99 budget relative to batch mode.
+P99_RATIO_BUDGET = 1.3
+#: Records per pacing tick; sleeping per record would cap the rate at
+#: the scheduler granularity, so the producer paces in bursts.  Bigger
+#: bursts also mean fewer producer wakeups stealing the CPU mid-span
+#: on small hosts (CI runners are often 1-2 cores).
+PACE_CHUNK = 256
+
+#: Passes of the workload aggregated into the batch p99 reference; one
+#: 1.2k-packet pass gives a p99 too noisy to gate a ratio on.
+REFERENCE_PASSES = 5
+
+
+def make_spec() -> EngineSpec:
+    return EngineSpec(
+        rules=gauntlet_ruleset(), split_policy=SplitPolicy(piece_length=8)
+    )
+
+
+def workload() -> list:
+    trace = benign_trace(flows=TRACE_FLOWS, seed=2026)
+    span = (ATTACK_OFFSET, len(ATTACK_SIGNATURE))
+    attacks = [
+        build_attack(
+            name,
+            gauntlet_payload(),
+            signature_span=span,
+            src=f"10.77.0.{i + 1}",
+            dst_port=80,
+            seed=i,
+        )
+        for i, name in enumerate(
+            ["tcp_seg_8", "ip_frag_8", "stealth_segments", "tcp_overlap_new"]
+        )
+    ]
+    return inject_attacks(trace, attacks)
+
+
+def batch_p99_reference(trace: list) -> float:
+    """Batch mode's fast-path stage p99 (ns): the latency reference.
+
+    One warmup pass on a throwaway processor (cold caches and lazy
+    imports otherwise land in the tail), then the histogram aggregates
+    :data:`REFERENCE_PASSES` passes so the p99 estimate has thousands
+    of samples behind it, like the soak side's does.
+    """
+    warmup = ShardProcessor(
+        0, make_spec(), RunnerConfig(batch_size=BATCH_SIZE, telemetry=True)
+    )
+    for base in range(0, len(trace), BATCH_SIZE):
+        warmup.feed(trace[base : base + BATCH_SIZE])
+    warmup.finish()
+
+    processor = ShardProcessor(
+        0, make_spec(), RunnerConfig(batch_size=BATCH_SIZE, telemetry=True)
+    )
+    for _ in range(REFERENCE_PASSES):
+        for base in range(0, len(trace), BATCH_SIZE):
+            processor.feed(trace[base : base + BATCH_SIZE])
+    processor.finish()
+    profile = stage_profile(processor.telemetry) or {}
+    return float(
+        profile.get("stages", {}).get("fast_path", {}).get("p99_ns", 0.0)
+    )
+
+
+def measure_serve_pipeline(records: list) -> tuple[float, float]:
+    """The *whole* serve pipeline driven flat out: (pps, fast-path p99 ns).
+
+    Uses a replay run through :class:`SplitDetectService` itself so the
+    measurement includes record decode, tenant routing, shed checks, and
+    loop overhead -- the costs the socket soak actually pays.  A capacity
+    measured on the bare engine would overstate what ``serve`` can
+    absorb and turn the half-capacity soak into an overload test.
+
+    The p99 from this run is what the latency gate compares against
+    batch mode: it isolates the cost of the service plumbing.  (The
+    under-load soak p99 is reported too, but on small CI hosts it is
+    dominated by scheduler preemption from the producer *process* --
+    co-tenancy, not service overhead.)
+    """
+    from repro.service import ReplaySource
+
+    source = ReplaySource(iter(records * REFERENCE_PASSES))
+    table = TenantTable(
+        make_spec(), [], config=RunnerConfig(batch_size=BATCH_SIZE, telemetry=True)
+    )
+    service = SplitDetectService(
+        source,
+        table,
+        config=ServiceConfig(
+            batch_size=BATCH_SIZE, poll_timeout=0.05, shed_enabled=False
+        ),
+    )
+    report = service.run()
+    profile = stage_profile(table.processor(DEFAULT_TENANT).telemetry) or {}
+    p99 = float(
+        profile.get("stages", {}).get("fast_path", {}).get("p99_ns", 0.0)
+    )
+    return report.examined_packets / max(report.wall_seconds, 1e-9), p99
+
+
+def paced_producer(
+    address, records: list, pps: float, duration: float, result_queue
+) -> None:
+    """Stream framed records at ``pps`` for ``duration`` seconds.
+
+    Runs in a *separate process* (like any real producer would): an
+    in-process sender thread shares the GIL with the service loop and
+    contaminates the fast-path latency tail it exists to measure.
+    """
+    sent = 0
+    cycle = itertools.cycle(records)
+    with socket.create_connection(tuple(address)) as sock:
+        sock.sendall(FRAME_MAGIC)
+        started = time.monotonic()
+        deadline = started + duration
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            target = started + sent / pps
+            if target > now:
+                time.sleep(min(target - now, 0.05))
+                continue
+            payload = b"".join(
+                encode_record(ts, data)
+                for ts, data in itertools.islice(cycle, PACE_CHUNK)
+            )
+            sock.sendall(payload)
+            sent += PACE_CHUNK
+        achieved = sent / max(time.monotonic() - started, 1e-9)
+    result_queue.put({"sent": sent, "achieved_pps": achieved})
+
+
+def run_soak(soak_seconds: float | None = None) -> dict:
+    trace = workload()
+    records = [(p.timestamp, p.ip.serialize()) for p in trace]
+    batch_p99 = batch_p99_reference(trace)
+    capacity_pps, serve_p99 = measure_serve_pipeline(records)
+    target_pps = capacity_pps * LOAD_FRACTION
+    duration = soak_seconds or float(os.environ.get("SERVE_SOAK_SECONDS", "60"))
+
+    source = SocketSource(("127.0.0.1", 0), capacity=INGEST_BUFFER)
+    table = TenantTable(
+        make_spec(), [], config=RunnerConfig(batch_size=BATCH_SIZE, telemetry=True)
+    )
+    service = SplitDetectService(
+        source,
+        table,
+        config=ServiceConfig(
+            batch_size=BATCH_SIZE,
+            poll_timeout=0.1,
+            # One grace period past the producer so the tail drains.
+            duration=duration + 2.0,
+        ),
+    )
+    result_queue: mp.Queue = mp.Queue()
+    producer = mp.Process(
+        target=paced_producer,
+        args=(source.address, records, target_pps, duration, result_queue),
+        daemon=True,
+    )
+    producer.start()
+    report = service.run()
+    try:
+        producer_out = result_queue.get(timeout=10.0)
+    except queue_mod.Empty:
+        producer_out = {}
+    producer.join(timeout=5.0)
+    if producer.is_alive():
+        producer.terminate()
+
+    soak_profile = stage_profile(table.processor(DEFAULT_TENANT).telemetry) or {}
+    soak_p99 = float(
+        soak_profile.get("stages", {}).get("fast_path", {}).get("p99_ns", 0.0)
+    )
+    sids = {a.sid for a in report.runtime.alerts if a.sid is not None}
+    return {
+        "workload": {"flows": TRACE_FLOWS, "packets": len(trace)},
+        "host": {"cpu_count": os.cpu_count()},
+        "soak_seconds": duration,
+        "capacity_pps": round(capacity_pps, 1),
+        "target_pps": round(target_pps, 1),
+        "achieved_pps": round(producer_out.get("achieved_pps", 0.0), 1),
+        "sent_records": producer_out.get("sent", 0),
+        "input_records": report.input_records,
+        "examined_packets": report.examined_packets,
+        "shed_packets": report.shed_packets,
+        "quarantined_packets": report.quarantined_packets,
+        "lost_packets": report.lost_packets,
+        "accounting_closed": report.accounting_closed,
+        "shed_level_changes": report.shed["level_changes"],
+        "alert_sids": sorted(sids),
+        "alerts": len(report.runtime.alerts),
+        "batch_fastpath_p99_ns": round(batch_p99, 1),
+        "serve_fastpath_p99_ns": round(serve_p99, 1),
+        "p99_ratio": round(serve_p99 / batch_p99, 3) if batch_p99 else None,
+        # Informational: the soak-side p99 includes preemption by the
+        # producer process, so it is reported but never gated.
+        "soak_fastpath_p99_ns": round(soak_p99, 1),
+        "stop_reason": report.stop_reason,
+    }
+
+
+def check_and_emit(result: dict, capfd=None) -> None:
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    lines = [
+        f"capacity: {result['capacity_pps']:,.0f} pps flat out; soak at "
+        f"{result['target_pps']:,.0f} pps target "
+        f"({result['achieved_pps']:,.0f} achieved) for "
+        f"{result['soak_seconds']:g}s",
+        f"ingest: {result['input_records']:,} records, "
+        f"examined {result['examined_packets']:,}, "
+        f"shed {result['shed_packets']}, lost {result['lost_packets']}, "
+        f"accounting_closed={result['accounting_closed']}",
+        f"fast-path p99: batch {result['batch_fastpath_p99_ns']:,.0f} ns, "
+        f"serve pipeline {result['serve_fastpath_p99_ns']:,.0f} ns "
+        f"(ratio {result['p99_ratio']}, budget {P99_RATIO_BUDGET}x); "
+        f"under load {result['soak_fastpath_p99_ns']:,.0f} ns (reported only)",
+        f"alerts: {result['alerts']} ({len(result['alert_sids'])} distinct sid)",
+    ]
+    emit("serve_soak", lines, capfd)
+
+    # If the producer could not reach the target, the shed gate is
+    # weaker than advertised -- say so rather than pass silently.
+    if result["achieved_pps"] < 0.9 * result["target_pps"]:
+        print(
+            f"note: producer reached only {result['achieved_pps']:,.0f} of "
+            f"{result['target_pps']:,.0f} pps target (loopback-bound); shed "
+            "gate covers the achieved rate",
+            file=sys.stderr,
+        )
+
+    # Gate 1: below 0.5x capacity the service must not shed or lose.
+    assert result["shed_packets"] == 0, (
+        f"shed {result['shed_packets']} packets below half capacity"
+    )
+    assert result["lost_packets"] == 0, (
+        f"lost {result['lost_packets']} records to ingest overflow below "
+        "half capacity"
+    )
+    assert result["accounting_closed"], "loss accounting identity is open"
+    # Gate 2: service plumbing must not leak into fast-path latency.
+    assert result["batch_fastpath_p99_ns"] > 0, "no stage profile recorded"
+    assert result["p99_ratio"] <= P99_RATIO_BUDGET, (
+        f"serve fast-path p99 is {result['p99_ratio']}x batch mode "
+        f"(budget {P99_RATIO_BUDGET}x)"
+    )
+    # Detection sanity: every catalog attack in the workload alerted.
+    assert result["alert_sids"], "soak produced no signature alerts"
+    # The examined stream must be most of what the producer sent (the
+    # final in-flight chunk may still be on the wire at the deadline).
+    assert result["examined_packets"] >= 0.95 * result["sent_records"], (
+        f"examined {result['examined_packets']} of "
+        f"{result['sent_records']} sent"
+    )
+
+
+def test_serve_soak(capfd):
+    """Half-capacity socket soak: zero sheds, zero loss, p99 in budget.
+
+    Emits BENCH_serve.json.  Honours SERVE_SOAK_SECONDS (CI keeps it
+    short; the default standalone soak is 60s)."""
+    check_and_emit(run_soak(), capfd)
+
+
+def main(argv=None) -> int:
+    del argv
+    check_and_emit(run_soak())
+    print("serve soak gate passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent))
+    raise SystemExit(main())

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
-import time
 from pathlib import Path
 
 from .core import (
@@ -50,9 +50,8 @@ from .signatures import (
 from .telemetry import (
     NULL_REGISTRY,
     FlowTracer,
-    TelemetryPublisher,
     TelemetryRegistry,
-    TelemetryServer,
+    TelemetrySession,
     span_sort_key,
     write_telemetry,
 )
@@ -120,31 +119,6 @@ def _write_trace_dump(path: Path, snapshot: dict | None) -> None:
     print(f"trace: {len(spans)} spans written to {path}{note}")
 
 
-def _start_serve(args: argparse.Namespace) -> tuple[TelemetryPublisher, TelemetryServer] | None:
-    """Bring up the live telemetry endpoint when --serve-telemetry is set."""
-    if args.serve_telemetry is None:
-        return None
-    publisher = TelemetryPublisher()
-    server = TelemetryServer(publisher, port=args.serve_telemetry).start()
-    print(f"telemetry endpoint: {server.url} (/metrics /healthz /traces)")
-    return publisher, server
-
-
-def _finish_serve(
-    serve: tuple[TelemetryPublisher, TelemetryServer] | None,
-    hold_seconds: float | None,
-) -> None:
-    """Hold the endpoint open for scrapers, then shut it down."""
-    if serve is None:
-        return
-    publisher, server = serve
-    publisher.health = {**publisher.health, "status": "ok", "finished": True}
-    if hold_seconds is not None and hold_seconds > 0:
-        print(f"holding telemetry endpoint {server.url} for {hold_seconds:g}s")
-        time.sleep(hold_seconds)
-    server.stop()
-
-
 def _print_alerts(alerts: list[Alert], max_alerts: int) -> None:
     print(f"alerts: {len(alerts)}")
     for alert in alerts[:max_alerts]:
@@ -189,28 +163,32 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
         restart_backoff=args.restart_backoff,
         faults=faults,
     )
-    serve = _start_serve(args)
-    runner = ParallelRunner(spec, workers=args.workers, config=config)
-    if serve is not None:
-        serve[0].health = {"status": "running", "mode": "parallel",
-                           "workers": args.workers}
-    # Undecoded records, not parsed packets: the runner's quarantine
-    # owns malformed frames, so a hostile capture cannot kill the run.
-    report = runner.run(read_records(args.pcap))
-    if serve is not None:
-        publisher = serve[0]
-        if report.registry is not None:
-            publisher.registry = report.registry
-        publisher.trace_snapshot = report.trace or {}
-        publisher.health = {
-            "status": "ok",
-            "mode": "parallel",
-            "workers": report.workers,
-            "packets": report.packets,
-            "alerts": len(report.alerts),
-            "diverted_flows": report.diverted_flows,
-            "worker_restarts": report.worker_restarts,
-        }
+    with TelemetrySession(args.serve_telemetry, hold=args.serve_hold) as session:
+        runner = ParallelRunner(spec, workers=args.workers, config=config)
+        session.update_health(status="running", mode="parallel",
+                              workers=args.workers)
+        # Undecoded records, not parsed packets: the runner's quarantine
+        # owns malformed frames, so a hostile capture cannot kill the run.
+        report = runner.run(read_records(args.pcap))
+        session.publish_registry(report.registry)
+        session.publish_trace(report.trace)
+        session.update_health(
+            status="ok",
+            mode="parallel",
+            workers=report.workers,
+            packets=report.packets,
+            alerts=len(report.alerts),
+            diverted_flows=report.diverted_flows,
+            worker_restarts=report.worker_restarts,
+        )
+        _print_parallel_report(args, report)
+    return 0
+
+
+def _print_parallel_report(args: argparse.Namespace, report) -> None:
+    if report.interrupted:
+        print("INTERRUPTED: feed stopped early; workers drained, "
+              "this is a partial report")
     print(
         f"processed {report.packets} packets across {report.workers} shards "
         f"in {report.wall_seconds:.2f}s "
@@ -260,8 +238,6 @@ def _cmd_run_parallel(args: argparse.Namespace, rules: RuleSet) -> int:
         _print_profile(report.profile)
     if args.trace_out is not None:
         _write_trace_dump(args.trace_out, report.trace)
-    _finish_serve(serve, args.serve_hold)
-    return 0
 
 
 def _print_profile(profile: dict) -> None:
@@ -328,44 +304,38 @@ def cmd_run(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             tracer=tracer,
         )
-        serve = _start_serve(args)
-        if serve is not None:
+        with TelemetrySession(args.serve_telemetry, hold=args.serve_hold) as session:
             # Live wiring: a mid-run scrape refreshes the gauges and
             # reads the engine's registry directly.
-            publisher = serve[0]
-            publisher.registry = telemetry
-            publisher.refresh = ips.refresh_telemetry
-            publisher.health = {"status": "running", "mode": "single"}
-        report = run_split_detect(
-            ips,
-            trace,
-            batch_size=args.batch_size,
-            evict_interval=args.evict_interval,
-        )
-        print(f"processed {report.packets} packets")
-        print(f"diverted flows: {report.diverted_flows}  "
-              f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
-        for reason, count in sorted(report.divert_reasons.items()):
-            print(f"  divert[{reason}] = {count}")
-        if report.profile is not None:
-            _print_profile(report.profile)
-        if args.trace_out is not None:
-            _write_trace_dump(args.trace_out, report.trace)
-        if serve is not None:
-            publisher = serve[0]
-            publisher.trace_snapshot = report.trace or {}
-            publisher.health = {
-                "status": "ok",
-                "mode": "single",
-                "packets": report.packets,
-                "alerts": len(report.alerts),
-                "diverted_flows": report.diverted_flows,
-            }
-        print(f"peak state: {report.peak_state_bytes} bytes over "
-              f"{report.peak_flows} flows")
-        _print_alerts(report.alerts, args.max_alerts)
-        _finish_telemetry(args, ips, report)
-        _finish_serve(serve, args.serve_hold)
+            session.publish_registry(telemetry, refresh=ips.refresh_telemetry)
+            session.update_health(status="running", mode="single")
+            report = run_split_detect(
+                ips,
+                trace,
+                batch_size=args.batch_size,
+                evict_interval=args.evict_interval,
+            )
+            print(f"processed {report.packets} packets")
+            print(f"diverted flows: {report.diverted_flows}  "
+                  f"({report.diversion_byte_fraction:.2%} of bytes on slow path)")
+            for reason, count in sorted(report.divert_reasons.items()):
+                print(f"  divert[{reason}] = {count}")
+            if report.profile is not None:
+                _print_profile(report.profile)
+            if args.trace_out is not None:
+                _write_trace_dump(args.trace_out, report.trace)
+            session.publish_trace(report.trace)
+            session.update_health(
+                status="ok",
+                mode="single",
+                packets=report.packets,
+                alerts=len(report.alerts),
+                diverted_flows=report.diverted_flows,
+            )
+            print(f"peak state: {report.peak_state_bytes} bytes over "
+                  f"{report.peak_flows} flows")
+            _print_alerts(report.alerts, args.max_alerts)
+            _finish_telemetry(args, ips, report)
         return 0
     elif args.engine == "conventional":
         ips = ConventionalIPS(rules, telemetry=telemetry)
@@ -386,6 +356,188 @@ def cmd_run(args: argparse.Namespace) -> int:
     _print_alerts(report.alerts, args.max_alerts)
     _finish_telemetry(args, ips, report)
     return 0
+
+
+def _parse_tenant(text: str):
+    """Parse one --tenant NAME=SELECTORS:RULES declaration."""
+    from .service import TenantSpec
+
+    name, sep, rest = text.partition("=")
+    selectors_text, sep2, rules_path = rest.rpartition(":")
+    if not sep or not sep2 or not name or not selectors_text or not rules_path:
+        raise ValueError(
+            f"bad --tenant {text!r}: expected NAME=SELECTOR[,SELECTOR...]:RULES_PATH"
+        )
+    selectors = tuple(s for s in selectors_text.split(",") if s)
+    if not selectors:
+        raise ValueError(f"bad --tenant {text!r}: no selectors")
+    return TenantSpec(
+        name=name,
+        selectors=selectors,
+        rules=load_rules(rules_path),
+        rules_path=rules_path,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Long-lived service mode: ingest, shed, hot-reload, drain."""
+    from .runtime.spec import EngineSpec as _EngineSpec
+    from .service import (
+        ServiceConfig,
+        ShedPolicy,
+        SplitDetectService,
+        TenantTable,
+        open_source,
+    )
+
+    if args.no_telemetry and (
+        args.telemetry_out is not None or args.serve_telemetry is not None
+    ):
+        print("--telemetry-out/--serve-telemetry need instrumentation; "
+              "drop --no-telemetry", file=sys.stderr)
+        return 2
+    rules = _load_ruleset(args.rules)
+    print(f"loaded {len(rules)} signatures (default tenant)")
+    try:
+        tenants = [_parse_tenant(text) for text in args.tenant or []]
+    except (ValueError, OSError) as exc:
+        print(f"bad tenant declaration: {exc}", file=sys.stderr)
+        return 2
+    for spec in tenants:
+        print(f"tenant {spec.name}: {len(spec.rules)} signatures, "
+              f"selectors {', '.join(spec.selectors)}")
+    try:
+        source = open_source(args.source, capacity=args.ingest_buffer)
+    except (ValueError, OSError) as exc:
+        print(f"cannot open source: {exc}", file=sys.stderr)
+        return 2
+    trace_on = args.trace_out is not None or args.serve_telemetry is not None
+    runner_config = RunnerConfig(
+        batch_size=args.batch_size,
+        evict_interval=args.evict_interval,
+        telemetry=not args.no_telemetry,
+        trace=trace_on,
+        trace_sample=args.trace_sample,
+    )
+    engine_spec = _EngineSpec(
+        rules=rules,
+        split_policy=SplitPolicy(piece_length=args.piece_length),
+        fast_config=_fast_config(args),
+    )
+    try:
+        table = TenantTable(
+            engine_spec, tenants, keyer=args.tenant_key, config=runner_config
+        )
+        policy = ShedPolicy(
+            backlog_high=args.shed_high,
+            backlog_low=args.shed_low,
+            p99_budget_ns=args.shed_p99_budget_us * 1000.0,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    service_config = ServiceConfig(
+        batch_size=args.batch_size,
+        poll_timeout=args.poll_timeout,
+        duration=args.duration,
+        max_packets=args.max_packets,
+        shed_policy=policy,
+        shed_enabled=not args.no_shed,
+    )
+    tenant_paths = {spec.name: spec.rules_path for spec in tenants}
+
+    def reload_loader():
+        updated = {"default": _load_ruleset(args.rules)}
+        for name, path in tenant_paths.items():
+            updated[name] = load_rules(path)
+        return updated
+
+    service = SplitDetectService(
+        source, table, config=service_config, reload_loader=reload_loader
+    )
+
+    # Signal contract: SIGHUP reloads, SIGTERM/SIGINT drain cleanly.
+    # Handlers only flip events; the loop does the work on its own
+    # thread, so no engine is ever touched from a handler.
+    previous = {}
+    for signum, handler in (
+        (signal.SIGTERM, lambda *_: service.request_stop("sigterm")),
+        (signal.SIGINT, lambda *_: service.request_stop("sigint")),
+        (getattr(signal, "SIGHUP", None), lambda *_: service.request_reload()),
+    ):
+        if signum is not None:
+            previous[signum] = signal.signal(signum, handler)
+    try:
+        with TelemetrySession(args.serve_telemetry, hold=args.serve_hold) as session:
+            if session.enabled:
+                publisher = session.publisher
+                publisher.source_state = source.state
+                publisher.shed_state = service.shedder.state
+                publisher.tenants_state = table.state
+                publisher.reload_token = args.reload_token
+                if args.reload_token:
+                    publisher.on_reload = service.request_reload
+                    print("reload endpoint: POST /reload "
+                          "(Authorization: Bearer <token>)")
+                from .service import DEFAULT_TENANT
+
+                session.publish_registry(
+                    table.processor(DEFAULT_TENANT).telemetry
+                )
+            session.update_health(
+                status="running", mode="serve", source=args.source,
+                tenants=len(tenants) + 1,
+            )
+            print(f"serving from {args.source} "
+                  f"(tenant key: {args.tenant_key}, "
+                  f"shed: {'off' if args.no_shed else 'on'})")
+            report = service.run()
+            session.publish_registry(report.runtime.registry)
+            session.publish_trace(report.runtime.trace)
+            session.update_health(
+                status="ok",
+                mode="serve",
+                stop_reason=report.stop_reason,
+                packets=report.examined_packets,
+                alerts=len(report.runtime.alerts),
+            )
+            _print_serve_report(args, report)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def _print_serve_report(args: argparse.Namespace, report) -> None:
+    runtime = report.runtime
+    print(f"stopped ({report.stop_reason}) after {report.wall_seconds:.2f}s")
+    print(
+        f"accounting: input={report.input_records} "
+        f"examined={report.examined_packets} shed={report.shed_packets} "
+        f"quarantined={report.quarantined_packets} lost={report.lost_packets} "
+        f"[{'closed' if report.accounting_closed else 'OPEN -- BUG'}]"
+    )
+    if report.reloads:
+        print(f"hot reloads applied: {report.reloads}")
+    if report.shed_packets:
+        print(f"SHED {report.shed_packets} packets under overload "
+              f"({report.shed.get('level_changes', 0)} level changes, "
+              f"{report.shed.get('protected_packets', 0)} protected packets "
+              f"kept)")
+    for name, entry in sorted(report.tenants.get("tenants", {}).items()):
+        print(f"  tenant[{name}]: {entry['packets']} packets, "
+              f"{entry['alerts']} alerts, {entry['diverted_flows']} diverted, "
+              f"rules gen {entry['rules_generation']}")
+    print(f"diverted flows: {runtime.diverted_flows}  "
+          f"({runtime.diversion_byte_fraction:.2%} of bytes on slow path)")
+    _print_alerts(runtime.alerts, args.max_alerts)
+    if runtime.registry is not None and args.telemetry_out is not None:
+        path = write_telemetry(
+            runtime.registry, args.telemetry_out, format=args.telemetry_format
+        )
+        print(f"telemetry ({args.telemetry_format}) written to {path}")
+    if args.trace_out is not None:
+        _write_trace_dump(args.trace_out, runtime.trace)
 
 
 def _load_spans(path: str) -> list[dict]:
@@ -718,6 +870,136 @@ def build_parser() -> argparse.ArgumentParser:
              "stall, slowdown, decode, skew (repeatable; needs --workers)",
     )
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run as a long-lived service: socket/tail/replay ingestion, "
+             "per-tenant rules, adaptive shedding, hot reload",
+    )
+    serve.add_argument(
+        "source",
+        help="ingest spec: replay:PATH (pcap, once), tail:PATH (follow a "
+             "growing pcap), tcp:HOST:PORT or unix:PATH (framed-record "
+             "socket protocol; see DESIGN.md 'Service mode')",
+    )
+    serve.add_argument("--rules", help="default tenant's rules file "
+                       "(default: bundled corpus)")
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME=SELECTORS:RULES",
+        help="add a tenant with its own signature set, e.g. "
+             "'acme=10.1.0.0/16:acme.rules' (repeatable; selectors are "
+             "comma-separated values of --tenant-key)",
+    )
+    serve.add_argument(
+        "--tenant-key",
+        choices=("dst-ip", "src-ip", "dst-port"),
+        default="dst-ip",
+        help="how packets map to tenants (default: dst-ip, fragment-safe)",
+    )
+    serve.add_argument(
+        "--reload-token",
+        metavar="TOKEN",
+        help="enable authenticated POST /reload on the telemetry endpoint "
+             "(SIGHUP always reloads; without a token the HTTP path stays "
+             "disabled)",
+    )
+    serve.add_argument("--piece-length", type=int, default=8)
+    serve.add_argument("--max-alerts", type=int, default=20)
+    serve.add_argument(
+        "--state-backend",
+        choices=("dict", "table", "sketch"),
+        default="dict",
+        help="fast-path flow state backend (see 'run --help')",
+    )
+    serve.add_argument("--batch-size", type=_positive_int, default=256,
+                       help="records per ingest poll and per engine batch")
+    serve.add_argument(
+        "--poll-timeout",
+        type=_positive_float,
+        default=0.25,
+        metavar="SECONDS",
+        help="how long one poll waits for traffic; also the latency bound "
+             "on noticing stop/reload while idle (default: 0.25)",
+    )
+    serve.add_argument(
+        "--ingest-buffer",
+        type=_positive_int,
+        default=4096,
+        metavar="RECORDS",
+        help="bounded socket ingest buffer; its fill fraction drives the "
+             "load shedder (default: 4096)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall time (default: run until signaled)",
+    )
+    serve.add_argument(
+        "--max-packets",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop after ingesting N records (default: unbounded)",
+    )
+    serve.add_argument("--no-shed", action="store_true",
+                       help="disable adaptive load shedding entirely")
+    serve.add_argument(
+        "--shed-high",
+        type=_positive_float,
+        default=0.75,
+        metavar="FRACTION",
+        help="ingest-buffer fill fraction that raises the shed level "
+             "(default: 0.75)",
+    )
+    serve.add_argument(
+        "--shed-low",
+        type=_positive_float,
+        default=0.25,
+        metavar="FRACTION",
+        help="fill fraction below which the shed level may step down "
+             "(default: 0.25)",
+    )
+    serve.add_argument(
+        "--shed-p99-budget-us",
+        type=float,
+        default=0.0,
+        metavar="MICROSECONDS",
+        help="fast-path stage p99 latency budget; exceeding it raises the "
+             "shed level (default: 0 = backlog signal only)",
+    )
+    serve.add_argument(
+        "--evict-interval",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="sweep idle flow state every SECONDS of packet time",
+    )
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="run with the no-op registry")
+    serve.add_argument("--telemetry-out", type=_writable_file, metavar="PATH",
+                       help="write the final telemetry snapshot here")
+    serve.add_argument("--telemetry-format", choices=("json", "prometheus"),
+                       default="json")
+    serve.add_argument("--trace-out", type=_writable_file, metavar="PATH",
+                       help="write the flight-recorder span dump as JSONL")
+    serve.add_argument("--trace-sample", type=_positive_int, default=1,
+                       metavar="N", help="trace 1-in-N flows")
+    serve.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics /healthz /traces /shed /tenants (and POST "
+             "/reload with --reload-token) on this port (0 picks a free one)",
+    )
+    serve.add_argument("--serve-hold", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="keep the endpoint up after the drain")
+    serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("generate", help="synthesize a trace to pcap")
     gen.add_argument("out")

@@ -87,6 +87,11 @@ class SplitDetectIPS:
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace_enabled = self.tracer.enabled
+        self.rules = rules
+        self._split_policy = split_policy
+        self._model = model
+        self.rules_generation = 0
+        """Completed :meth:`swap_rules` reloads (0 = the construction set)."""
         self.split_rules = split_ruleset(rules, split_policy, model)
         self.fast_path = FastPath(
             self.split_rules, fast_config, telemetry=self.telemetry, tracer=self.tracer
@@ -242,6 +247,70 @@ class SplitDetectIPS:
     def is_diverted(self, flow: FlowKey) -> bool:
         """True when the flow is currently on the slow path."""
         return flow.canonical() in self._diverted
+
+    # -- hot reload --------------------------------------------------------
+
+    def swap_rules(
+        self,
+        rules: RuleSet,
+        *,
+        split_policy: SplitPolicy | None = None,
+        model: ByteFrequencyModel | None = None,
+        timestamp: float = 0.0,
+    ) -> None:
+        """Atomically swap the compiled signature set, keeping all flow state.
+
+        The contract the service layer's hot reload depends on:
+
+        - the fast path's per-flow monitor entries (expected seq, idle
+          clocks, sketch counters) survive; only its piece automaton and
+          the small-packet threshold are recompiled;
+        - the slow path's reassembly state survives, and every in-flight
+          diverted flow keeps matching under the matcher set its stream
+          state was created with (automaton state ids are not
+          transferable between compilations) -- new diversions and
+          stateless datagram matching use the new set immediately;
+        - diversion bookkeeping (``_diverted``, probation, refusals) is
+          untouched, so no diverted flow is dropped by a reload.
+
+        Atomic with respect to packets: the engine is driven from one
+        thread (one shard), and callers apply swaps between batches --
+        never mid-:meth:`process_batch`, whose prescan hit lists index
+        the pre-swap entry table.  ``split_policy`` / ``model`` default
+        to the values the engine was constructed with.
+        """
+        if split_policy is not None:
+            self._split_policy = split_policy
+        if model is not None:
+            self._model = model
+        self.rules = rules
+        self.split_rules = split_ruleset(rules, self._split_policy, self._model)
+        self.fast_path.swap_rules(self.split_rules)
+        self.slow_path.swap_rules(self.split_rules)
+        for path in self.ensemble_paths:
+            path.swap_rules(self.split_rules)
+        self.rules_generation += 1
+        if self._tel_on:
+            self.telemetry.counter(
+                "repro_engine_rule_reloads_total",
+                "Hot signature-set swaps absorbed without dropping flow state",
+            ).inc()
+            self.telemetry.journal.record(
+                "engine",
+                "rules_swapped",
+                ts=timestamp,
+                generation=self.rules_generation,
+                signatures=len(rules),
+                diverted_flows=len(self._diverted),
+            )
+        if self._trace_enabled:
+            self.tracer.record_system(
+                "engine",
+                "rules_swapped",
+                ts=timestamp,
+                generation=self.rules_generation,
+                signatures=len(rules),
+            )
 
     # -- packet intake ------------------------------------------------------
 

@@ -159,30 +159,9 @@ class FastPath:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace_enabled = self.tracer.enabled
         self.config = config or FastPathConfig()
-        self.split_rules = split_rules
-        self.threshold = (
-            self.config.threshold_override
-            if self.config.threshold_override is not None
-            else split_rules.small_packet_threshold
-        )
-        # One automaton over every piece, plus (optionally) whole short
-        # signatures; ids map back to their sources.
-        self._entries: list[Piece | Signature] = list(split_rules.all_pieces())
-        if self.config.scan_short_signatures:
-            self._entries.extend(split_rules.unsplittable)
-        if self.config.scan_whole_signatures:
-            self._entries.extend(
-                split_rules.splits[sid].signature for sid in sorted(split_rules.splits)
-            )
-        # UDP signatures are always matched whole (no stream to split).
-        self._entries.extend(split_rules.udp_whole)
-        patterns = [
-            (entry.signature.fold(entry.data), entry.signature.nocase)
-            if isinstance(entry, Piece)
-            else (entry.pattern, entry.nocase)
-            for entry in self._entries
-        ]
-        self.automaton = DualAutomaton(patterns) if patterns else None
+        self.rules_generation = 0
+        """How many :meth:`swap_rules` reloads this path has absorbed."""
+        self._compile(split_rules)
         backend = self.config.state_backend
         if backend == "dict" and self.config.table_buckets is not None:
             backend = "table"  # pre-protocol spelling of the table backend
@@ -255,6 +234,52 @@ class FastPath:
             "Fixed flow-table evictions so far (0 when unbounded)",
             merge="sum",
         )
+
+    def _compile(self, split_rules: SplitRuleSet) -> None:
+        """(Re)build the piece automaton and entry table for a ruleset.
+
+        Called at construction and by :meth:`swap_rules`; touches only
+        the compiled artifacts (entries, automaton, threshold), never the
+        per-flow monitor.
+        """
+        self.split_rules = split_rules
+        self.threshold = (
+            self.config.threshold_override
+            if self.config.threshold_override is not None
+            else split_rules.small_packet_threshold
+        )
+        # One automaton over every piece, plus (optionally) whole short
+        # signatures; ids map back to their sources.
+        self._entries: list[Piece | Signature] = list(split_rules.all_pieces())
+        if self.config.scan_short_signatures:
+            self._entries.extend(split_rules.unsplittable)
+        if self.config.scan_whole_signatures:
+            self._entries.extend(
+                split_rules.splits[sid].signature for sid in sorted(split_rules.splits)
+            )
+        # UDP signatures are always matched whole (no stream to split).
+        self._entries.extend(split_rules.udp_whole)
+        patterns = [
+            (entry.signature.fold(entry.data), entry.signature.nocase)
+            if isinstance(entry, Piece)
+            else (entry.pattern, entry.nocase)
+            for entry in self._entries
+        ]
+        self.automaton = DualAutomaton(patterns) if patterns else None
+
+    def swap_rules(self, split_rules: SplitRuleSet) -> None:
+        """Hot-swap the compiled piece set, keeping the flow monitor.
+
+        Every per-flow monitor entry (expected sequence numbers, idle
+        clocks, sketch counters) survives untouched -- the monitor's
+        anomaly checks are ruleset-independent except for the small-packet
+        threshold B, which is recompiled here.  Must be called between
+        batches: a prescan hit list from :meth:`prescan` indexes into the
+        entry table it was produced against, so callers (the shard
+        processors) apply swaps only at batch boundaries.
+        """
+        self._compile(split_rules)
+        self.rules_generation += 1
 
     # -- accounting ------------------------------------------------------
 

@@ -51,6 +51,68 @@ class _SuffixEntry:
         )
 
 
+@dataclass(frozen=True)
+class _MatcherSet:
+    """One compiled generation of the slow path's matchers.
+
+    Hot reload (:meth:`SlowPath.swap_rules`) replaces the *current* set
+    in one assignment, but every flow whose streaming state was created
+    under an older set keeps a reference to that set: a
+    :class:`~repro.core.matching.StreamMatchState` embeds automaton
+    state ids that only mean something against the automaton that built
+    them, so swapping the matcher under a live stream would corrupt its
+    open prefixes.  In-flight diverted flows therefore finish under the
+    rules they started with; flows diverted after the swap compile-in
+    the new set.  The old set is garbage-collected when its last flow
+    closes.
+    """
+
+    matcher: SignatureMatcher
+    suffixes: tuple[_SuffixEntry, ...]
+    suffix_automaton: DualAutomaton | None
+    max_prefix_len: int
+    generation: int = 0
+
+
+def _compile_matcher_set(split_rules: SplitRuleSet, generation: int = 0) -> _MatcherSet:
+    """Build the full + suffix matchers for one signature-set generation."""
+    signatures = (
+        [split.signature for split in split_rules.splits.values()]
+        + list(split_rules.unsplittable)
+        + list(split_rules.udp_whole)
+    )
+    signatures.sort(key=lambda s: s.sid)
+    suffixes: list[_SuffixEntry] = []
+    for sid in sorted(split_rules.splits):
+        split = split_rules.splits[sid]
+        for piece in split.pieces[1:]:  # j >= 1; j = 0 is the full pattern
+            suffixes.append(
+                _SuffixEntry(
+                    sid=sid,
+                    msg=split.signature.msg,
+                    prefix_len=piece.offset,
+                    pattern=split.signature.pattern[piece.offset :],
+                    dst_port=split.signature.dst_port,
+                    protocol_number=split.signature.protocol_number,
+                )
+            )
+    suffix_sigs = {sid: split_rules.splits[sid].signature for sid in split_rules.splits}
+    suffix_automaton = (
+        DualAutomaton(
+            [(e.pattern, suffix_sigs[e.sid].nocase) for e in suffixes]
+        )
+        if suffixes
+        else None
+    )
+    return _MatcherSet(
+        matcher=SignatureMatcher(signatures),
+        suffixes=tuple(suffixes),
+        suffix_automaton=suffix_automaton,
+        max_prefix_len=max((e.prefix_len for e in suffixes), default=0),
+        generation=generation,
+    )
+
+
 class SlowPath:
     """Conventional reassembly + matching, for diverted flows only."""
 
@@ -66,41 +128,10 @@ class SlowPath:
         self._trace_enabled = self.tracer.enabled
         self.split_rules = split_rules
         self.normalizer = StreamNormalizer(policy=policy)
-        signatures = (
-            [split.signature for split in split_rules.splits.values()]
-            + list(split_rules.unsplittable)
-            + list(split_rules.udp_whole)
-        )
-        signatures.sort(key=lambda s: s.sid)
-        self._signatures = signatures
-        self._matcher = SignatureMatcher(signatures)
-        self._suffixes: list[_SuffixEntry] = []
-        for sid in sorted(split_rules.splits):
-            split = split_rules.splits[sid]
-            for piece in split.pieces[1:]:  # j >= 1; j = 0 is the full pattern
-                self._suffixes.append(
-                    _SuffixEntry(
-                        sid=sid,
-                        msg=split.signature.msg,
-                        prefix_len=piece.offset,
-                        pattern=split.signature.pattern[piece.offset :],
-                        dst_port=split.signature.dst_port,
-                        protocol_number=split.signature.protocol_number,
-                    )
-                )
-        suffix_sigs = {sid: split_rules.splits[sid].signature for sid in split_rules.splits}
-        self._suffix_automaton = (
-            DualAutomaton(
-                [
-                    (e.pattern, suffix_sigs[e.sid].nocase)
-                    for e in self._suffixes
-                ]
-            )
-            if self._suffixes
-            else None
-        )
-        self._max_prefix_len = max((e.prefix_len for e in self._suffixes), default=0)
-        self._matchers: dict[FlowKey, tuple[StreamMatchState, DualStreamMatcher | None]] = {}
+        self._current = _compile_matcher_set(split_rules)
+        self._matchers: dict[
+            FlowKey, tuple[_MatcherSet, StreamMatchState, DualStreamMatcher | None]
+        ] = {}
         self.packets_processed = 0
         self.bytes_normalized = 0
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
@@ -140,9 +171,31 @@ class SlowPath:
         per_matcher = DualStreamMatcher.STATE_BYTES
         matcher_bytes = sum(
             per_matcher * (1 if suffix is None else 2)
-            for _, suffix in self._matchers.values()
+            for _, _, suffix in self._matchers.values()
         )
         return self.normalizer.state_bytes() + matcher_bytes
+
+    @property
+    def rules_generation(self) -> int:
+        """How many :meth:`swap_rules` reloads this path has absorbed."""
+        return self._current.generation
+
+    def swap_rules(self, split_rules: SplitRuleSet) -> None:
+        """Hot-swap the compiled signature set without dropping flow state.
+
+        The new :class:`_MatcherSet` becomes current in one assignment;
+        reassembly state (the normalizer) and every in-flight flow's
+        streaming matcher are untouched.  Flows whose matcher state was
+        created under an older set keep matching under that set until
+        they close -- their stream state is only meaningful against the
+        automata that created it -- while flows arriving after the swap
+        (and all whole-datagram UDP matching, which is stateless per
+        datagram) use the new rules immediately.
+        """
+        self.split_rules = split_rules
+        self._current = _compile_matcher_set(
+            split_rules, generation=self._current.generation + 1
+        )
 
     @property
     def active_flows(self) -> int:
@@ -208,8 +261,12 @@ class SlowPath:
         return alerts
 
     def _match_datagram(self, flow: FlowKey, ip, timestamp: float) -> list[Alert]:
-        """Whole-datagram matching for defragmented non-TCP traffic (UDP)."""
-        if ip.protocol != IP_PROTO_UDP or self._matcher.empty:
+        """Whole-datagram matching for defragmented non-TCP traffic (UDP).
+
+        Stateless per datagram, so it always uses the *current* matcher
+        set -- a hot reload applies to the very next datagram."""
+        matcher = self._current.matcher
+        if ip.protocol != IP_PROTO_UDP or matcher.empty:
             return []
         try:
             payload = decode_udp(ip).payload
@@ -229,26 +286,31 @@ class SlowPath:
                 stream_offset=hit.end_offset,
                 timestamp=timestamp,
             )
-            for hit in self._matcher.match_buffer(payload, flow)
+            for hit in matcher.match_buffer(payload, flow)
         ]
 
     def _match(self, flow: FlowKey, chunk: bytes, timestamp: float) -> list[Alert]:
         self.bytes_normalized += len(chunk)
         if self._tel_on:
             self._c_bytes.inc(len(chunk))
-        full, suffix = self._matchers.get(flow, (None, None))
-        if full is None:
-            if self._matcher.empty:
+        entry = self._matchers.get(flow)
+        if entry is None:
+            # New stream state binds to the *current* matcher set; it
+            # keeps that set for its whole life (see _MatcherSet).
+            matchers = self._current
+            if matchers.matcher.empty:
                 return []
-            full = self._matcher.new_stream_state()
+            full = matchers.matcher.new_stream_state()
             suffix = (
-                DualStreamMatcher(self._suffix_automaton)
-                if self._suffix_automaton is not None
+                DualStreamMatcher(matchers.suffix_automaton)
+                if matchers.suffix_automaton is not None
                 else None
             )
-            self._matchers[flow] = (full, suffix)
+            self._matchers[flow] = (matchers, full, suffix)
+        else:
+            matchers, full, suffix = entry
         alerts: list[Alert] = []
-        for hit in self._matcher.match_chunk(full, chunk, flow):
+        for hit in matchers.matcher.match_chunk(full, chunk, flow):
             alerts.append(
                 Alert(
                     kind=AlertKind.SIGNATURE,
@@ -261,19 +323,19 @@ class SlowPath:
             )
         if suffix is not None:
             for match in suffix.feed(chunk):
-                entry = self._suffixes[match.pattern_id]
-                if not entry.applies_to_flow(flow):
+                tail = matchers.suffixes[match.pattern_id]
+                if not tail.applies_to_flow(flow):
                     continue
-                start = match.end_offset - len(entry.pattern)
-                if start >= entry.prefix_len:
+                start = match.end_offset - len(tail.pattern)
+                if start >= tail.prefix_len:
                     # A fully-visible occurrence; the full matcher owns it.
                     continue
                 alerts.append(
                     Alert(
                         kind=AlertKind.PARTIAL_SIGNATURE,
                         flow=flow,
-                        sid=entry.sid,
-                        msg=entry.msg,
+                        sid=tail.sid,
+                        msg=tail.msg,
                         stream_offset=match.end_offset,
                         timestamp=timestamp,
                     )
@@ -297,19 +359,21 @@ class SlowPath:
         if self.normalizer.buffered_bytes_for(flow) > 0:
             return False
         for direction in (flow, flow.reversed()):
-            matchers = self._matchers.get(direction)
-            if matchers is None:
+            entry = self._matchers.get(direction)
+            if entry is None:
                 continue
-            full, suffix = matchers
+            matchers, full, suffix = entry
             if full.open_prefix_len > 0:
                 return False
             if suffix is not None and suffix.open_prefix_len > 0:
                 # An open suffix prefix only matters while its would-be
                 # occurrence could still start before the diversion origin
                 # plus the longest missing prefix; far past that point the
-                # anchoring filter would discard the match anyway.
+                # anchoring filter would discard the match anyway.  The
+                # bound is the *flow's own* matcher set's -- the set its
+                # suffix automaton was compiled from.
                 start = suffix.stream_offset - suffix.open_prefix_len
-                if start < self._max_prefix_len:
+                if start < matchers.max_prefix_len:
                     return False
         return True
 

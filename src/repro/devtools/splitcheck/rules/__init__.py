@@ -16,6 +16,7 @@ from . import (  # noqa: F401
     sd105_bytes,
     sd106_worker_status,
     sd107_trace_guard,
+    sd108_service_timeouts,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "sd105_bytes",
     "sd106_worker_status",
     "sd107_trace_guard",
+    "sd108_service_timeouts",
 ]

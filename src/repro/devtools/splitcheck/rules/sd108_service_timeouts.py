@@ -1,0 +1,139 @@
+"""SD108: blocking calls in the service layer must carry timeouts.
+
+Invariant (PR 8): ``splitdetect serve`` is a long-lived daemon whose
+loop must always come back to check its stop/reload events -- a single
+unbounded blocking call in the ingest path turns SIGTERM's clean drain
+into a hang.  Concretely, inside ``service/``:
+
+- queue hand-offs -- ``.get(...)`` / ``.put(...)`` on a receiver that
+  names a queue -- must pass an explicit ``timeout=`` (the ``_nowait``
+  variants are inherently non-blocking and exempt);
+- socket waits -- ``.accept(...)`` / ``.recv*(...)`` -- are only legal
+  in a class that calls ``settimeout`` somewhere (the established
+  pattern: the constructor or the loop entry arms the timeout once,
+  every read under it polls);
+- thread ``.join(...)`` calls must bound the wait with ``timeout=``.
+
+The rule is scoped to ``service/`` alone: the runner's queue discipline
+is different (its blocking puts are the lossless backpressure *feature*
+and carry their own liveness polling, reviewed under SD103/SD106).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import build_parents, enclosing_function
+from ..engine import FileContext, Rule, register
+
+__all__ = ["ServiceTimeoutRule"]
+
+#: Queue methods that block without a timeout argument.
+QUEUE_METHODS = frozenset({"get", "put"})
+
+#: Socket methods that block until the peer acts.
+SOCKET_METHODS = frozenset({"accept", "recv", "recv_into", "recvfrom"})
+
+#: Receiver-name substrings marking a queue (so ``dict.get`` stays out).
+QUEUE_TOKENS = ("queue",)
+
+#: Receiver-name substrings marking a thread for ``.join``.
+THREAD_TOKENS = ("thread",)
+
+
+def _receiver_mentions(func: ast.Attribute, tokens: tuple[str, ...]) -> bool:
+    for node in ast.walk(func.value):
+        if isinstance(node, ast.Name) and any(
+            token in node.id.lower() for token in tokens
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and any(
+            token in node.attr.lower() for token in tokens
+        ):
+            return True
+    return False
+
+
+def _has_keyword(call: ast.Call, name: str) -> bool:
+    return any(keyword.arg == name for keyword in call.keywords)
+
+
+def _nonblocking(call: ast.Call) -> bool:
+    """``block=False`` makes a queue get/put non-blocking without a timeout."""
+    for keyword in call.keywords:
+        if keyword.arg == "block" and isinstance(keyword.value, ast.Constant):
+            if keyword.value.value is False:
+                return True
+    return False
+
+
+def _enclosing_class(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.ClassDef | None:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _calls_settimeout(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "settimeout"
+        ):
+            return True
+    return False
+
+
+@register
+class ServiceTimeoutRule(Rule):
+    id = "SD108"
+    title = "blocking call in service/ without an explicit timeout"
+    default_paths = ("*/repro/service/*.py",)
+
+    def check(self, ctx: FileContext) -> None:
+        parents = build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            if attr in QUEUE_METHODS and _receiver_mentions(
+                node.func, QUEUE_TOKENS
+            ):
+                if _has_keyword(node, "timeout") or _nonblocking(node):
+                    continue
+                ctx.report(
+                    self,
+                    node,
+                    f"queue .{attr}(...) without timeout= can block the "
+                    "service loop forever; pass an explicit timeout or use "
+                    f"{attr}_nowait()",
+                )
+            elif attr == "join" and _receiver_mentions(node.func, THREAD_TOKENS):
+                if _has_keyword(node, "timeout"):
+                    continue
+                ctx.report(
+                    self,
+                    node,
+                    "thread .join() without timeout= can hang shutdown; "
+                    "bound the wait",
+                )
+            elif attr in SOCKET_METHODS:
+                scope = _enclosing_class(node, parents)
+                if scope is None:
+                    scope = enclosing_function(node, parents) or ctx.tree
+                if _calls_settimeout(scope):
+                    continue
+                ctx.report(
+                    self,
+                    node,
+                    f"socket .{attr}(...) in a scope that never calls "
+                    "settimeout() blocks unboundedly; arm a socket timeout "
+                    "so the reader can notice shutdown",
+                )

@@ -34,8 +34,9 @@ Quick tour::
   counters, merged telemetry, and the equivalence digest.
 """
 
-from .batching import iter_batches
+from .batching import iter_batches, iter_batches_with_controls
 from .config import Backpressure, RunnerConfig
+from .control import ControlMessage
 from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from .parallel import ParallelRunner, WorkerFailure
 from .quarantine import DECODE_ERRORS, Quarantine, decode_packets
@@ -56,6 +57,7 @@ from .worker import ShardProcessor
 __all__ = [
     "DECODE_ERRORS",
     "Backpressure",
+    "ControlMessage",
     "DegradedInterval",
     "EngineSpec",
     "FaultInjector",
@@ -77,6 +79,7 @@ __all__ = [
     "decode_packets",
     "equivalence_digest",
     "iter_batches",
+    "iter_batches_with_controls",
     "merge_shard_reports",
     "shard_key_bytes",
 ]

@@ -13,8 +13,9 @@ from collections.abc import Iterable, Iterator
 from itertools import islice
 
 from ..packet import TimedPacket
+from .control import ControlMessage
 
-__all__ = ["iter_batches"]
+__all__ = ["iter_batches", "iter_batches_with_controls"]
 
 
 def iter_batches(
@@ -34,3 +35,32 @@ def iter_batches(
         if not batch:
             return
         yield batch
+
+
+def iter_batches_with_controls(
+    items: Iterable["TimedPacket | ControlMessage"], size: int
+) -> Iterator[tuple[str, "list[TimedPacket] | ControlMessage"]]:
+    """Batch a packet stream that may carry interleaved control messages.
+
+    Yields ``("batch", list[TimedPacket])`` and ``("ctl", ControlMessage)``
+    items in stream order.  A control message flushes the batch under
+    construction first, so every consumer applies the command at exactly
+    the stream position the producer issued it -- the property that makes
+    a hot reload deterministic with respect to the packet sequence.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    batch: list[TimedPacket] = []
+    for item in items:
+        if isinstance(item, ControlMessage):
+            if batch:
+                yield "batch", batch
+                batch = []
+            yield "ctl", item
+            continue
+        batch.append(item)
+        if len(batch) >= size:
+            yield "batch", batch
+            batch = []
+    if batch:
+        yield "batch", batch

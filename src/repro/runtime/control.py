@@ -1,0 +1,50 @@
+"""Control messages: out-of-band commands riding the packet stream.
+
+The service layer (and any long-lived driver) needs to change a running
+pipeline without tearing it down -- the canonical case is a hot
+signature-set reload.  A :class:`ControlMessage` is a small picklable
+command that travels *in between* packet batches: runners accept them
+interleaved with packets in the input stream, flush the batch under
+construction, and deliver the message to every shard at exactly that
+stream position.  Workers apply it via
+:meth:`~repro.runtime.worker.ShardProcessor.control` before consuming
+the next batch, so a swap is atomic with respect to batch boundaries on
+every shard.
+
+Ops understood by :meth:`ShardProcessor.control`:
+
+- ``"reload"`` -- payload is a dict with ``rules`` (a
+  :class:`~repro.signatures.RuleSet`) and optional ``split_policy`` /
+  ``model`` overrides; the shard's engine swaps its compiled matchers in
+  place, keeping all flow state (see
+  :meth:`~repro.core.SplitDetectIPS.swap_rules`).
+
+Unknown ops are ignored (forward compatibility), but counted in the
+shard's telemetry so a typo'd op is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ControlMessage"]
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """One out-of-band command for every shard of a running pipeline."""
+
+    op: str
+    """Command name (``"reload"``)."""
+
+    payload: Any = None
+    """Op-specific data; must be picklable (it crosses worker queues)."""
+
+    seq: int = 0
+    """Issuer-side sequence number, echoed into telemetry/journal events
+    so an operator can correlate "reload #3" across shards."""
+
+    fields: dict[str, Any] = field(default_factory=dict)
+    """Free-form annotations recorded alongside the journal event
+    (e.g. the rules file path that produced a reload)."""

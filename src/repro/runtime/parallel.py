@@ -47,8 +47,9 @@ from time import monotonic, perf_counter
 from typing import Any
 
 from ..packet import TimedPacket
-from .batching import iter_batches
+from .batching import iter_batches_with_controls
 from .config import Backpressure, RunnerConfig
+from .control import ControlMessage
 from .quarantine import PacketSource, Quarantine, decode_packets
 from .report import (
     DegradedInterval,
@@ -236,27 +237,44 @@ class ParallelRunner:
         batches_routed = 0
         shard_of = self.router.shard_of
         shed = config.backpressure is Backpressure.SHED
+        interrupted = False
         try:
             stream = decode_packets(packets, quarantine)
-            for batch in iter_batches(stream, config.batch_size):
-                buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
-                for packet in batch:
-                    buckets[shard_of(packet)].append(packet)
-                for index, bucket in enumerate(buckets):
-                    if not bucket:
+            try:
+                for kind, item in iter_batches_with_controls(stream, config.batch_size):
+                    if kind == "ctl":
+                        # Controls are lossless even under shed: dropping
+                        # a reload would silently split the fleet across
+                        # rule generations.
+                        for index, in_queue in enumerate(in_queues):
+                            self._put_blocking(in_queue, item, processes[index], index)
                         continue
-                    if shed:
-                        try:
-                            in_queues[index].put_nowait(bucket)
+                    batch = item
+                    buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
+                    for packet in batch:
+                        buckets[shard_of(packet)].append(packet)
+                    for index, bucket in enumerate(buckets):
+                        if not bucket:
+                            continue
+                        if shed:
+                            try:
+                                in_queues[index].put_nowait(bucket)
+                                batches_routed += 1
+                            except queue_mod.Full:
+                                shed_packets += len(bucket)
+                                shed_batches += 1
+                        else:
+                            self._put_blocking(
+                                in_queues[index], bucket, processes[index], index
+                            )
                             batches_routed += 1
-                        except queue_mod.Full:
-                            shed_packets += len(bucket)
-                            shed_batches += 1
-                    else:
-                        self._put_blocking(
-                            in_queues[index], bucket, processes[index], index
-                        )
-                        batches_routed += 1
+            except KeyboardInterrupt:
+                # First interrupt: stop feeding, fall through to the
+                # normal sentinel drain so every enqueued batch is
+                # flushed and the caller gets a *partial* report instead
+                # of a traceback.  A second interrupt during the drain
+                # propagates (force quit; _reap still runs).
+                interrupted = True
             # Graceful drain: one sentinel per queue *after* all batches;
             # workers flush everything already enqueued before reporting.
             for index, in_queue in enumerate(in_queues):
@@ -296,6 +314,7 @@ class ParallelRunner:
             shed_packets=shed_packets,
             shed_batches=shed_batches,
             quarantined=dict(quarantine.counts),
+            interrupted=interrupted,
         )
 
     # -- supervised path --------------------------------------------------
@@ -320,6 +339,7 @@ class ParallelRunner:
         shed = config.backpressure is Backpressure.SHED
         start = perf_counter()
         drain_started = False
+        last_controls: dict[str, ControlMessage] = {}
 
         def fail_seat(seat: _Seat, reason: str, detail: str) -> None:
             """Salvage the dying generation, then restart or bury the seat."""
@@ -374,6 +394,15 @@ class ParallelRunner:
                 ctx, seat.index, seat.generation, seat.in_queue, out_queue
             )
             seat.last_seen = monotonic()
+            for op in sorted(last_controls):
+                # A replacement builds a fresh engine from the original
+                # spec; replay the latest control per op so it rejoins
+                # the fleet's current rule generation, not the seed's.
+                try:
+                    seat.in_queue.put(last_controls[op], timeout=_PUT_POLL_SECONDS)
+                except queue_mod.Full:
+                    pass  # queue is saturated with pre-reload batches; the
+                    # coverage gap is already recorded on this interval
             if drain_started:
                 # The original sentinel may have died with the old
                 # worker; a duplicate is harmless (the replacement stops
@@ -474,16 +503,48 @@ class ParallelRunner:
                 interval.end_ts = bucket[0].timestamp
                 seat.open_interval = None
 
+        def broadcast_control(message: ControlMessage) -> None:
+            """Lossless control delivery to every live seat.
+
+            Controls bypass the shed policy: dropping a reload would
+            silently split the fleet across rule generations.  A seat
+            that dies mid-put gets replaced by ``poll`` and the put
+            retries against the replacement on the same queue; a buried
+            seat is skipped (its traffic is already accounted as lost).
+            """
+            last_controls[message.op] = message
+            for seat in seats:
+                if seat.dead:
+                    continue
+                while True:
+                    try:
+                        seat.in_queue.put(message, timeout=_PUT_POLL_SECONDS)
+                        break
+                    except queue_mod.Full:
+                        poll()
+                        if seat.dead:
+                            break
+
+        interrupted = False
         try:
             stream = decode_packets(packets, quarantine)
-            for batch in iter_batches(stream, config.batch_size):
-                poll()
-                buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
-                for packet in batch:
-                    buckets[shard_of(packet)].append(packet)
-                for index, bucket in enumerate(buckets):
-                    if bucket:
-                        route(seats[index], bucket)
+            try:
+                for kind, item in iter_batches_with_controls(stream, config.batch_size):
+                    poll()
+                    if kind == "ctl":
+                        broadcast_control(item)
+                        continue
+                    buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
+                    for packet in item:
+                        buckets[shard_of(packet)].append(packet)
+                    for index, bucket in enumerate(buckets):
+                        if bucket:
+                            route(seats[index], bucket)
+            except KeyboardInterrupt:
+                # First interrupt: stop feeding and fall through to the
+                # sentinel drain for a partial (but loss-accounted)
+                # report.  A second interrupt propagates; _reap runs.
+                interrupted = True
             drain_started = True
             for seat in seats:
                 if seat.dead:
@@ -557,4 +618,5 @@ class ParallelRunner:
             degraded=degraded,
             worker_restarts=restarts,
             quarantined=dict(quarantine.counts),
+            interrupted=interrupted,
         )

@@ -28,6 +28,7 @@ from collections.abc import Iterable, Iterator
 
 from ..packet import IPv4Packet, TimedPacket
 from ..packet.errors import PacketError
+from .control import ControlMessage
 
 __all__ = ["DECODE_ERRORS", "PacketSource", "Quarantine", "decode_packets"]
 
@@ -40,8 +41,9 @@ DECODE_ERRORS: tuple[type[BaseException], ...] = (
 )
 
 #: What the runners accept: parsed packets, (timestamp, bytes) records,
-#: or bare frame bytes (timestamped 0.0).
-PacketSource = Iterable["TimedPacket | tuple[float, bytes] | bytes"]
+#: bare frame bytes (timestamped 0.0), or interleaved
+#: :class:`~repro.runtime.control.ControlMessage` commands.
+PacketSource = Iterable["TimedPacket | tuple[float, bytes] | bytes | ControlMessage"]
 
 
 class Quarantine:
@@ -74,17 +76,21 @@ class Quarantine:
 
 def decode_packets(
     items: PacketSource, quarantine: Quarantine
-) -> Iterator[TimedPacket]:
+) -> "Iterator[TimedPacket | ControlMessage]":
     """Yield parsed packets; malformed frames go to *quarantine*.
 
     Already-parsed :class:`TimedPacket` items pass through untouched, so
     existing callers pay nothing; raw ``(timestamp, bytes)`` records (or
     bare ``bytes``) are parsed here, and a frame the IPv4 layer rejects
     is counted by exception class and dropped -- the pipeline keeps
-    running.
+    running.  :class:`ControlMessage` items pass through at their stream
+    position (the runners broadcast them to every shard).
     """
     for item in items:
         if isinstance(item, TimedPacket):
+            yield item
+            continue
+        if isinstance(item, ControlMessage):
             yield item
             continue
         if isinstance(item, tuple):

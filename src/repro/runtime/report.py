@@ -244,6 +244,11 @@ class RuntimeReport:
     worker_restarts: int = 0
     """Workers the supervisor replaced with a fresh engine."""
 
+    interrupted: bool = False
+    """The feed loop was stopped early (SIGINT/stop request) and the run
+    drained into this *partial* report instead of tracebacking.  Counters
+    and loss accounting still close over what was actually fed."""
+
     quarantined: dict[str, int] = field(default_factory=dict)
     """Malformed frames dropped at decode boundaries, by exception
     class (feeder-side parse failures plus shard-side engine escapes)."""
@@ -337,6 +342,7 @@ def merge_shard_reports(
     degraded: list[DegradedInterval] | None = None,
     worker_restarts: int = 0,
     quarantined: dict[str, int] | None = None,
+    interrupted: bool = False,
 ) -> RuntimeReport:
     """Fold per-shard results into the combined report (see module doc).
 
@@ -351,6 +357,7 @@ def merge_shard_reports(
     report.shed_batches = shed_batches
     report.degraded = list(degraded or [])
     report.worker_restarts = worker_restarts
+    report.interrupted = interrupted
     for cause in sorted(quarantined or {}):
         report.quarantined[cause] = (quarantined or {})[cause]
 

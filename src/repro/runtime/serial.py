@@ -13,7 +13,7 @@ from __future__ import annotations
 from time import perf_counter
 
 from ..packet import TimedPacket
-from .batching import iter_batches
+from .batching import iter_batches_with_controls
 from .config import RunnerConfig
 from .quarantine import PacketSource, Quarantine, decode_packets
 from .report import RuntimeReport, merge_shard_reports
@@ -59,9 +59,16 @@ class SerialRunner:
         quarantine = Quarantine()
         shard_of = self.router.shard_of
         batches_routed = 0
-        for batch in iter_batches(decode_packets(packets, quarantine), self.config.batch_size):
+        stream = decode_packets(packets, quarantine)
+        for kind, item in iter_batches_with_controls(stream, self.config.batch_size):
+            if kind == "ctl":
+                # Broadcast: every shard applies the command at this
+                # stream position (same contract as the parallel path).
+                for processor in processors:
+                    processor.control(item)
+                continue
             buckets: list[list[TimedPacket]] = [[] for _ in range(self.shards)]
-            for packet in batch:
+            for packet in item:
                 buckets[shard_of(packet)].append(packet)
             for index, bucket in enumerate(buckets):
                 if bucket:

@@ -42,6 +42,7 @@ from ..packet import TimedPacket
 from ..packet.errors import PacketError
 from ..telemetry import FlowTracer, TelemetryRegistry
 from .config import RunnerConfig
+from .control import ControlMessage
 from .faults import FaultInjector
 from .quarantine import Quarantine
 from .report import ShardDelta, ShardReport
@@ -185,6 +186,42 @@ class ShardProcessor:
                 engine.refresh_telemetry()
         self.busy_ns += process_time_ns() - t0
 
+    def control(self, message: ControlMessage) -> None:
+        """Apply one out-of-band command between batches.
+
+        Called by the worker loops (and directly by in-process drivers
+        like the service pipeline) strictly *between* :meth:`feed`
+        calls, which is what makes a ``reload`` atomic per shard: no
+        batch ever sees two rule generations.  Unknown ops are counted
+        and skipped -- a newer driver must not crash an older worker.
+        """
+        if message.op == "reload":
+            payload = message.payload or {}
+            self.engine.swap_rules(
+                payload["rules"],
+                split_policy=payload.get("split_policy"),
+                model=payload.get("model"),
+                timestamp=self.last_ts or 0.0,
+            )
+        elif self.telemetry is not None:
+            self.telemetry.counter(
+                "repro_runtime_unknown_control_total",
+                "Control messages with an op this worker does not understand",
+                ("op",),
+            ).labels(op=message.op).inc()
+            return
+        else:
+            return
+        if self.telemetry is not None:
+            self.telemetry.journal.record(
+                "runtime",
+                "control",
+                op=message.op,
+                seq=message.seq,
+                shard=self.shard,
+                **message.fields,
+            )
+
     def tracked_flows(self) -> int:
         """Live flow records across both paths (what a restart resets)."""
         engine = self.engine
@@ -267,6 +304,9 @@ def _supervised_loop(
             continue
         if batch is DRAIN:
             break
+        if isinstance(batch, ControlMessage):
+            processor.control(batch)
+            continue
         processor.feed(batch)
         now = monotonic()
         if now - last_flush >= interval:
@@ -293,7 +333,10 @@ def _legacy_loop(
         if failure is None:
             assert processor is not None  # no failure implies construction worked
             try:
-                processor.feed(batch)
+                if isinstance(batch, ControlMessage):
+                    processor.control(batch)
+                else:
+                    processor.feed(batch)
             except Exception:
                 failure = traceback.format_exc()
     if failure is not None:

@@ -1,0 +1,56 @@
+"""Service mode: ``splitdetect serve`` as a long-lived daemon.
+
+Everything the batch CLI lacks for continuous operation, composed from
+the existing layers rather than re-implemented:
+
+- :mod:`~repro.service.sources` -- pluggable ingestion (pcap replay,
+  pcap tail-follow, framed TCP/Unix socket protocol), all feeding
+  undecoded records so the runtime's quarantine owns malformed input;
+- :mod:`~repro.service.tenancy` -- per-tenant signature sets behind a
+  configurable keyer, each tenant a shared-nothing
+  :class:`~repro.runtime.worker.ShardProcessor` with its own compiled
+  AC tables, counters, and rule generation;
+- :mod:`~repro.service.shedding` -- adaptive load shedding off live
+  backlog and stage-p99 signals, protecting diverted and force-traced
+  flows absolutely;
+- :mod:`~repro.service.lifecycle` -- the loop itself: hot reload at
+  batch boundaries via the worker control protocol, clean SIGTERM
+  drain, and a final report whose loss accounting closes
+  (``examined + shed + quarantined + lost == input``).
+
+See DESIGN.md "Service mode" for the full contract.
+"""
+
+from .lifecycle import ServiceConfig, ServiceReport, SplitDetectService
+from .shedding import LoadShedder, ShedPolicy
+from .sources import (
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    PcapTailSource,
+    ReplaySource,
+    SocketSource,
+    encode_record,
+    open_source,
+    send_records,
+)
+from .tenancy import DEFAULT_TENANT, TENANT_KEYERS, TenantSpec, TenantTable
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FRAME_MAGIC",
+    "LoadShedder",
+    "MAX_FRAME_BYTES",
+    "PcapTailSource",
+    "ReplaySource",
+    "ServiceConfig",
+    "ServiceReport",
+    "ShedPolicy",
+    "SocketSource",
+    "SplitDetectService",
+    "TENANT_KEYERS",
+    "TenantSpec",
+    "TenantTable",
+    "encode_record",
+    "open_source",
+    "send_records",
+]

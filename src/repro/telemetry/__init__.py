@@ -39,7 +39,7 @@ from .registry import (
     TelemetryRegistry,
     merge_snapshots,
 )
-from .serve import TelemetryPublisher, TelemetryServer
+from .serve import TelemetryPublisher, TelemetryServer, TelemetrySession
 from .trace import (
     NULL_TRACER,
     TRACE_CAPACITY,
@@ -72,6 +72,7 @@ __all__ = [
     "TelemetryPublisher",
     "TelemetryRegistry",
     "TelemetryServer",
+    "TelemetrySession",
     "histogram_quantile",
     "merge_snapshots",
     "merge_trace_snapshots",

@@ -28,8 +28,10 @@ Endpoint contract (see DESIGN.md "Tracing & live observability"):
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
@@ -38,7 +40,7 @@ from .export import to_prometheus
 from .profile import stage_profile
 from .registry import NULL_REGISTRY
 
-__all__ = ["TelemetryPublisher", "TelemetryServer"]
+__all__ = ["TelemetryPublisher", "TelemetryServer", "TelemetrySession"]
 
 
 class TelemetryPublisher:
@@ -50,6 +52,14 @@ class TelemetryPublisher:
     server invokes before serving ``/metrics`` so point-in-time gauges
     are sampled at scrape time (single-process runs wire it to
     ``engine.refresh_telemetry``).
+
+    Service mode (``splitdetect serve``) wires three more read hooks --
+    ``source_state`` / ``shed_state`` / ``tenants_state``, each a
+    zero-argument callable returning a JSON-safe dict -- and one write
+    hook: ``on_reload``, invoked by an authenticated ``POST /reload``.
+    ``reload_token`` guards that endpoint; with no token configured the
+    endpoint refuses outright (an unauthenticated rule swap is worse
+    than none).
     """
 
     def __init__(self) -> None:
@@ -57,6 +67,24 @@ class TelemetryPublisher:
         self.trace_snapshot: dict[str, Any] = {}
         self.health: dict[str, Any] = {"status": "starting"}
         self.refresh: Any = None
+        self.started = time.monotonic()
+        self.source_state: Any = None
+        self.shed_state: Any = None
+        self.tenants_state: Any = None
+        self.reload_token: str | None = None
+        self.on_reload: Any = None
+
+    def healthz(self) -> dict[str, Any]:
+        """The /healthz body: liveness plus whatever hooks are wired."""
+        body = dict(self.health)
+        body["uptime_seconds"] = round(time.monotonic() - self.started, 3)
+        source_state = self.source_state
+        if source_state is not None:
+            body["source"] = source_state()
+        shed_state = self.shed_state
+        if shed_state is not None:
+            body["shed"] = shed_state()
+        return body
 
     def metrics_text(self) -> str:
         refresh = self.refresh
@@ -120,8 +148,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(
                     200,
                     "application/json",
-                    (json.dumps(publisher.health, sort_keys=True) + "\n").encode(),
+                    (json.dumps(publisher.healthz(), sort_keys=True) + "\n").encode(),
                 )
+            elif parsed.path == "/shed":
+                self._send_hook(publisher.shed_state, "load shedding")
+            elif parsed.path == "/tenants":
+                self._send_hook(publisher.tenants_state, "tenancy")
             elif parsed.path == "/traces":
                 query = parse_qs(parsed.query)
                 spans = publisher.spans(
@@ -142,6 +174,57 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, "text/plain", b"not found\n")
         except BrokenPipeError:
             pass  # scraper went away mid-response; nothing to clean up
+
+    def _send_hook(self, hook: Any, what: str) -> None:
+        """Serve a wired read hook as JSON, 404 when the mode lacks it."""
+        if hook is None:
+            self._send(
+                404, "text/plain", f"{what} is not active on this run\n".encode()
+            )
+            return
+        self._send(
+            200,
+            "application/json",
+            (json.dumps(hook(), sort_keys=True) + "\n").encode(),
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        publisher = self.publisher
+        try:
+            if parsed.path != "/reload":
+                self._send(404, "text/plain", b"not found\n")
+                return
+            token = publisher.reload_token
+            if not token or publisher.on_reload is None:
+                self._send(
+                    503,
+                    "text/plain",
+                    b"reload is not enabled (start with --reload-token)\n",
+                )
+                return
+            supplied = self.headers.get("Authorization", "")
+            if not hmac.compare_digest(supplied, f"Bearer {token}"):
+                self._send(401, "text/plain", b"bad or missing bearer token\n")
+                return
+            # Drain any request body (clients may POST an empty JSON);
+            # reload parameters live server-side by design -- the rules
+            # path is operator configuration, not scraper input.
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                self.rfile.read(min(length, 1 << 16))
+            try:
+                result = publisher.on_reload()
+            except Exception as exc:  # surfaced to the caller, run survives
+                body = json.dumps({"status": "error", "error": str(exc)})
+                self._send(500, "application/json", (body + "\n").encode())
+                return
+            body = json.dumps(
+                {"status": "ok", **(result or {})}, sort_keys=True
+            )
+            self._send(200, "application/json", (body + "\n").encode())
+        except BrokenPipeError:
+            pass
 
 
 class TelemetryServer:
@@ -191,3 +274,87 @@ class TelemetryServer:
 
     def __exit__(self, *exc: Any) -> None:
         self.stop()
+
+
+class TelemetrySession:
+    """Publisher + server lifecycle as one context manager.
+
+    The one place endpoint startup/shutdown lives: ``splitdetect run``
+    and ``splitdetect serve`` both enter this instead of hand-wiring a
+    :class:`TelemetryPublisher` / :class:`TelemetryServer` pair.  A
+    ``port`` of ``None`` disables the whole thing -- every method is a
+    cheap no-op and ``enabled`` is False -- so call sites need no
+    conditional plumbing.
+
+    On a clean exit the session marks the published health ``finished``
+    and optionally holds the endpoint open ``hold`` seconds for a last
+    scrape; on an exception it tears down immediately.
+    """
+
+    def __init__(
+        self,
+        port: int | None,
+        *,
+        host: str = "127.0.0.1",
+        hold: float | None = None,
+        announce: Any = print,
+    ) -> None:
+        self.hold = hold
+        self._host = host
+        self._port = port
+        self._announce = announce
+        self.publisher: TelemetryPublisher | None = (
+            TelemetryPublisher() if port is not None else None
+        )
+        self.server: TelemetryServer | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.publisher is not None
+
+    @property
+    def url(self) -> str | None:
+        return self.server.url if self.server is not None else None
+
+    def update_health(self, **fields: Any) -> None:
+        """Merge fields into the published health dict (no-op when off)."""
+        if self.publisher is not None:
+            self.publisher.health = {**self.publisher.health, **fields}
+
+    def publish_registry(self, registry: Any, *, refresh: Any = None) -> None:
+        if self.publisher is not None and registry is not None:
+            self.publisher.registry = registry
+            if refresh is not None:
+                self.publisher.refresh = refresh
+
+    def publish_trace(self, snapshot: dict[str, Any] | None) -> None:
+        if self.publisher is not None:
+            self.publisher.trace_snapshot = snapshot or {}
+
+    def __enter__(self) -> "TelemetrySession":
+        if self.publisher is not None and self._port is not None:
+            self.server = TelemetryServer(
+                self.publisher, port=self._port, host=self._host
+            ).start()
+            if self._announce is not None:
+                self._announce(
+                    f"telemetry endpoint: {self.server.url} "
+                    "(/metrics /healthz /traces)"
+                )
+        return self
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        server = self.server
+        if server is None:
+            return
+        if exc_type is None:
+            self.update_health(status="ok", finished=True)
+            if self.hold is not None and self.hold > 0:
+                if self._announce is not None:
+                    self._announce(
+                        f"holding telemetry endpoint {server.url} "
+                        f"for {self.hold:g}s"
+                    )
+                time.sleep(self.hold)
+        server.stop()
+        self.server = None

@@ -142,6 +142,13 @@ class FlowTracer:
         tid = self._entry(flow)[0]
         return tid % self.sample == 0 or tid in self._forced
 
+    def is_forced(self, flow: FlowKey) -> bool:
+        """True when this flow's trace id was pinned by a ``force=True``
+        emission (i.e. the flow was diverted or otherwise marked
+        must-trace).  The service load shedder consults this: a flow the
+        operator is guaranteed a complete timeline for is never shed."""
+        return self._entry(flow)[0] in self._forced
+
     def record(
         self,
         flow: FlowKey,
@@ -272,6 +279,9 @@ class NullTracer:
         return trace_id_of(flow)
 
     def wants(self, flow: FlowKey) -> bool:
+        return False
+
+    def is_forced(self, flow: FlowKey) -> bool:
         return False
 
     def record(

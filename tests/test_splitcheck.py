@@ -692,6 +692,141 @@ class TestSD107:
 
 
 # ---------------------------------------------------------------------------
+# SD108: blocking calls in service/ must carry timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestSD108:
+    def test_queue_get_without_timeout_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "class S:\n"
+            "    def poll(self):\n"
+            "        return self._queue.get()\n",
+            select="SD108",
+        )
+        assert rule_ids(findings) == {"SD108"}
+        assert findings[0].line == 3
+
+    def test_queue_put_without_timeout_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "def hand_off(out_queue, record):\n"
+            "    out_queue.put(record)\n",
+            select="SD108",
+        )
+        assert rule_ids(findings) == {"SD108"}
+
+    def test_queue_get_with_timeout_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "class S:\n"
+            "    def poll(self, timeout):\n"
+            "        return self._queue.get(timeout=timeout)\n",
+            select="SD108",
+        )
+        assert findings == []
+
+    def test_nowait_and_nonblocking_variants_pass(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "class S:\n"
+            "    def drain(self):\n"
+            "        self._queue.put_nowait(1)\n"
+            "        self._queue.get(block=False)\n"
+            "        return self._queue.get_nowait()\n",
+            select="SD108",
+        )
+        assert findings == []
+
+    def test_dict_get_is_not_a_queue(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/lifecycle.py",
+            "def backlog(state):\n"
+            "    return state.get('backlog_fraction', 0.0)\n",
+            select="SD108",
+        )
+        assert findings == []
+
+    def test_recv_without_settimeout_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "class Reader:\n"
+            "    def read(self, conn, n):\n"
+            "        return conn.recv(n)\n",
+            select="SD108",
+        )
+        assert rule_ids(findings) == {"SD108"}
+
+    def test_recv_in_class_with_settimeout_passes(self, tmp_path):
+        # The established pattern: the loop entry arms the timeout once,
+        # helpers below it poll under that bound.
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "class Reader:\n"
+            "    def attach(self, conn):\n"
+            "        conn.settimeout(0.2)\n"
+            "        self.conn = conn\n"
+            "    def read(self, n):\n"
+            "        return self.conn.recv(n)\n",
+            select="SD108",
+        )
+        assert findings == []
+
+    def test_accept_without_settimeout_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "def serve(listener):\n"
+            "    conn, peer = listener.accept()\n"
+            "    return conn\n",
+            select="SD108",
+        )
+        assert rule_ids(findings) == {"SD108"}
+
+    def test_thread_join_without_timeout_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "def close(threads):\n"
+            "    for thread in threads:\n"
+            "        thread.join()\n",
+            select="SD108",
+        )
+        assert rule_ids(findings) == {"SD108"}
+
+    def test_thread_join_with_timeout_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "service/sources.py",
+            "def close(threads):\n"
+            "    for thread in threads:\n"
+            "        thread.join(timeout=2.0)\n",
+            select="SD108",
+        )
+        assert findings == []
+
+    def test_scoped_to_service_only(self, tmp_path):
+        # The runner's blocking queue puts are its lossless-backpressure
+        # feature; SD108 must not fire outside service/.
+        findings = run_rules(
+            tmp_path,
+            "runtime/parallel.py",
+            "def feed(in_queue, batch):\n"
+            "    in_queue.put(batch)\n",
+            select="SD108",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Framework: pragmas, baseline, config, CLI
 # ---------------------------------------------------------------------------
 
@@ -869,6 +1004,7 @@ class TestFramework:
             "SD105",
             "SD106",
             "SD107",
+            "SD108",
         }
 
 

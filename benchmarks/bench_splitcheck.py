@@ -1,0 +1,89 @@
+"""Splitcheck incremental-cache gate -- warm runs must be cheap.
+
+PR 9 added a content-fingerprint facts cache
+(``.splitcheck-cache.json``) so the whole-tree SD2xx project pass does
+not force every ``splitdetect check`` to re-parse an unchanged repo.
+This benchmark enforces the contract: a warm run (every file a cache
+hit) must finish within ``MAX_WARM_RATIO`` of a cold run (empty cache)
+over the same tree, and the two runs must produce byte-identical
+findings.  A regression here means the cache key got too coarse (warm
+runs re-parse) or the hit path grew hidden work.
+
+CI runs this in the static-analysis job; the measured ratio lands in
+``BENCH_splitcheck.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.devtools.splitcheck import all_rules, check_paths, load_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Warm (all-hits) wall-clock must stay within this factor of cold.
+MAX_WARM_RATIO = 0.4
+
+ROUNDS = 3
+
+
+def _run(cache_path: Path):
+    config = load_config(REPO_ROOT)
+    start = time.perf_counter()
+    findings, checked = check_paths(
+        [REPO_ROOT / "src" / "repro"], config, cache_path=cache_path
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, findings, checked
+
+
+def test_splitcheck_cache_gate(tmp_path, capfd):
+    cold_best = float("inf")
+    warm_best = float("inf")
+    cold_findings = warm_findings = None
+    checked = 0
+    for round_index in range(ROUNDS):
+        cache = tmp_path / f"cache-{round_index}.json"
+        elapsed, cold_findings, checked = _run(cache)  # empty cache: cold
+        cold_best = min(cold_best, elapsed)
+        elapsed, warm_findings, _ = _run(cache)  # populated cache: warm
+        warm_best = min(warm_best, elapsed)
+
+    assert checked > 50, f"suspiciously small tree: {checked} files"
+    assert [f.to_dict() for f in cold_findings] == [
+        f.to_dict() for f in warm_findings
+    ], "warm run changed the findings -- cache is not transparent"
+
+    ratio = warm_best / cold_best
+    payload = {
+        "benchmark": "splitcheck_cache",
+        "checked_files": checked,
+        "registered_rules": len(all_rules()),
+        "findings": len(cold_findings),
+        "max_warm_ratio": MAX_WARM_RATIO,
+        "cold_best_s": round(cold_best, 4),
+        "warm_best_s": round(warm_best, 4),
+        "warm_cold_ratio": round(ratio, 4),
+    }
+    (REPO_ROOT / "BENCH_splitcheck.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    with capfd.disabled():
+        print(
+            f"\nsplitcheck cache: {checked} files, cold {cold_best * 1e3:.0f} ms, "
+            f"warm {warm_best * 1e3:.0f} ms (ratio {ratio:.3f}, "
+            f"gate <= {MAX_WARM_RATIO})"
+        )
+    assert ratio <= MAX_WARM_RATIO, (
+        f"warm run too slow: {warm_best:.3f}s vs cold {cold_best:.3f}s "
+        f"(ratio {ratio:.3f} > {MAX_WARM_RATIO}) -- the incremental cache "
+        "is not skipping parse/rule work"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", *sys.argv[1:]]))

@@ -15,6 +15,20 @@ SD104     busy accounting on CPU time, wall fields on wall clocks
 SD105     no str/bytes mixing; struct formats match field widths
 ========  ==========================================================
 
+Project rules (SD2xx) run once over the whole tree via a symbol/import
+graph with def-use facts (:mod:`.facts`, :mod:`.project`):
+
+========  ==========================================================
+SD201     metric/span names unique, well-formed, in DESIGN.md registry
+SD202     worker wire-protocol kinds exhaustive in both directions
+SD203     seq arithmetic only through ``seq_add``/``seq_diff``
+SD204     sockets/processes/queues/files closed on all paths
+========  ==========================================================
+
+A content-fingerprint cache (``.splitcheck-cache.json``) makes warm
+runs skip parsing for unchanged files; ``--graph`` dumps the project
+graph as JSON.
+
 Run it as ``splitdetect check`` or
 ``python -m repro.devtools.splitcheck``; configure via
 ``[tool.splitcheck]`` in pyproject.toml; suppress single lines with
@@ -26,28 +40,40 @@ committed baseline file (the repo policy keeps it empty for ``core/``,
 from __future__ import annotations
 
 from .baseline import load_baseline, partition, write_baseline
+from .cache import CACHE_FILENAME, FactsCache
 from .config import Config, RuleConfig, find_root, load_config
 from .engine import (
     FileContext,
     Rule,
     all_rules,
+    build_graph,
     check_paths,
     iter_python_files,
     register,
 )
+from .facts import FileFacts, extract_facts
 from .findings import Finding, Severity
 from .pragmas import PragmaIndex
+from .project import ProjectContext, ProjectGraph, ProjectRule
 
 __all__ = [
+    "CACHE_FILENAME",
     "Config",
+    "FactsCache",
     "FileContext",
+    "FileFacts",
     "Finding",
     "PragmaIndex",
+    "ProjectContext",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "RuleConfig",
     "Severity",
     "all_rules",
+    "build_graph",
     "check_paths",
+    "extract_facts",
     "find_root",
     "iter_python_files",
     "load_baseline",

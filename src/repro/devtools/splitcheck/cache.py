@@ -1,0 +1,162 @@
+"""Content-fingerprint incremental cache for the analyzer.
+
+``.splitcheck-cache.json`` (at the config root, gitignored) stores, per
+scanned file, a sha256 content fingerprint plus the extracted
+:class:`~repro.devtools.splitcheck.facts.FileFacts` and the per-file
+findings.  A warm run re-reads every file's bytes (the fingerprint *is*
+the staleness check -- no mtime races) but skips ``ast.parse`` and the
+per-file rule walks for unchanged files; the project pass is then
+rebuilt from cached facts, so only changed files pay full price.
+
+The whole cache is keyed on a *signature*: the analyzer's own source
+(every module in this package), the facts schema version, and the
+effective configuration (selected rules, per-rule scopes, severities,
+excludes).  Any of those changing invalidates everything -- correctness
+over cleverness; a stale finding that survives an analyzer upgrade is
+worse than a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from .config import Config
+from .facts import FACTS_VERSION, FileFacts
+from .findings import Finding, Severity
+
+__all__ = ["CACHE_FILENAME", "FactsCache", "cache_signature", "fingerprint"]
+
+CACHE_FILENAME = ".splitcheck-cache.json"
+_CACHE_VERSION = 1
+
+
+def fingerprint(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()
+
+
+def _analyzer_digest() -> str:
+    """sha256 over this package's own sources, in a fixed order."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_signature(
+    config: Config, select: frozenset[str] | None, rule_ids: tuple[str, ...]
+) -> str:
+    payload = {
+        "cache_version": _CACHE_VERSION,
+        "facts_version": FACTS_VERSION,
+        "analyzer": _analyzer_digest(),
+        "rules": sorted(rule_ids),
+        "select": sorted(select) if select is not None else None,
+        "disable": sorted(config.disable),
+        "exclude": list(config.exclude),
+        "rule_configs": {
+            rule_id: {
+                "paths": list(cfg.paths) if cfg.paths is not None else None,
+                "exclude": list(cfg.exclude) if cfg.exclude is not None else None,
+                "severity": cfg.severity,
+            }
+            for rule_id, cfg in sorted(config.rules.items())
+        },
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class FactsCache:
+    """Load-mutate-write wrapper around the cache file."""
+
+    def __init__(self, path: Path, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("signature") != self.signature:
+            self._dirty = True  # rewrite with the new signature
+            return
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(
+        self, rel_path: str, file_fingerprint: str
+    ) -> tuple[FileFacts, list[Finding]] | None:
+        """Cached (facts, findings) when the content is unchanged."""
+        entry = self._entries.get(rel_path)
+        if entry is None or entry.get("fingerprint") != file_fingerprint:
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_dict(entry["facts"])
+            findings = [
+                Finding(
+                    rule=item["rule"],
+                    path=item["path"],
+                    line=item["line"],
+                    col=item["col"],
+                    message=item["message"],
+                    severity=Severity(item["severity"]),
+                    source=item.get("source", ""),
+                )
+                for item in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts, findings
+
+    def put(
+        self,
+        rel_path: str,
+        file_fingerprint: str,
+        facts: FileFacts,
+        findings: list[Finding],
+    ) -> None:
+        self._entries[rel_path] = {
+            "fingerprint": file_fingerprint,
+            "facts": facts.to_dict(),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def prune(self, keep: set[str]) -> None:
+        """Drop entries for files no longer in the scan set."""
+        stale = [rel for rel in self._entries if rel not in keep]
+        for rel in stale:
+            del self._entries[rel]
+            self._dirty = True
+
+    def write(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"signature": self.signature, "files": self._entries}
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just stays cold
+        self._dirty = False

@@ -12,8 +12,9 @@ import sys
 from pathlib import Path
 
 from .baseline import load_baseline, partition, write_baseline
+from .cache import CACHE_FILENAME
 from .config import Config, load_config
-from .engine import all_rules, check_paths
+from .engine import all_rules, build_graph, check_paths
 from .findings import Finding, Severity
 
 __all__ = ["configure_parser", "main", "run_check"]
@@ -58,12 +59,36 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "--json",
         action="store_true",
         dest="json_output",
-        help="emit findings as JSON on stdout (machine consumption)",
+        help="emit findings as JSON on stdout (shorthand for "
+        "--output-format json)",
+    )
+    parser.add_argument(
+        "--output-format",
+        choices=("text", "json", "github"),
+        default=None,
+        help="finding output format; 'github' emits GitHub Actions "
+        "::error/::warning annotations that land on the PR diff",
     )
     parser.add_argument(
         "--strict-warnings",
         action="store_true",
         help="exit non-zero on new warning-level findings too",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental facts cache",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help=f"incremental cache file (default: {CACHE_FILENAME} at the "
+        "config root)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the project import/def-use graph as JSON and exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -99,6 +124,24 @@ def _emit_json(
         indent=2,
     )
     sys.stdout.write("\n")
+
+
+def _github_escape(text: str) -> str:
+    """Escape per the workflow-command data rules."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _emit_github(new: list[Finding], checked_files: int) -> None:
+    for finding in new:
+        level = "error" if finding.severity is Severity.ERROR else "warning"
+        print(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule}::"
+            f"{_github_escape(finding.message)}"
+        )
+    print(f"splitcheck: {checked_files} file(s), {len(new)} new finding(s)")
 
 
 def run_check(args: argparse.Namespace) -> int:
@@ -138,8 +181,27 @@ def run_check(args: argparse.Namespace) -> int:
             )
             return 2
 
+    if args.graph:
+        try:
+            graph = build_graph(paths, config)
+        except OSError as exc:
+            print(f"splitcheck: {exc}", file=sys.stderr)
+            return 2
+        json.dump(graph.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+
+    if args.no_cache:
+        cache_path = None
+    elif args.cache:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = config.root / CACHE_FILENAME
+
     try:
-        findings, checked_files = check_paths(paths, config, select=select)
+        findings, checked_files = check_paths(
+            paths, config, select=select, cache_path=cache_path
+        )
     except OSError as exc:
         print(f"splitcheck: {exc}", file=sys.stderr)
         return 2
@@ -170,8 +232,11 @@ def run_check(args: argparse.Namespace) -> int:
         return 2
     new, known = partition(findings, baseline)
 
-    if args.json_output:
+    output_format = args.output_format or ("json" if args.json_output else "text")
+    if output_format == "json":
         _emit_json(new, known, checked_files, baseline_path)
+    elif output_format == "github":
+        _emit_github(new, checked_files)
     else:
         for finding in new:
             print(finding.render())

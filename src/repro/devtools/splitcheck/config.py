@@ -9,6 +9,7 @@ Recognized keys::
 
     [tool.splitcheck.rules.SD101]
     paths = ["*/repro/core/*.py"]           # replace the rule's default scope
+    exclude = ["*/repro/core/generated.py"] # carve files back out of the scope
     severity = "warning"                    # downgrade from error
 
 The config *root* is the directory holding ``pyproject.toml``, found by
@@ -38,6 +39,7 @@ class RuleConfig:
     """Per-rule overrides from ``[tool.splitcheck.rules.<ID>]``."""
 
     paths: tuple[str, ...] | None = None
+    exclude: tuple[str, ...] | None = None
     severity: str | None = None
 
 
@@ -120,6 +122,14 @@ def load_config(root: Path | None = None, *, start: Path | None = None) -> Confi
                 raise ValueError(
                     f"[tool.splitcheck.rules.{rule_id}] paths must be a glob list"
                 )
+            rule_exclude = overrides.get("exclude")
+            if rule_exclude is not None and (
+                not isinstance(rule_exclude, list)
+                or not all(isinstance(item, str) for item in rule_exclude)
+            ):
+                raise ValueError(
+                    f"[tool.splitcheck.rules.{rule_id}] exclude must be a glob list"
+                )
             severity = overrides.get("severity")
             if severity is not None and severity not in ("error", "warning"):
                 raise ValueError(
@@ -128,6 +138,7 @@ def load_config(root: Path | None = None, *, start: Path | None = None) -> Confi
                 )
             rules[rule_id.upper()] = RuleConfig(
                 paths=tuple(paths) if paths is not None else None,
+                exclude=tuple(rule_exclude) if rule_exclude is not None else None,
                 severity=severity,
             )
 

@@ -23,6 +23,7 @@ __all__ = [
     "FileContext",
     "Rule",
     "all_rules",
+    "build_graph",
     "check_paths",
     "iter_python_files",
     "register",
@@ -82,8 +83,22 @@ class Rule:
     #: Matched against both the absolute path and the config-root-relative
     #: path, so ``*/repro/core/*.py`` works from any checkout location.
     default_paths: tuple[str, ...] = ("*.py",)
+    #: True on :class:`~repro.devtools.splitcheck.project.ProjectRule`
+    #: subclasses, which run once over the whole graph instead of per file.
+    project: bool = False
 
-    def applies_to(self, abs_path: str, rel_path: str, paths: tuple[str, ...]) -> bool:
+    def applies_to(
+        self,
+        abs_path: str,
+        rel_path: str,
+        paths: tuple[str, ...],
+        exclude: tuple[str, ...] = (),
+    ) -> bool:
+        if any(
+            fnmatch(abs_path, pattern) or fnmatch(rel_path, pattern)
+            for pattern in exclude
+        ):
+            return False
         return any(
             fnmatch(abs_path, pattern) or fnmatch(rel_path, pattern)
             for pattern in paths
@@ -155,61 +170,162 @@ def check_paths(
     config: Config,
     *,
     select: frozenset[str] | None = None,
+    cache_path: Path | None = None,
 ) -> tuple[list[Finding], int]:
     """Run every enabled rule over every file; returns (findings, files).
 
     ``select`` narrows to the named rules (CLI ``--select``); config
     ``disable`` always wins.  A file that fails to parse produces a
     single ``SD000`` syntax finding rather than aborting the scan.
+
+    With ``cache_path`` set, unchanged files (by content fingerprint)
+    reuse their cached facts and findings instead of re-parsing; the
+    project pass always runs, over cached + fresh facts alike.
     """
-    rules: list[Rule] = []
-    for rule_id, cls in all_rules().items():
+    findings, files, _graph = _run(
+        paths, config, select=select, cache_path=cache_path, need_graph=False
+    )
+    return findings, files
+
+
+def build_graph(paths: list[Path], config: Config) -> "object":
+    """The project graph for ``--graph``: facts for every scanned file."""
+    _, _, graph = _run(
+        paths, config, select=frozenset(), cache_path=None, need_graph=True
+    )
+    return graph
+
+
+def _run(
+    paths: list[Path],
+    config: Config,
+    *,
+    select: frozenset[str] | None,
+    cache_path: Path | None,
+    need_graph: bool,
+) -> tuple[list[Finding], int, "object"]:
+    # Imported here (not at module top) to avoid cycles: the project and
+    # cache layers import ``Rule``/``register`` from this module.
+    from .cache import FactsCache, cache_signature, fingerprint
+    from .facts import FileFacts, extract_facts
+    from .project import ProjectContext, ProjectGraph, load_design_registry
+
+    registry = all_rules()
+    enabled: list[Rule] = []
+    for rule_id, cls in registry.items():
         if rule_id in config.disable:
             continue
         if select is not None and rule_id not in select:
             continue
-        rules.append(cls())
+        enabled.append(cls())
+    file_rules = [rule for rule in enabled if not rule.project]
+    project_rules = [rule for rule in enabled if rule.project]
+
+    cache: FactsCache | None = None
+    if cache_path is not None:
+        cache = FactsCache(
+            cache_path, cache_signature(config, select, tuple(registry))
+        )
 
     files = iter_python_files(paths, config.exclude)
     findings: list[Finding] = []
+    facts_map: dict[str, FileFacts] = {}
+    sources: dict[str, tuple[list[str], PragmaIndex]] = {}
     for file_path in files:
-        source = file_path.read_text(encoding="utf-8")
+        raw = file_path.read_bytes()
+        source = raw.decode("utf-8")
         rel = _rel_path(file_path, config.root)
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule="SD000",
-                    path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    message=f"file does not parse: {exc.msg}",
-                    severity=Severity.ERROR,
-                )
-            )
-            continue
         pragmas = PragmaIndex(source)
         if pragmas.skip_file:
             continue
-        abs_posix = file_path.resolve().as_posix()
-        for rule in rules:
-            rule_cfg = config.rule_config(rule.id)
-            scope = rule_cfg.paths if rule_cfg.paths is not None else rule.default_paths
-            if not rule.applies_to(abs_posix, rel, scope):
+        cached = cache.get(rel, fingerprint(raw)) if cache is not None else None
+        if cached is not None:
+            facts, file_findings = cached
+        else:
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        rule="SD000",
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}",
+                        severity=Severity.ERROR,
+                    )
+                )
                 continue
-            ctx = FileContext(
-                path=file_path,
-                rel_path=rel,
-                source=source,
-                tree=tree,
-                lines=source.splitlines(),
-                pragmas=pragmas,
+            file_findings = []
+            abs_posix = file_path.resolve().as_posix()
+            for rule in file_rules:
+                rule_cfg = config.rule_config(rule.id)
+                scope = (
+                    rule_cfg.paths
+                    if rule_cfg.paths is not None
+                    else rule.default_paths
+                )
+                if not rule.applies_to(
+                    abs_posix, rel, scope, rule_cfg.exclude or ()
+                ):
+                    continue
+                ctx = FileContext(
+                    path=file_path,
+                    rel_path=rel,
+                    source=source,
+                    tree=tree,
+                    lines=source.splitlines(),
+                    pragmas=pragmas,
+                    severity_override=(
+                        Severity(rule_cfg.severity) if rule_cfg.severity else None
+                    ),
+                )
+                rule.check(ctx)
+                file_findings.extend(ctx.findings)
+            facts = extract_facts(rel, tree, source)
+            if cache is not None:
+                cache.put(rel, fingerprint(raw), facts, file_findings)
+        findings.extend(file_findings)
+        facts_map[rel] = facts
+        sources[rel] = (source.splitlines(), pragmas)
+
+    graph = None
+    if project_rules or need_graph:
+        # A scan is "complete" when its roots cover the canonical package
+        # tree; reverse checks (doc row -> code site) only make sense then,
+        # or a partial `splitdetect check src/repro/core` would flag every
+        # registration living elsewhere as orphaned.
+        canonical = config.root / "src" / "repro"
+        if not canonical.is_dir():
+            canonical = config.root
+        canonical = canonical.resolve()
+        roots = [path.resolve() for path in paths]
+        complete = any(
+            canonical == root or canonical.is_relative_to(root)
+            for root in roots
+        )
+        graph = ProjectGraph(facts_map, load_design_registry(config.root))
+        for rule in project_rules:
+            rule_cfg = config.rule_config(rule.id)
+            scope = (
+                rule_cfg.paths if rule_cfg.paths is not None else rule.default_paths
+            )
+            ctx = ProjectContext(
+                graph=graph,
+                config=config,
+                sources=sources,
                 severity_override=(
                     Severity(rule_cfg.severity) if rule_cfg.severity else None
                 ),
+                scope=scope,
+                exclude=rule_cfg.exclude or (),
+                complete=complete,
             )
-            rule.check(ctx)
+            rule.check_project(ctx)
             findings.extend(ctx.findings)
+
+    if cache is not None:
+        cache.prune(set(facts_map))
+        cache.write()
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, len(files)
+    return findings, len(files), graph

@@ -1,0 +1,784 @@
+"""Per-file semantic facts: the inputs of the project-level pass.
+
+One AST walk per file produces a :class:`FileFacts` record -- symbol
+definitions, the import alias map, call edges one level deep, metric and
+trace-span registrations, worker wire-protocol emissions/dispatches,
+sequence-arithmetic operations with one-level assignment taint, and
+resource acquisition/disposal sites.  Facts are plain JSON-serializable
+data: the incremental cache stores them keyed on a content fingerprint,
+so an unchanged file contributes to the project graph without being
+re-parsed, and ``splitdetect check --graph`` is just this structure
+serialized.
+
+Everything here is linter-approximate (no type inference); rules built
+on these facts must prefer false negatives over false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator
+
+from .astutil import ImportMap, dotted_name
+
+__all__ = ["FACTS_VERSION", "FileFacts", "extract_facts", "module_name"]
+
+#: Bump when the extraction schema changes; the cache layer folds this
+#: into its signature so stale facts are discarded, not misread.
+FACTS_VERSION = 1
+
+#: Instrument registration methods (``receiver.counter("name", ...)``).
+_METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+#: Methods releasing an acquired resource.
+_CLOSE_METHODS = frozenset({"close", "terminate", "kill", "shutdown", "release"})
+
+#: Value-family names treated as TCP sequence numbers for taint: ``seq``,
+#: ``ack``, and anything ending in ``_seq`` (``expected_seq``,
+#: ``data_seq``, ...).  ``seq_len`` (a byte count) and ``has_seq`` (a
+#: flag) are not sequence numbers and stay untainted.
+_SEQ_EXACT = frozenset({"seq", "ack"})
+_SEQ_NOT = frozenset({"has_seq"})
+
+#: seq-helper calls: ``seq_add`` returns a sequence number (taint
+#: propagates); ``seq_diff`` returns a signed delta (taint stops).
+_SEQ_PRODUCERS = frozenset({"seq_add"})
+_SEQ_HELPERS = frozenset({"seq_add", "seq_diff"})
+
+
+def _is_seq_name(name: str) -> bool:
+    lowered = name.lower()
+    if lowered in _SEQ_NOT:
+        return False
+    return lowered in _SEQ_EXACT or lowered.endswith("_seq")
+
+
+@dataclass
+class FileFacts:
+    """Everything the project pass knows about one file."""
+
+    path: str
+    module: str
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: list[dict[str, Any]] = field(default_factory=list)
+    classes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    calls: list[dict[str, Any]] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    wire_puts: list[dict[str, Any]] = field(default_factory=list)
+    wire_handles: list[dict[str, Any]] = field(default_factory=list)
+    seq_ops: list[dict[str, Any]] = field(default_factory=list)
+    seq_taints: dict[str, list[str]] = field(default_factory=dict)
+    resources: list[dict[str, Any]] = field(default_factory=list)
+    attr_releases: dict[str, list[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FileFacts":
+        return cls(**data)
+
+
+def module_name(rel_path: str) -> str:
+    """Dotted module guess from a config-root-relative path."""
+    parts = rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def extract_facts(rel_path: str, tree: ast.Module, source: str) -> FileFacts:
+    """One pass over ``tree`` producing the file's fact record."""
+    extractor = _Extractor(rel_path, tree)
+    extractor.run()
+    return extractor.facts
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Every expression belonging directly to ``stmt``: its tests,
+    targets, values -- but nothing from nested statement bodies, which
+    the callers traverse separately in document order."""
+    for _, value in ast.iter_fields(stmt):
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, ast.expr):
+                yield from (
+                    sub for sub in ast.walk(item) if isinstance(sub, ast.expr)
+                )
+
+
+def _child_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """Nested statement lists of a compound statement, in source order."""
+    for _, value in ast.iter_fields(stmt):
+        if not isinstance(value, list) or not value:
+            continue
+        if isinstance(value[0], ast.stmt):
+            yield value
+        elif isinstance(value[0], ast.excepthandler):
+            for handler in value:
+                yield handler.body
+
+
+class _Extractor:
+    def __init__(self, rel_path: str, tree: ast.Module) -> None:
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.facts = FileFacts(
+            path=rel_path,
+            module=module_name(rel_path),
+            imports=dict(self.imports._aliases),
+        )
+
+    def run(self) -> None:
+        self._collect_symbols()
+        for qualname, node in self._scopes():
+            self._scan_calls(qualname, node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_seq(qualname, node)
+                self._scan_resources(qualname, node)
+        self._collect_wire_handles()
+
+    # -- scopes ----------------------------------------------------------
+
+    def _scopes(self) -> list[tuple[str, ast.AST]]:
+        """(qualname, node) for the module and every function, outermost
+        first.  Nested functions chain their qualname through parents."""
+        out: list[tuple[str, ast.AST]] = [("<module>", self.tree)]
+
+        def descend(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}.{child.name}" if prefix else child.name
+                    out.append((qual, child))
+                    descend(child, qual)
+                elif isinstance(child, ast.ClassDef):
+                    qual = f"{prefix}.{child.name}" if prefix else child.name
+                    descend(child, qual)
+                else:
+                    descend(child, prefix)
+
+        descend(self.tree, "")
+        return out
+
+    def _walk_shallow(self, body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Every node under ``body`` without entering nested function
+        definitions (those are scanned as their own scopes)."""
+        stack: list[ast.AST] = [
+            node
+            for node in body
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        while stack:
+            current = stack.pop()
+            yield current
+            for child in ast.iter_child_nodes(current):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+
+    # -- symbols ---------------------------------------------------------
+
+    def _collect_symbols(self) -> None:
+        for qualname, node in self._scopes():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.facts.functions.append(
+                    {
+                        "qualname": qualname,
+                        "name": node.name,
+                        "lineno": node.lineno,
+                        "args": [arg.arg for arg in node.args.args],
+                    }
+                )
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs: set[str] = set()
+            releases: set[str] = set()
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and self._is_self(sub.value)
+                    and isinstance(sub.ctx, ast.Store)
+                ):
+                    attrs.add(sub.attr)
+                if isinstance(sub, ast.Call):
+                    func = sub.func
+                    # self.attr.close()-family releases, and self.attr
+                    # handed to another callable (ownership transfer).
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _CLOSE_METHODS
+                        and isinstance(func.value, ast.Attribute)
+                        and self._is_self(func.value.value)
+                    ):
+                        releases.add(func.value.attr)
+                    for arg in [*sub.args, *(kw.value for kw in sub.keywords)]:
+                        for leaf in ast.walk(arg):
+                            if isinstance(leaf, ast.Attribute) and self._is_self(
+                                leaf.value
+                            ):
+                                releases.add(leaf.attr)
+            self.facts.classes[node.name] = {
+                "lineno": node.lineno,
+                "attrs": sorted(attrs),
+                "bases": [
+                    name
+                    for name in (dotted_name(base) for base in node.bases)
+                    if name is not None
+                ],
+            }
+            if releases:
+                self.facts.attr_releases[node.name] = sorted(releases)
+
+    @staticmethod
+    def _is_self(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+    # -- calls, metrics, spans, wire puts --------------------------------
+
+    def _scan_calls(self, qualname: str, scope: ast.AST) -> None:
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            body = list(scope.body)
+        else:
+            body = []
+        for sub in self._walk_shallow(body):
+            if isinstance(sub, ast.Call):
+                self._record_call(qualname, sub)
+                self._record_metric(sub)
+                self._record_span(sub)
+                self._record_wire_put(sub)
+
+    def _record_call(self, qualname: str, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        self.facts.calls.append(
+            {
+                "caller": qualname,
+                "callee": self.imports.resolve(name),
+                "raw": name,
+                "lineno": node.lineno,
+            }
+        )
+
+    def _record_metric(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _METRIC_KINDS):
+            return
+        if not (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            return
+        self.facts.metrics.append(
+            {
+                "name": node.args[0].value,
+                "kind": func.attr,
+                "lineno": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+
+    def _record_span(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in ("record", "record_system"):
+            return
+        receiver = dotted_name(func.value) or ""
+        if "tracer" not in receiver.lower():
+            return
+        literals = node.args[1:3] if func.attr == "record" else node.args[0:2]
+        if len(literals) != 2 or not all(
+            isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+            for arg in literals
+        ):
+            return
+        stage, event = literals
+        assert isinstance(stage, ast.Constant) and isinstance(event, ast.Constant)
+        self.facts.spans.append(
+            {
+                "stage": stage.value,
+                "event": event.value,
+                "system": func.attr == "record_system",
+                "lineno": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+
+    # -- worker wire protocol --------------------------------------------
+
+    @staticmethod
+    def _is_result_queue(name: str | None) -> bool:
+        return name is not None and (
+            name.endswith("out_queue") or name.endswith("results_queue")
+        )
+
+    def _record_wire_put(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("put", "put_nowait")
+            and self._is_result_queue(dotted_name(func.value))
+        ):
+            return
+        if not node.args or not isinstance(node.args[0], ast.Tuple):
+            return
+        elts = node.args[0].elts
+        if not elts:
+            return
+        head = elts[0]
+        if not (isinstance(head, ast.Constant) and isinstance(head.value, str)):
+            return
+        self.facts.wire_puts.append(
+            {
+                "kind": head.value,
+                "arity": len(elts),
+                "lineno": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+
+    def _from_result_queue_get(self, value: ast.expr) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("get", "get_nowait")
+            and self._is_result_queue(dotted_name(value.func.value))
+        )
+
+    def _collect_wire_handles(self) -> None:
+        """Dispatch arms over message kinds read from a results queue.
+
+        A *wire variable* is the first target of a tuple unpack from
+        ``<...>out_queue.get[_nowait]()``.  Passing one as the first
+        positional argument of a locally-defined function taints that
+        function's first parameter (the one-level call edge).  Every
+        ``wirevar == "literal"`` comparison then records a handled kind;
+        rebinding the name (a ``for`` target, a fresh assignment) ends
+        its wire-ness, which keeps the batching layer's unrelated
+        ``kind == "ctl"`` comparisons out of the protocol facts.
+        """
+        functions_by_name: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions_by_name.setdefault(node.name, node)
+
+        pending: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]] = []
+        tainted_fns: set[str] = set()
+
+        def scan_stmt(stmt: ast.stmt, wire: set[str]) -> None:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            # Rebinding first: a for-loop target shadows any wire var.
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                for leaf in ast.walk(stmt.target):
+                    if isinstance(leaf, ast.Name):
+                        wire.discard(leaf.id)
+            for expr in _own_exprs(stmt):
+                if isinstance(expr, ast.Compare) and isinstance(expr.left, ast.Name):
+                    if (
+                        expr.left.id in wire
+                        and len(expr.ops) == 1
+                        and isinstance(expr.ops[0], (ast.Eq, ast.NotEq))
+                    ):
+                        comparator = expr.comparators[0]
+                        if isinstance(comparator, ast.Constant) and isinstance(
+                            comparator.value, str
+                        ):
+                            self.facts.wire_handles.append(
+                                {
+                                    "kind": comparator.value,
+                                    "lineno": expr.lineno,
+                                    "col": expr.col_offset,
+                                }
+                            )
+                elif isinstance(expr, ast.Call):
+                    name = dotted_name(expr.func)
+                    if (
+                        name is not None
+                        and name in functions_by_name
+                        and name not in tainted_fns
+                        and expr.args
+                        and isinstance(expr.args[0], ast.Name)
+                        and expr.args[0].id in wire
+                    ):
+                        fn = functions_by_name[name]
+                        if fn.args.args:
+                            tainted_fns.add(name)
+                            pending.append((fn, fn.args.args[0].arg))
+            if isinstance(stmt, ast.Assign):
+                target = stmt.targets[0] if len(stmt.targets) == 1 else None
+                if isinstance(target, ast.Tuple) and self._from_result_queue_get(
+                    stmt.value
+                ):
+                    names = [
+                        elt.id for elt in target.elts if isinstance(elt, ast.Name)
+                    ]
+                    if names:
+                        wire.add(names[0])
+                        self.facts.wire_handles.append(
+                            {
+                                "kind": None,
+                                "arity": len(target.elts),
+                                "lineno": stmt.lineno,
+                                "col": stmt.col_offset,
+                            }
+                        )
+                else:
+                    for tgt in stmt.targets:
+                        for leaf in ast.walk(tgt):
+                            if isinstance(leaf, ast.Name):
+                                wire.discard(leaf.id)
+            for body in _child_bodies(stmt):
+                for sub in body:
+                    scan_stmt(sub, wire)
+
+        for _, scope in self._scopes():
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                wire: set[str] = set()
+                for stmt in scope.body:
+                    scan_stmt(stmt, wire)
+        # One level deep: re-scan each called function with its first
+        # parameter pre-tainted.
+        while pending:
+            fn, param = pending.pop()
+            wire = {param}
+            for stmt in fn.body:
+                scan_stmt(stmt, wire)
+
+    # -- sequence arithmetic ---------------------------------------------
+
+    def _seq_helper_tail(self, node: ast.Call) -> str | None:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        tail = name.split(".")[-1]
+        return tail if tail in _SEQ_HELPERS else None
+
+    def _expr_seq_tainted(self, expr: ast.expr, taint: set[str]) -> bool:
+        """Does a seq-family value feed ``expr``?  Call subtrees are
+        pruned: a call returns a *new* value, so ``pack(self.seq, ...)``
+        is bytes and ``seq_diff(a.seq, b)`` is a signed delta; only
+        ``seq_add(...)`` results remain sequence numbers.  (Raw
+        arithmetic *inside* call arguments is still caught -- every
+        BinOp/Compare node is checked at its own site.)"""
+        if isinstance(expr, ast.Call):
+            tail = self._seq_helper_tail(expr)
+            return tail in _SEQ_PRODUCERS if tail is not None else False
+        elif isinstance(expr, ast.Name):
+            return expr.id in taint or _is_seq_name(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            if _is_seq_name(expr.attr):
+                return True
+        return any(
+            self._expr_seq_tainted(child, taint)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        )
+
+    @staticmethod
+    def _is_mod_reduction(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+        """Is this arithmetic immediately reduced mod 2**32 (the helper
+        idiom itself)?"""
+        parent = parents.get(node)
+        if isinstance(parent, ast.BinOp) and isinstance(
+            parent.op, (ast.Mod, ast.BitAnd)
+        ):
+            other = parent.right if parent.left is node else parent.left
+            for leaf in ast.walk(other):
+                if isinstance(leaf, ast.Constant) and leaf.value in (2**32, 0xFFFFFFFF):
+                    return True
+                if (  # 2**32 parses as BinOp(Pow), not a folded constant
+                    isinstance(leaf, ast.BinOp)
+                    and isinstance(leaf.op, ast.Pow)
+                    and isinstance(leaf.left, ast.Constant)
+                    and isinstance(leaf.right, ast.Constant)
+                    and leaf.left.value == 2
+                    and leaf.right.value == 32
+                ):
+                    return True
+                if isinstance(leaf, ast.Name) and "MOD" in leaf.id.upper():
+                    return True
+                if isinstance(leaf, ast.Attribute) and "MOD" in leaf.attr.upper():
+                    return True
+        return False
+
+    _RAW_BINOPS: dict[type, str] = {ast.Add: "+", ast.Sub: "-"}
+    _RAW_CMPOPS: dict[type, str] = {
+        ast.Lt: "<",
+        ast.Gt: ">",
+        ast.LtE: "<=",
+        ast.GtE: ">=",
+    }
+
+    def _scan_seq(
+        self, qualname: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if fn.name.startswith("seq_"):
+            return  # the modular-arithmetic helper family itself
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in self._walk_shallow(fn.body):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        taint: set[str] = set()
+
+        def visit(stmt: ast.stmt) -> None:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            self._check_seq_stmt(qualname, stmt, taint, parents)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._expr_seq_tainted(stmt.value, taint):
+                        taint.add(target.id)
+                    else:
+                        taint.discard(target.id)
+            for body in _child_bodies(stmt):
+                for sub in body:
+                    visit(sub)
+
+        for stmt in fn.body:
+            visit(stmt)
+        if taint:
+            self.facts.seq_taints[qualname] = sorted(taint)
+
+    def _check_seq_stmt(
+        self,
+        qualname: str,
+        stmt: ast.stmt,
+        taint: set[str],
+        parents: dict[ast.AST, ast.AST],
+    ) -> None:
+        if isinstance(stmt, ast.AugAssign) and type(stmt.op) in self._RAW_BINOPS:
+            target_name = (
+                stmt.target.attr
+                if isinstance(stmt.target, ast.Attribute)
+                else stmt.target.id
+                if isinstance(stmt.target, ast.Name)
+                else ""
+            )
+            if _is_seq_name(target_name) or (
+                isinstance(stmt.target, ast.Name) and stmt.target.id in taint
+            ):
+                self.facts.seq_ops.append(
+                    {
+                        "op": self._RAW_BINOPS[type(stmt.op)] + "=",
+                        "scope": qualname,
+                        "lineno": stmt.lineno,
+                        "col": stmt.col_offset,
+                    }
+                )
+        for node in _own_exprs(stmt):
+            if isinstance(node, ast.BinOp) and type(node.op) in self._RAW_BINOPS:
+                if self._is_mod_reduction(node, parents):
+                    continue
+                if self._expr_seq_tainted(node.left, taint) or self._expr_seq_tainted(
+                    node.right, taint
+                ):
+                    self.facts.seq_ops.append(
+                        {
+                            "op": self._RAW_BINOPS[type(node.op)],
+                            "scope": qualname,
+                            "lineno": node.lineno,
+                            "col": node.col_offset,
+                        }
+                    )
+            elif isinstance(node, ast.Compare):
+                left: ast.expr = node.left
+                for op, comparator in zip(node.ops, node.comparators):
+                    if type(op) in self._RAW_CMPOPS and (
+                        self._expr_seq_tainted(left, taint)
+                        or self._expr_seq_tainted(comparator, taint)
+                    ):
+                        self.facts.seq_ops.append(
+                            {
+                                "op": self._RAW_CMPOPS[type(op)],
+                                "scope": qualname,
+                                "lineno": node.lineno,
+                                "col": node.col_offset,
+                            }
+                        )
+                    left = comparator
+
+    # -- resource lifecycle ----------------------------------------------
+
+    def _acquisition_kind(self, node: ast.Call) -> str | None:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        resolved = self.imports.resolve(name)
+        if resolved in (
+            "socket.socket",
+            "socket.create_connection",
+            "socket.socketpair",
+        ):
+            return "socket"
+        if resolved in ("open", "io.open", "builtins.open", "gzip.open", "lzma.open"):
+            return "file"
+        tail = name.split(".")[-1]
+        head = name.split(".")[0]
+        mp_receiver = head in ("ctx", "mp", "context") or resolved.startswith(
+            "multiprocessing."
+        )
+        if tail in ("Queue", "SimpleQueue", "JoinableQueue") and mp_receiver:
+            return "queue"
+        if tail == "Process" and mp_receiver:
+            return "process"
+        return None
+
+    def _scan_resources(
+        self, qualname: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        managed: set[ast.AST] = set()  # inside `with ...` or a comprehension
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in self._walk_shallow(fn.body):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.update(ast.walk(item.context_expr))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                managed.update(ast.walk(node))
+
+        acquisitions: list[tuple[str, ast.Call]] = []
+        for node in self._walk_shallow(fn.body):
+            if isinstance(node, ast.Call) and node not in managed:
+                kind = self._acquisition_kind(node)
+                if kind is not None:
+                    acquisitions.append((kind, node))
+        if not acquisitions:
+            return
+
+        owner_class = self._owner_class(qualname)
+        for kind, call in acquisitions:
+            record: dict[str, Any] = {
+                "kind": kind,
+                "scope": qualname,
+                "cls": owner_class,
+                "lineno": call.lineno,
+                "col": call.col_offset,
+                "disposition": "escape",
+                "name": None,
+                "attr": None,
+                "closed": False,
+                "closed_in_finally": False,
+                "escape": False,
+                "leaky_return": False,
+            }
+            stmt = self._owning_stmt(call, parents)
+            if (
+                isinstance(stmt, ast.Assign)
+                and stmt.value is call
+                and len(stmt.targets) == 1
+            ):
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    record["disposition"] = "local"
+                    record["name"] = target.id
+                elif isinstance(target, ast.Attribute) and self._is_self(target.value):
+                    record["disposition"] = "self"
+                    record["attr"] = target.attr
+            elif isinstance(stmt, ast.Expr) and stmt.value is call:
+                record["disposition"] = "discarded"
+            if record["disposition"] == "local":
+                self._scan_local_resource(fn, record)
+            self.facts.resources.append(record)
+
+    def _owner_class(self, qualname: str) -> str | None:
+        head = qualname.split(".")[0]
+        return head if head in self.facts.classes else None
+
+    @staticmethod
+    def _owning_stmt(
+        node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> ast.stmt | None:
+        current: ast.AST | None = parents.get(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            current = parents.get(current)
+        return current
+
+    def _scan_local_resource(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, record: dict[str, Any]
+    ) -> None:
+        name = record["name"]
+        acquired_line = record["lineno"]
+        close_lines: list[int] = []
+        finally_ranges: list[tuple[int, int]] = []
+        return_lines: list[int] = []
+        for node in self._walk_shallow(fn.body):
+            if isinstance(node, ast.Try) and node.finalbody:
+                start = node.finalbody[0].lineno
+                end = max(
+                    getattr(leaf, "lineno", start)
+                    for stmt in node.finalbody
+                    for leaf in ast.walk(stmt)
+                )
+                finally_ranges.append((start, end))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _CLOSE_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                ):
+                    close_lines.append(node.lineno)
+                    continue
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    for leaf in ast.walk(arg):
+                        if isinstance(leaf, ast.Name) and leaf.id == name:
+                            record["escape"] = True
+            elif isinstance(node, ast.Return):
+                return_lines.append(node.lineno)
+                if node.value is not None:
+                    for leaf in ast.walk(node.value):
+                        if isinstance(leaf, ast.Name) and leaf.id == name:
+                            record["escape"] = True
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and self._is_self(target.value)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == name
+                    ):
+                        record["disposition"] = "self"
+                        record["attr"] = target.attr
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        close_lines.append(node.lineno)
+                    elif (
+                        isinstance(expr, ast.Call)
+                        and expr.args
+                        and isinstance(expr.args[0], ast.Name)
+                        and expr.args[0].id == name
+                    ):
+                        close_lines.append(node.lineno)
+        if close_lines:
+            record["closed"] = True
+            record["closed_in_finally"] = any(
+                start <= line <= end
+                for line in close_lines
+                for start, end in finally_ranges
+            )
+            first_close = min(close_lines)
+            record["leaky_return"] = (
+                any(acquired_line < line < first_close for line in return_lines)
+                and not record["closed_in_finally"]
+            )

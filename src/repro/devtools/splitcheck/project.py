@@ -1,0 +1,245 @@
+"""The project-level pass: whole-tree facts, graph, and ProjectRule.
+
+Per-file rules end at the module boundary; the invariants that make the
+split fast path sound -- one telemetry namespace, a lossless worker wire
+protocol, modular sequence arithmetic everywhere -- are properties of
+the *tree*.  This module aggregates every file's :class:`FileFacts` into
+a :class:`ProjectGraph`, loads the documented registry table from
+DESIGN.md, and runs :class:`ProjectRule` subclasses over the result.
+
+Project findings use the same Finding/pragma/baseline machinery as file
+findings: a ``# splitcheck: ignore[SD2xx]`` on the reported line works,
+and fingerprints stay line-number independent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any
+
+from .config import Config
+from .engine import Rule, register as register  # re-export for rule modules
+from .facts import FileFacts
+from .findings import Finding, Severity
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "DesignRegistry",
+    "ProjectContext",
+    "ProjectGraph",
+    "ProjectRule",
+    "load_design_registry",
+]
+
+#: Registry-table row kinds recognized in DESIGN.md.
+_REGISTRY_KINDS = frozenset({"counter", "gauge", "histogram", "span"})
+
+_ROW_RE = re.compile(r"^\s*\|([^|]+)\|([^|]+)\|")
+_TOKEN_RE = re.compile(r"`?([a-z0-9_:{},*]+)`?")
+
+
+def _expand_braces(token: str) -> list[str]:
+    """``a_{x,y}_b`` -> ``[a_x_b, a_y_b]`` (one level, like the docs use)."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if match is None:
+        return [token]
+    head, tail = token[: match.start()], token[match.end() :]
+    out: list[str] = []
+    for part in match.group(1).split(","):
+        out.extend(_expand_braces(head + part + tail))
+    return out
+
+
+@dataclass
+class DesignRegistry:
+    """The machine-readable registry table parsed out of DESIGN.md.
+
+    Rows look like ``| repro_engine_packets_total | counter | ... |`` for
+    metrics and ``| decode:fast_route | span | ... |`` for trace spans.
+    Tokens containing ``*`` are treated as prose wildcards and skipped.
+    """
+
+    path: str
+    #: metric name -> (kind, lineno)
+    metrics: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: (stage, event) -> lineno
+    spans: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not self.metrics and not self.spans
+
+
+def load_design_registry(root: Path, doc_name: str = "DESIGN.md") -> DesignRegistry | None:
+    """Parse the registry table rows from ``<root>/DESIGN.md``, if any."""
+    doc = root / doc_name
+    if not doc.is_file():
+        return None
+    registry = DesignRegistry(path=doc_name)
+    for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(), 1):
+        row = _ROW_RE.match(line)
+        if row is None:
+            continue
+        kind = row.group(2).strip().strip("`")
+        if kind not in _REGISTRY_KINDS:
+            continue
+        raw = row.group(1).strip()
+        token_match = _TOKEN_RE.fullmatch(raw.strip("`"))
+        if token_match is None:
+            continue
+        for token in _expand_braces(token_match.group(1)):
+            if "*" in token:
+                continue
+            if kind == "span":
+                stage, sep, event = token.partition(":")
+                if sep:
+                    registry.spans.setdefault((stage, event), lineno)
+            else:
+                registry.metrics.setdefault(token, (kind, lineno))
+    return registry
+
+
+class ProjectGraph:
+    """Every scanned file's facts plus the documented registry."""
+
+    def __init__(
+        self,
+        files: dict[str, FileFacts],
+        design: DesignRegistry | None = None,
+    ) -> None:
+        self.files = files
+        self.design = design
+
+    def facts_matching(
+        self,
+        patterns: tuple[str, ...],
+        exclude: tuple[str, ...] = (),
+        root: Path | None = None,
+    ) -> list[FileFacts]:
+        """Facts of files whose path (relative, or absolute under
+        ``root``) matches any include glob and no exclude glob."""
+
+        def matches(rel: str, globs: tuple[str, ...]) -> bool:
+            abs_posix = (root / rel).as_posix() if root is not None else rel
+            return any(
+                fnmatch(rel, pattern) or fnmatch(abs_posix, pattern)
+                for pattern in globs
+            )
+
+        return [
+            facts
+            for rel, facts in sorted(self.files.items())
+            if matches(rel, patterns) and not matches(rel, exclude)
+        ]
+
+    def to_json(self) -> dict[str, Any]:
+        """The --graph dump: modules, imports, symbols, edges, taints."""
+        modules: dict[str, Any] = {}
+        for rel, facts in sorted(self.files.items()):
+            modules[rel] = {
+                "module": facts.module,
+                "imports": facts.imports,
+                "functions": facts.functions,
+                "classes": facts.classes,
+                "calls": facts.calls,
+                "metrics": facts.metrics,
+                "spans": facts.spans,
+                "wire_puts": facts.wire_puts,
+                "wire_handles": facts.wire_handles,
+                "seq_taints": facts.seq_taints,
+                "resources": facts.resources,
+            }
+        design: dict[str, Any] | None = None
+        if self.design is not None:
+            design = {
+                "path": self.design.path,
+                "metrics": {
+                    name: {"kind": kind, "line": line}
+                    for name, (kind, line) in sorted(self.design.metrics.items())
+                },
+                "spans": [
+                    {"stage": stage, "event": event, "line": line}
+                    for (stage, event), line in sorted(self.design.spans.items())
+                ],
+            }
+        return {"files": modules, "design": design}
+
+
+@dataclass
+class ProjectContext:
+    """What one project rule invocation may look at and report through."""
+
+    graph: ProjectGraph
+    config: Config
+    #: rel_path -> (source lines, pragma index) for every scanned file.
+    sources: dict[str, tuple[list[str], PragmaIndex]]
+    severity_override: Severity | None = None
+    findings: list[Finding] = field(default_factory=list)
+    #: effective scope globs for the running rule (config override wins).
+    scope: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+    #: True when the scan roots cover the whole canonical tree; rules
+    #: gate reverse (doc -> code) checks on this so partial scans don't
+    #: report everything outside the scan set as missing.
+    complete: bool = True
+
+    def facts(self) -> list[FileFacts]:
+        return self.graph.facts_matching(
+            self.scope, self.exclude, root=self.config.root
+        )
+
+    def source_line(self, rel_path: str, lineno: int) -> str:
+        entry = self.sources.get(rel_path)
+        if entry is not None and 1 <= lineno <= len(entry[0]):
+            return entry[0][lineno - 1].strip()
+        if rel_path == getattr(self.graph.design, "path", None):
+            doc = self.config.root / rel_path
+            if doc.is_file():
+                lines = doc.read_text(encoding="utf-8").splitlines()
+                if 1 <= lineno <= len(lines):
+                    return lines[lineno - 1].strip()
+        return ""
+
+    def report(
+        self,
+        rule: "ProjectRule",
+        rel_path: str,
+        lineno: int,
+        col: int,
+        message: str,
+    ) -> None:
+        entry = self.sources.get(rel_path)
+        if entry is not None and entry[1].ignores(lineno, rule.id):
+            return
+        severity = self.severity_override or rule.severity
+        self.findings.append(
+            Finding(
+                rule=rule.id,
+                path=rel_path,
+                line=lineno,
+                col=col + 1,
+                message=message,
+                severity=severity,
+                source=self.source_line(rel_path, lineno),
+            )
+        )
+
+
+class ProjectRule(Rule):
+    """A rule over the whole graph rather than one file.
+
+    ``default_paths`` keeps its meaning -- it selects which files' facts
+    the rule consumes (``ctx.facts()``) -- but the rule runs once per
+    scan, after every file's facts exist.
+    """
+
+    project = True
+
+    def check(self, ctx: Any) -> None:  # pragma: no cover - not used
+        raise NotImplementedError("project rules implement check_project")
+
+    def check_project(self, ctx: ProjectContext) -> None:
+        raise NotImplementedError

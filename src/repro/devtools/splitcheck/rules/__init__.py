@@ -17,6 +17,10 @@ from . import (  # noqa: F401
     sd106_worker_status,
     sd107_trace_guard,
     sd108_service_timeouts,
+    sd201_metric_registry,
+    sd202_wire_protocol,
+    sd203_seq_discipline,
+    sd204_resource_lifecycle,
 )
 
 __all__ = [
@@ -28,4 +32,8 @@ __all__ = [
     "sd106_worker_status",
     "sd107_trace_guard",
     "sd108_service_timeouts",
+    "sd201_metric_registry",
+    "sd202_wire_protocol",
+    "sd203_seq_discipline",
+    "sd204_resource_lifecycle",
 ]

@@ -9,7 +9,10 @@ and the registry merge it delegates to) this rule forbids:
 
 - wall-clock reads (``time.time``, ``datetime.now``, ...) -- merged
   reports must derive times from *packet* timestamps only;
-- any use of the ``random``/``secrets``/``uuid`` modules;
+- any use of the ``secrets``/``uuid`` modules, and any use of
+  ``random`` *except* an explicitly seeded ``random.Random(seed)``
+  instance (the benchmark idiom: same seed, same stream, every run --
+  entropy inside the seed expression is flagged at its own call);
 - iterating a ``set``/``frozenset`` value, a set literal or
   comprehension, or ``.keys()``/``.values()``/``.items()`` of a freshly
   built ``dict(...)``\\ -like call, without wrapping in ``sorted(...)``.
@@ -42,6 +45,21 @@ FORBIDDEN_CALLS = frozenset(
 )
 
 FORBIDDEN_MODULES = ("random", "secrets", "uuid")
+
+# Importing these is already a smell; ``random`` alone is import-clean
+# because the seeded-instance idiom below is allowed.
+FORBIDDEN_IMPORTS = ("secrets", "uuid")
+
+
+def _is_seeded_random(node: ast.Call, path: str) -> bool:
+    """``random.Random(seed)`` with an explicit seed.
+
+    Deterministic as a function of the seed expression; an entropy
+    source *inside* the seed (``random.Random(time.time())``) is still
+    flagged at its own call node by this same rule.  Only the zero-arg
+    form -- OS entropy -- stays forbidden.
+    """
+    return path == "random.Random" and len(node.args) == 1 and not node.keywords
 
 
 def _set_iteration_problem(expr: ast.expr) -> str | None:
@@ -95,7 +113,7 @@ class DeterminismRule(Rule):
             modules = [(node.module or "").lstrip(".")]
         for module in modules:
             root = module.split(".")[0]
-            if root in FORBIDDEN_MODULES:
+            if root in FORBIDDEN_IMPORTS:
                 ctx.report(
                     self,
                     node,
@@ -112,12 +130,20 @@ class DeterminismRule(Rule):
             return
         root = path.split(".")[0]
         if path in FORBIDDEN_CALLS or root in FORBIDDEN_MODULES:
+            if _is_seeded_random(node, path):
+                return
+            hint = (
+                "; seed an instance -- random.Random(<literal>) -- if you "
+                "need a reproducible stream"
+                if root == "random"
+                else ""
+            )
             ctx.report(
                 self,
                 node,
                 f"call to {path}() in a determinism-critical module; merged "
                 "reports must derive only from packet timestamps and shard "
-                "content (PR 3's serial==parallel equivalence digest)",
+                f"content (PR 3's serial==parallel equivalence digest){hint}",
             )
 
     def _check_iter(self, ctx: FileContext, iter_expr: ast.expr) -> None:

@@ -1,0 +1,166 @@
+"""SD201: one telemetry namespace, documented, or it does not exist.
+
+Invariant (PR 2/PR 6): every counter/gauge/histogram and every trace
+span the system can emit is part of the operator contract.  A metric
+name that drifts from the ``repro_<subsystem>_<name>`` convention,
+collides with another instrument kind, or never makes it into the
+DESIGN.md registry table is invisible to dashboards and to the
+bench-trend gates; a documented row with no registration site is a
+contract the code silently dropped.  This is a project rule: the
+namespace is global, so no single file can check it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..project import ProjectContext, ProjectRule, register
+
+__all__ = ["MetricRegistryRule"]
+
+METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9]+(?:_[a-z0-9]+)+$")
+SPAN_TOKEN_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: The leading ``repro_<subsystem>_`` segment must name a known
+#: subsystem; a typo'd prefix forks the namespace silently.
+KNOWN_SUBSYSTEMS = frozenset(
+    {
+        "conventional",
+        "engine",
+        "fastpath",
+        "match",
+        "naive",
+        "profile",
+        "run",
+        "runtime",
+        "service",
+        "slowpath",
+        "telemetry",
+    }
+)
+
+
+@register
+class MetricRegistryRule(ProjectRule):
+    id = "SD201"
+    title = "metric/span name outside the documented telemetry registry"
+    default_paths = ("*/repro/*.py",)
+
+    def check_project(self, ctx: ProjectContext) -> None:
+        design = ctx.graph.design
+        #: name -> (kind, path, lineno, col) of the first registration.
+        first_seen: dict[str, tuple[str, str, int, int]] = {}
+        registered: dict[str, str] = {}
+        emitted_spans: dict[tuple[str, str], tuple[str, int, int]] = {}
+
+        for facts in ctx.facts():
+            for metric in facts.metrics:
+                name = metric["name"]
+                kind = metric["kind"]
+                site = (kind, facts.path, metric["lineno"], metric["col"])
+                if not METRIC_NAME_RE.match(name):
+                    ctx.report(
+                        self,
+                        facts.path,
+                        metric["lineno"],
+                        metric["col"],
+                        f"metric name {name!r} does not match the "
+                        "repro_<subsystem>_<name> convention",
+                    )
+                    continue
+                subsystem = name.split("_")[1]
+                if subsystem not in KNOWN_SUBSYSTEMS:
+                    ctx.report(
+                        self,
+                        facts.path,
+                        metric["lineno"],
+                        metric["col"],
+                        f"metric {name!r} uses unknown subsystem "
+                        f"{subsystem!r}; known: "
+                        f"{', '.join(sorted(KNOWN_SUBSYSTEMS))}",
+                    )
+                prior = first_seen.setdefault(name, site)
+                if prior[0] != kind:
+                    ctx.report(
+                        self,
+                        facts.path,
+                        metric["lineno"],
+                        metric["col"],
+                        f"metric {name!r} registered as {kind} here but as "
+                        f"{prior[0]} at {prior[1]}:{prior[2]}; one name, one "
+                        "instrument kind",
+                    )
+                registered[name] = kind
+                if (
+                    design is not None
+                    and not design.empty
+                    and name not in design.metrics
+                ):
+                    ctx.report(
+                        self,
+                        facts.path,
+                        metric["lineno"],
+                        metric["col"],
+                        f"metric {name!r} is not documented in the "
+                        f"{design.path} telemetry registry table",
+                    )
+            for span in facts.spans:
+                stage, event = span["stage"], span["event"]
+                emitted_spans.setdefault(
+                    (stage, event), (facts.path, span["lineno"], span["col"])
+                )
+                for label, token in (("stage", stage), ("event", event)):
+                    if not SPAN_TOKEN_RE.match(token):
+                        ctx.report(
+                            self,
+                            facts.path,
+                            span["lineno"],
+                            span["col"],
+                            f"trace span {label} {token!r} does not match the "
+                            "lowercase snake_case convention",
+                        )
+                if (
+                    design is not None
+                    and not design.empty
+                    and (stage, event) not in design.spans
+                ):
+                    ctx.report(
+                        self,
+                        facts.path,
+                        span["lineno"],
+                        span["col"],
+                        f"trace span {stage}:{event} is not documented in the "
+                        f"{design.path} telemetry registry table",
+                    )
+
+        if design is None or design.empty or not ctx.complete:
+            return  # reverse checks need the whole tree in view
+        for name, (kind, lineno) in sorted(design.metrics.items()):
+            if name not in registered:
+                ctx.report(
+                    self,
+                    design.path,
+                    lineno,
+                    0,
+                    f"documented metric {name!r} is registered nowhere in the "
+                    "scanned tree (orphaned registry row)",
+                )
+            elif registered[name] != kind:
+                ctx.report(
+                    self,
+                    design.path,
+                    lineno,
+                    0,
+                    f"documented metric {name!r} says {kind} but the code "
+                    f"registers a {registered[name]}",
+                )
+        for (stage, event), lineno in sorted(design.spans.items()):
+            if (stage, event) not in emitted_spans:
+                ctx.report(
+                    self,
+                    design.path,
+                    lineno,
+                    0,
+                    f"documented trace span {stage}:{event} is emitted nowhere "
+                    "in the scanned tree (orphaned registry row)",
+                )

@@ -1,0 +1,97 @@
+"""SD202: the worker wire protocol is exhaustive in both directions.
+
+Invariant (PR 3): shard workers speak ``(kind, shard, generation,
+payload)`` tuples over the results queue, and the supervisor's merge
+loop must dispatch on every kind a worker can emit -- a new delta or
+heartbeat kind with no handler arm is a message class that silently
+disappears, which is exactly the lossy-merge failure mode the
+serial==parallel digest exists to rule out.  The reverse direction
+matters too: a handler arm for a kind nothing emits is dead code or a
+typo hiding a live kind.  Arities must agree so a protocol change can
+never half-land.
+
+Facts come from :mod:`..facts`: ``wire_puts`` are literal-kind tuples
+put on a ``*out_queue``; ``wire_handles`` are comparisons on variables
+unpacked from ``*out_queue.get()`` (one call level deep), so the
+batching layer's unrelated ``"ctl"`` markers never enter the protocol.
+"""
+
+from __future__ import annotations
+
+from ..project import ProjectContext, ProjectRule, register
+
+__all__ = ["WireProtocolRule"]
+
+EMITTER_PATHS = ("*/repro/runtime/worker.py",)
+HANDLER_PATHS = ("*/repro/runtime/parallel.py",)
+
+
+@register
+class WireProtocolRule(ProjectRule):
+    id = "SD202"
+    title = "worker wire-protocol kind without a matching peer"
+    default_paths = EMITTER_PATHS + HANDLER_PATHS
+
+    def check_project(self, ctx: ProjectContext) -> None:
+        root = ctx.config.root
+        emitters = ctx.graph.facts_matching(EMITTER_PATHS, ctx.exclude, root=root)
+        handlers = ctx.graph.facts_matching(HANDLER_PATHS, ctx.exclude, root=root)
+        if not emitters or not handlers:
+            return  # partial scans (one file given on the CLI) stay silent
+
+        emitted: dict[str, tuple[str, int, int]] = {}
+        put_arities: dict[int, tuple[str, int, int]] = {}
+        for facts in emitters:
+            for put in facts.wire_puts:
+                emitted.setdefault(
+                    put["kind"], (facts.path, put["lineno"], put["col"])
+                )
+                put_arities.setdefault(
+                    put["arity"], (facts.path, put["lineno"], put["col"])
+                )
+
+        handled: dict[str, tuple[str, int, int]] = {}
+        unpack_arities: dict[int, tuple[str, int, int]] = {}
+        for facts in handlers:
+            for handle in facts.wire_handles:
+                site = (facts.path, handle["lineno"], handle.get("col", 0))
+                if handle["kind"] is None:
+                    unpack_arities.setdefault(handle["arity"], site)
+                else:
+                    handled.setdefault(handle["kind"], site)
+
+        if not emitted or not handled:
+            return
+
+        for kind, (path, lineno, col) in sorted(emitted.items()):
+            if kind not in handled:
+                ctx.report(
+                    self,
+                    path,
+                    lineno,
+                    col,
+                    f"worker emits wire kind {kind!r} but the supervisor has "
+                    "no dispatch arm for it; the message would be silently "
+                    "dropped at merge",
+                )
+        for kind, (path, lineno, col) in sorted(handled.items()):
+            if kind not in emitted:
+                ctx.report(
+                    self,
+                    path,
+                    lineno,
+                    col,
+                    f"supervisor dispatches on wire kind {kind!r} but no "
+                    "worker emits it (dead arm or misspelled kind)",
+                )
+        for arity, (path, lineno, col) in sorted(put_arities.items()):
+            if unpack_arities and arity not in unpack_arities:
+                ctx.report(
+                    self,
+                    path,
+                    lineno,
+                    col,
+                    f"worker puts {arity}-tuples on the wire but the "
+                    "supervisor unpacks "
+                    f"{'/'.join(str(a) for a in sorted(unpack_arities))}-tuples",
+                )

@@ -1,0 +1,58 @@
+"""SD203: TCP sequence arithmetic goes through the modular helpers.
+
+Invariant (PR 1, paper S4): sequence numbers live in Z/2^32.  Raw
+``+``/``-`` on a seq-family value silently produces the wrong answer at
+wraparound, and raw ``<``/``>`` ordering is wrong for half the space --
+which is precisely the ambiguity an evader aims a split attack at.  In
+the packet/stream/core layers, arithmetic on seq-tainted values must go
+through ``seq_add``/``seq_diff`` (packet/tcp.py).
+
+Taint is computed per function in :mod:`..facts`: names spelled
+``seq``/``ack``/``*_seq`` plus one assignment level (``x = seg.seq``
+taints ``x``; ``d = seq_diff(...)`` does not -- a diff is a plain signed
+integer).  Arithmetic immediately reduced ``% 2**32`` and the bodies of
+``seq_*`` helpers themselves are exempt: that *is* the discipline.
+"""
+
+from __future__ import annotations
+
+from ..project import ProjectContext, ProjectRule, register
+
+__all__ = ["SeqDisciplineRule"]
+
+_HELP = {
+    "+": "use seq_add(a, n)",
+    "-": "use seq_add(a, -n) or seq_diff(a, b)",
+    "+=": "use seq_add(a, n)",
+    "-=": "use seq_add(a, -n)",
+    "<": "compare via seq_diff(a, b) < 0",
+    ">": "compare via seq_diff(a, b) > 0",
+    "<=": "compare via seq_diff(a, b) <= 0",
+    ">=": "compare via seq_diff(a, b) >= 0",
+}
+
+
+@register
+class SeqDisciplineRule(ProjectRule):
+    id = "SD203"
+    title = "raw arithmetic/ordering on a TCP sequence number"
+    default_paths = (
+        "*/repro/core/*.py",
+        "*/repro/streams/*.py",
+        "*/repro/packet/*.py",
+    )
+
+    def check_project(self, ctx: ProjectContext) -> None:
+        for facts in ctx.facts():
+            for op in facts.seq_ops:
+                symbol = op["op"]
+                ctx.report(
+                    self,
+                    facts.path,
+                    op["lineno"],
+                    op["col"],
+                    f"raw {symbol!r} on a sequence-number value in "
+                    f"{op['scope']}; {_HELP.get(symbol, 'use the seq_* helpers')} "
+                    "so 2^32 wraparound cannot corrupt the comparison "
+                    "(the evasion class the fast path defends against)",
+                )

@@ -1,0 +1,80 @@
+"""SD204: acquired OS resources are released on every path.
+
+Invariant (PR 3/PR 8): the runtime and service layers own sockets,
+worker ``Process``es, multiprocessing ``Queue``s, and capture file
+handles.  A handle that leaks on an early return -- or an object parked
+on ``self`` with no close anywhere in its class -- is a slow death for a
+long-running inline service: fd exhaustion looks exactly like packet
+loss, and the shedding layer will happily mask it until the box tips.
+
+Facts (:mod:`..facts`) are deliberately lenient: ``with`` blocks,
+escapes into other callables (ownership transfer, e.g. queues handed to
+``_reap``), returned handles, and comprehension-built pools all pass.
+What gets flagged: a discarded acquisition, a local never closed at all,
+a close that an earlier ``return`` can skip (not in ``finally``), and a
+``self.<attr>`` acquisition whose class never closes or forwards that
+attribute.
+"""
+
+from __future__ import annotations
+
+from ..project import ProjectContext, ProjectRule, register
+
+__all__ = ["ResourceLifecycleRule"]
+
+
+@register
+class ResourceLifecycleRule(ProjectRule):
+    id = "SD204"
+    title = "resource acquired without a release on every path"
+    default_paths = (
+        "*/repro/runtime/*.py",
+        "*/repro/service/*.py",
+    )
+
+    def check_project(self, ctx: ProjectContext) -> None:
+        for facts in ctx.facts():
+            for res in facts.resources:
+                kind = res["kind"]
+                scope = res["scope"]
+                where = (facts.path, res["lineno"], res["col"])
+                if res["disposition"] == "discarded":
+                    ctx.report(
+                        self,
+                        *where,
+                        f"{kind} acquired in {scope} and immediately "
+                        "discarded; bind it and close it, or use `with`",
+                    )
+                elif res["disposition"] == "local":
+                    if res["escape"]:
+                        continue  # ownership transferred or returned
+                    if not res["closed"]:
+                        ctx.report(
+                            self,
+                            *where,
+                            f"{kind} {res['name']!r} acquired in {scope} is "
+                            "never closed and never escapes; use `with` or "
+                            "close it in `finally`",
+                        )
+                    elif res["leaky_return"]:
+                        ctx.report(
+                            self,
+                            *where,
+                            f"{kind} {res['name']!r} acquired in {scope} can "
+                            "leak: a `return` precedes the close and the "
+                            "close is not in a `finally` block",
+                        )
+                elif res["disposition"] == "self":
+                    cls = res["cls"]
+                    attr = res["attr"]
+                    if cls is None or attr is None:
+                        continue
+                    releases = facts.attr_releases.get(cls, [])
+                    if attr not in releases:
+                        ctx.report(
+                            self,
+                            *where,
+                            f"{kind} stored on self.{attr} in {scope} but "
+                            f"class {cls} never closes or forwards that "
+                            "attribute; add a close()/shutdown path",
+                        )

@@ -62,7 +62,7 @@ def intact_pieces(
     ``boundaries`` are stream offsets of packet cut points;
     ``signature_start`` maps signature coordinates into the stream.
     """
-    out = []
+    out: list[int] = []
     for index, interval in enumerate(piece_intervals(split)):
         lo = signature_start + interval.start
         hi = signature_start + interval.end
@@ -73,7 +73,7 @@ def intact_pieces(
 
 def boundaries_of_sizes(sizes: list[int]) -> list[int]:
     """Cumulative cut points of a packet-size sequence (excluding 0/end)."""
-    out = []
+    out: list[int] = []
     acc = 0
     for size in sizes[:-1]:
         acc += size

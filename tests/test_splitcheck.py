@@ -57,6 +57,27 @@ def run_rules(
     return findings
 
 
+def run_tree(
+    tmp_path: Path,
+    files: dict[str, str],
+    *,
+    select: str | None = None,
+    design: str | None = None,
+) -> list[Finding]:
+    """Write a multi-file repro-shaped tree (plus optional DESIGN.md)
+    and analyze it -- the fixture shape for SD2xx project rules."""
+    for rel_name, source in files.items():
+        target = tmp_path / "repro" / rel_name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    if design is not None:
+        (tmp_path / "DESIGN.md").write_text(design, encoding="utf-8")
+    config = Config(root=tmp_path)
+    selected = frozenset({select}) if select else None
+    findings, _ = check_paths([tmp_path], config, select=selected)
+    return findings
+
+
 def rule_ids(findings: list[Finding]) -> set[str]:
     return {finding.rule for finding in findings}
 
@@ -183,13 +204,44 @@ class TestSD102:
         )
         assert rule_ids(findings) == {"SD102"}
 
-    def test_random_import_flags(self, tmp_path):
+    def test_random_call_flags(self, tmp_path):
+        # The import alone is fine now (the seeded-instance idiom is
+        # allowed); module-level random functions still flag.
         findings = run_rules(
             tmp_path,
             "runtime/report.py",
             "import random\n\ndef merge(xs):\n    return random.choice(xs)\n",
         )
         assert {"SD102"} == rule_ids(findings)
+        assert len(findings) == 1
+
+    def test_unseeded_random_instance_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import random\n\ndef merge():\n    return random.Random()\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
+
+    def test_seeded_random_instance_passes(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import random\n\n"
+            "def merge(seed):\n"
+            "    a = random.Random(99)\n"
+            "    b = random.Random(seed)\n"
+            "    return a, b\n",
+        )
+        assert findings == []
+
+    def test_secrets_import_flags(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "runtime/report.py",
+            "import secrets\n\ndef tok():\n    return secrets.token_hex(8)\n",
+        )
+        assert rule_ids(findings) == {"SD102"}
         assert len(findings) == 2  # the import and the call
 
     def test_datetime_now_flags(self, tmp_path):
@@ -1005,7 +1057,26 @@ class TestFramework:
             "SD106",
             "SD107",
             "SD108",
+            "SD201",
+            "SD202",
+            "SD203",
+            "SD204",
         }
+
+    def test_every_rule_has_flag_and_near_miss_fixtures(self):
+        """Meta-test: each registered SDxxx rule keeps at least one
+        fixture that must flag and one near-miss that must pass."""
+        module = sys.modules[__name__]
+        for rule_id in all_rules():
+            cls = getattr(module, f"Test{rule_id}", None)
+            assert cls is not None, f"no Test{rule_id} fixture class"
+            names = [name for name in vars(cls) if name.startswith("test_")]
+            assert any("flag" in name for name in names), (
+                f"{rule_id} has no flagging fixture"
+            )
+            assert any(
+                "pass" in name or "exempt" in name for name in names
+            ), f"{rule_id} has no near-miss (passing) fixture"
 
 
 class TestCli:
@@ -1118,16 +1189,561 @@ class TestCli:
 
 
 # ---------------------------------------------------------------------------
+# SD201: metric/span registry (project rule)
+# ---------------------------------------------------------------------------
+
+
+class TestSD201:
+    def test_malformed_metric_name_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {"core/fast.py": 'C = registry.counter("bad-name", "desc")\n'},
+            select="SD201",
+        )
+        assert rule_ids(findings) == {"SD201"}
+        assert "convention" in findings[0].message
+
+    def test_unknown_subsystem_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/fast.py": (
+                    'C = registry.counter("repro_wizard_packets_total", "d")\n'
+                )
+            },
+            select="SD201",
+        )
+        assert rule_ids(findings) == {"SD201"}
+        assert "unknown subsystem" in findings[0].message
+
+    def test_kind_conflict_across_files_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/a.py": 'C = reg.counter("repro_engine_things_total", "d")\n',
+                "core/b.py": 'G = reg.gauge("repro_engine_things_total", "d")\n',
+            },
+            select="SD201",
+        )
+        assert rule_ids(findings) == {"SD201"}
+        assert "one name, one" in findings[0].message
+
+    def test_undocumented_and_orphaned_rows_flag(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/a.py": (
+                    'GOOD = reg.counter("repro_engine_good_total", "d")\n'
+                    'EXTRA = reg.counter("repro_engine_extra_total", "d")\n'
+                )
+            },
+            select="SD201",
+            design=(
+                "| `repro_engine_good_total` | counter | core |\n"
+                "| `repro_engine_ghost_total` | gauge | core |\n"
+            ),
+        )
+        assert rule_ids(findings) == {"SD201"}
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any("not documented" in m for m in messages)
+        assert any("orphaned" in m for m in messages)
+        assert {f.path for f in findings} == {"repro/core/a.py", "DESIGN.md"}
+
+    def test_documented_kind_mismatch_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {"core/a.py": 'G = reg.gauge("repro_engine_depth_total", "d")\n'},
+            select="SD201",
+            design="| `repro_engine_depth_total` | counter | core |\n",
+        )
+        assert len(findings) == 1
+        assert "says counter but the code registers a gauge" in findings[0].message
+
+    def test_documented_metrics_and_spans_pass(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/a.py": (
+                    'C = reg.counter("repro_engine_good_total", "d")\n'
+                    "def route(tracer, flow):\n"
+                    '    tracer.record(flow, "decode", "fast_route")\n'
+                )
+            },
+            select="SD201",
+            design=(
+                "| `repro_engine_good_total` | counter | core |\n"
+                "| `decode:fast_route` | span | core |\n"
+            ),
+        )
+        assert findings == []
+
+    def test_no_design_doc_skips_registry_checks(self, tmp_path):
+        # Convention checks still run; documentation checks need the doc.
+        findings = run_tree(
+            tmp_path,
+            {"core/a.py": 'C = reg.counter("repro_engine_lone_total", "d")\n'},
+            select="SD201",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD202: worker wire-protocol exhaustiveness (project rule)
+# ---------------------------------------------------------------------------
+
+WORKER_OK = (
+    "def work(shard, out_queue):\n"
+    '    out_queue.put(("ok", shard, 0, None))\n'
+    '    out_queue.put(("error", shard, 0, "boom"))\n'
+)
+
+PUMP_OK = (
+    "def pump(out_queue):\n"
+    "    kind, shard, n, payload = out_queue.get()\n"
+    '    if kind == "ok":\n'
+    "        return payload\n"
+    '    elif kind == "error":\n'
+    "        raise RuntimeError(payload)\n"
+)
+
+
+class TestSD202:
+    def test_emitted_kind_without_handler_flags(self, tmp_path):
+        worker = WORKER_OK + '    out_queue.put(("stats", shard, 0, None))\n'
+        findings = run_tree(
+            tmp_path,
+            {"runtime/worker.py": worker, "runtime/parallel.py": PUMP_OK},
+            select="SD202",
+        )
+        assert rule_ids(findings) == {"SD202"}
+        assert len(findings) == 1
+        assert "stats" in findings[0].message
+        assert findings[0].path == "repro/runtime/worker.py"
+
+    def test_dead_handler_arm_flags(self, tmp_path):
+        pump = PUMP_OK + (
+            '    elif kind == "retired":\n'
+            "        return None\n"
+        )
+        findings = run_tree(
+            tmp_path,
+            {"runtime/worker.py": WORKER_OK, "runtime/parallel.py": pump},
+            select="SD202",
+        )
+        assert rule_ids(findings) == {"SD202"}
+        assert "retired" in findings[0].message
+        assert findings[0].path == "repro/runtime/parallel.py"
+
+    def test_arity_mismatch_flags(self, tmp_path):
+        worker = (
+            "def work(shard, out_queue):\n"
+            '    out_queue.put(("ok", shard))\n'
+            '    out_queue.put(("error", shard, 0, "boom"))\n'
+        )
+        findings = run_tree(
+            tmp_path,
+            {"runtime/worker.py": worker, "runtime/parallel.py": PUMP_OK},
+            select="SD202",
+        )
+        assert rule_ids(findings) == {"SD202"}
+        assert any(
+            "puts 2-tuples" in f.message and "unpacks 4-tuples" in f.message
+            for f in findings
+        )
+
+    def test_matching_protocol_passes(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {"runtime/worker.py": WORKER_OK, "runtime/parallel.py": PUMP_OK},
+            select="SD202",
+        )
+        assert findings == []
+
+    def test_silent_when_either_side_absent(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {"runtime/worker.py": WORKER_OK},
+            select="SD202",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD203: sequence-number arithmetic discipline (project rule)
+# ---------------------------------------------------------------------------
+
+
+class TestSD203:
+    def test_raw_add_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {"core/seqmath.py": "def advance(seq, n):\n    return seq + n\n"},
+            select="SD203",
+        )
+        assert rule_ids(findings) == {"SD203"}
+        assert "seq_add" in findings[0].message
+
+    def test_augmented_and_compare_flag(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/seqmath.py": (
+                    "def bump(seq, ack):\n"
+                    "    if seq < ack:\n"
+                    "        seq += 1\n"
+                    "    return seq\n"
+                )
+            },
+            select="SD203",
+        )
+        assert rule_ids(findings) == {"SD203"}
+        assert len(findings) == 2
+
+    def test_helpers_and_explicit_mod_pass(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/seqmath.py": (
+                    "from repro.packet.tcp import seq_add, seq_diff\n"
+                    "def advance(seq, n):\n"
+                    "    return seq_add(seq, n)\n"
+                    "def span(end_seq, start_seq):\n"
+                    "    return seq_diff(end_seq, start_seq)\n"
+                    "def wrap(seq):\n"
+                    "    return (seq + 1) % 2**32\n"
+                )
+            },
+            select="SD203",
+        )
+        assert findings == []
+
+    def test_untainted_names_pass(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "core/seqmath.py": (
+                    "def total(size, count):\n"
+                    "    return size + count\n"
+                    "def grown(seq_len):\n"
+                    "    return seq_len + 1\n"
+                )
+            },
+            select="SD203",
+        )
+        assert findings == []
+
+    def test_out_of_scope_dirs_pass(self, tmp_path):
+        # The discipline is scoped to core/, streams/, packet/.
+        findings = run_tree(
+            tmp_path,
+            {"analysis/plots.py": "def advance(seq, n):\n    return seq + n\n"},
+            select="SD203",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SD204: resource lifecycle (project rule)
+# ---------------------------------------------------------------------------
+
+
+class TestSD204:
+    def test_self_socket_without_close_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "service/listener.py": (
+                    "import socket\n"
+                    "class Listener:\n"
+                    "    def start(self):\n"
+                    "        self.sock = socket.socket()\n"
+                )
+            },
+            select="SD204",
+        )
+        assert rule_ids(findings) == {"SD204"}
+        assert "self.sock" in findings[0].message
+
+    def test_local_never_closed_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "service/probe.py": (
+                    "import socket\n"
+                    "def probe(addr):\n"
+                    "    sock = socket.socket()\n"
+                    "    sock.connect(addr)\n"
+                )
+            },
+            select="SD204",
+        )
+        assert rule_ids(findings) == {"SD204"}
+        assert "never closed" in findings[0].message
+
+    def test_leaky_return_before_close_flags(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "service/probe.py": (
+                    "import socket\n"
+                    "def probe(addr, dry):\n"
+                    "    sock = socket.socket()\n"
+                    "    if dry:\n"
+                    "        return 0\n"
+                    "    sock.close()\n"
+                    "    return 1\n"
+                )
+            },
+            select="SD204",
+        )
+        assert rule_ids(findings) == {"SD204"}
+        assert "leak" in findings[0].message
+
+    def test_with_finally_close_and_escape_pass(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "service/clean.py": (
+                    "import socket\n"
+                    "def scoped(addr):\n"
+                    "    with socket.socket() as sock:\n"
+                    "        sock.connect(addr)\n"
+                    "def guarded(addr):\n"
+                    "    sock = socket.socket()\n"
+                    "    try:\n"
+                    "        sock.connect(addr)\n"
+                    "    finally:\n"
+                    "        sock.close()\n"
+                    "def handoff(pool):\n"
+                    "    sock = socket.socket()\n"
+                    "    pool.append(sock)\n"
+                    "class Owner:\n"
+                    "    def start(self):\n"
+                    "        self.sock = socket.socket()\n"
+                    "    def stop(self):\n"
+                    "        self.sock.close()\n"
+                )
+            },
+            select="SD204",
+        )
+        assert findings == []
+
+    def test_out_of_scope_dirs_pass(self, tmp_path):
+        findings = run_tree(
+            tmp_path,
+            {
+                "analysis/grab.py": (
+                    "import socket\n"
+                    "def probe(addr):\n"
+                    "    sock = socket.socket()\n"
+                    "    sock.connect(addr)\n"
+                )
+            },
+            select="SD204",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Project infrastructure: cache, graph dump, output formats, scoping
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def bad_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def test_warm_run_is_finding_transparent(self, tmp_path):
+        self.bad_file(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold, _ = check_paths(
+            [tmp_path], Config(root=tmp_path), cache_path=cache
+        )
+        assert cache.exists()
+        warm, _ = check_paths(
+            [tmp_path], Config(root=tmp_path), cache_path=cache
+        )
+        assert [f.to_dict() for f in cold] == [f.to_dict() for f in warm]
+        assert rule_ids(cold) == {"SD101"}
+
+    def test_content_edit_invalidates_entry(self, tmp_path):
+        target = self.bad_file(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold, _ = check_paths(
+            [tmp_path], Config(root=tmp_path), cache_path=cache
+        )
+        assert cold
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        if self.tel_on:\n"
+            "            self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        fixed, _ = check_paths(
+            [tmp_path], Config(root=tmp_path), cache_path=cache
+        )
+        assert fixed == []
+
+    def test_signature_mismatch_resets_cache(self, tmp_path):
+        from repro.devtools.splitcheck import FactsCache
+        from repro.devtools.splitcheck.cache import fingerprint
+        from repro.devtools.splitcheck.facts import extract_facts
+        import ast as ast_mod
+
+        source = "X = 1\n"
+        facts = extract_facts(
+            "repro/core/x.py", ast_mod.parse(source), source
+        )
+        path = tmp_path / "cache.json"
+        first = FactsCache(path, "signature-a")
+        first.put("repro/core/x.py", fingerprint(source.encode()), facts, [])
+        first.write()
+        same = FactsCache(path, "signature-a")
+        assert same.get("repro/core/x.py", fingerprint(source.encode()))
+        other = FactsCache(path, "signature-b")
+        assert other.get("repro/core/x.py", fingerprint(source.encode())) is None
+
+    def test_prune_drops_departed_files(self, tmp_path):
+        self.bad_file(tmp_path)
+        cache = tmp_path / "cache.json"
+        check_paths([tmp_path], Config(root=tmp_path), cache_path=cache)
+        entries = json.loads(cache.read_text(encoding="utf-8"))["files"]
+        assert "repro/core/engine.py" in entries
+        (tmp_path / "repro" / "core" / "engine.py").unlink()
+        check_paths([tmp_path], Config(root=tmp_path), cache_path=cache)
+        entries = json.loads(cache.read_text(encoding="utf-8"))["files"]
+        assert entries == {}
+
+
+class TestProjectCli:
+    def bad_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "repro" / "core" / "engine.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "class E:\n"
+            "    def process(self, pkt):\n"
+            "        self._c_packets.inc()\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def test_graph_dump(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "fast.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "from repro.packet.tcp import seq_add\n"
+            'C = reg.counter("repro_engine_x_total", "d")\n'
+            "def hot(seq):\n"
+            "    return seq_add(seq, 1)\n",
+            encoding="utf-8",
+        )
+        code = splitcheck_main(
+            [str(tmp_path), "--root", str(tmp_path), "--graph"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["files"]["repro/core/fast.py"]
+        assert entry["module"] == "repro.core.fast"
+        assert entry["imports"]["seq_add"] == "repro.packet.tcp.seq_add"
+        assert entry["metrics"][0]["name"] == "repro_engine_x_total"
+        assert [f["name"] for f in entry["functions"]] == ["hot"]
+
+    def test_github_output_format(self, tmp_path, capsys):
+        target = self.bad_file(tmp_path)
+        code = splitcheck_main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--output-format",
+                "github",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=SD101" in out
+
+    @requires_toml
+    def test_per_rule_exclude_carves_file_out(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.splitcheck.rules.SD101]\n"
+            'exclude = ["*/core/engine.py"]\n',
+            encoding="utf-8",
+        )
+        target = self.bad_file(tmp_path)
+        findings, _ = check_paths([tmp_path], load_config(tmp_path))
+        assert findings == []
+        # Without the carve-out the same file flags.
+        findings, _ = check_paths([tmp_path], Config(root=tmp_path))
+        assert rule_ids(findings) == {"SD101"}
+
+    def test_no_cache_flag_leaves_no_file(self, tmp_path):
+        target = self.bad_file(tmp_path)
+        assert (
+            splitcheck_main(
+                [str(target), "--root", str(tmp_path), "--no-cache"]
+            )
+            == 1
+        )
+        assert not (tmp_path / ".splitcheck-cache.json").exists()
+
+    def test_default_cache_written_at_root(self, tmp_path):
+        target = self.bad_file(tmp_path)
+        assert splitcheck_main([str(target), "--root", str(tmp_path)]) == 1
+        assert (tmp_path / ".splitcheck-cache.json").exists()
+
+
+class TestMypyRatchet:
+    @requires_toml
+    def test_override_list_parsing(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from check_mypy_ratchet import override_modules
+        finally:
+            sys.path.pop(0)
+        text = (
+            "[tool.mypy]\nstrict = true\n"
+            "[[tool.mypy.overrides]]\n"
+            'module = ["repro.core.*", "repro.cli"]\n'
+            "disallow_untyped_defs = false\n"
+        )
+        assert override_modules(text) == ["repro.core.*", "repro.cli"]
+        assert override_modules("[tool.mypy]\nstrict = true\n") is None
+
+    @requires_toml
+    def test_current_repo_passes_ratchet(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_mypy_ratchet.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ---------------------------------------------------------------------------
 # Self-run: the real tree must be clean
 # ---------------------------------------------------------------------------
 
 
 class TestSelfRun:
-    def test_core_match_runtime_clean_with_zero_baseline(self):
-        """The acceptance invariant: hot-path dirs clean, baseline empty."""
+    def test_core_match_runtime_service_clean_with_zero_baseline(self):
+        """The acceptance invariant: hot-path dirs clean (including the
+        SD2xx project pass), baseline empty."""
         config = load_config(REPO_ROOT)
         findings, checked = check_paths(
-            [SRC / "core", SRC / "match", SRC / "runtime"], config
+            [SRC / "core", SRC / "match", SRC / "runtime", SRC / "service"],
+            config,
         )
         assert checked > 10
         assert findings == [], "\n".join(f.render() for f in findings)
@@ -1138,6 +1754,22 @@ class TestSelfRun:
         config = load_config(REPO_ROOT)
         findings, checked = check_paths([SRC], config)
         assert checked > 50
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_extended_scope_benchmarks_and_helpers_clean(self):
+        """The per-rule pyproject scopes pull benchmarks/ and
+        tests/helpers.py into the determinism/timing/byte subset; they
+        must stay clean too."""
+        config = load_config(REPO_ROOT)
+        findings, checked = check_paths(
+            [
+                SRC,
+                REPO_ROOT / "benchmarks",
+                REPO_ROOT / "tests" / "helpers.py",
+            ],
+            config,
+        )
+        assert checked > 100
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_telemetry_and_packet_clean(self):

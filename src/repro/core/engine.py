@@ -27,6 +27,7 @@ from ..packet import (
     decode_udp,
     flow_key_of,
 )
+from ..packet.batch import PacketBatch, ip_u32_to_str
 from ..signatures import ByteFrequencyModel, RuleSet, SplitPolicy, split_ruleset
 from ..streams import FLOW_OVERHEAD_BYTES, OverlapPolicy
 from ..telemetry import NULL_REGISTRY, NULL_TRACER, StageProfiler
@@ -188,6 +189,26 @@ class SplitDetectIPS:
             "by exception class",
             ("cause",),
         )
+        self._c_ingest_rows = tel.counter(
+            "repro_ingest_rows_total",
+            "Rows consumed from columnar packet batches",
+        )
+        self._c_ingest_batches = tel.counter(
+            "repro_ingest_batches_total",
+            "Columnar packet batches processed",
+        )
+        self._c_ingest_materialized = tel.counter(
+            "repro_ingest_materialized_total",
+            "Columnar rows materialized into packet objects, by trigger",
+            ("cause",),
+        )
+        self._ingest_mat_labels: dict[str, object] = {}
+        # Columnar flow interning: numeric five-tuple -> (FlowKey,
+        # canonical), so string formatting is paid once per flow.  Bounded
+        # like the batch-module caches: cleared wholesale at capacity.
+        self._flow_intern: dict[
+            tuple[int, int, int, int, int], tuple[FlowKey, FlowKey]
+        ] = {}
         self._c_reinstated = tel.counter(
             "repro_engine_reinstated_flows_total",
             "Diverted flows returned to the fast path after clean probation",
@@ -467,6 +488,211 @@ class SplitDetectIPS:
             for packet, hits in zip(packets, prescanned):
                 alerts.extend(self.process(packet, hits))
         return alerts
+
+    def process_column_batch(self, batch: PacketBatch) -> list[Alert]:
+        """Route one columnar batch; returns all alerts in row order.
+
+        Row-for-row identical to materializing every row and calling
+        :meth:`process` (the tested oracle: equal equivalence digests).
+        The strategy is *flag-or-replicate*: each row is classified with
+        side-effect-free column reads (``StateBackend.peek``, precomputed
+        prescan hits); rows that are provably clean are committed inline
+        by :meth:`FastPath.process_columns` with the exact side effects
+        of the object path, and every other row -- fragment, diverted,
+        transport-undecodable, TTL/tiny/order anomaly, automaton hit --
+        is materialized into a real packet and replayed through
+        :meth:`process`, which stays the single authority for diversion,
+        alerting, and error accounting.  Flagging a clean row is merely
+        slow; committing a dirty row is impossible because the commit
+        path handles only the checks' complement.
+
+        Telemetry deltas: clean rows are not stage-profiled per row (the
+        prescan stage is; materialized rows profile via the object
+        path), and the monitor-occupancy gauge samples once per batch.
+        Both are outside the equivalence digest.
+        """
+        fast = self.fast_path
+        stats = self.stats
+        tel_on = self._tel_on
+        trace_enabled = self._trace_enabled
+        tracer = self.tracer
+        diverted = self._diverted
+        n = len(batch)
+        proto_col = batch.proto
+        frag_col = batch.fragflags
+        paylen_col = batch.pay_len
+        payoff_col = batch.pay_off
+        tok_col = batch.tok
+        ts_col = batch.ts
+        flags_col = batch.tcpflags
+        ttl_col = batch.ttl
+        seq_col = batch.seq
+        view = batch.view
+        automaton = fast.automaton
+        intern_flow = self._intern_flow
+        process_columns = fast.process_columns
+        hits_by_row: list[list[tuple[int, int]] | None] = [None] * n
+        flows_by_row: list[tuple[FlowKey, FlowKey] | None] = [None] * n
+        if automaton is not None and n > 1:
+            t0 = perf_counter_ns() if tel_on else 0
+            off_col = batch.off
+            caplen_col = batch.caplen
+            # Batch sweep: one C-speed substring search per pattern over
+            # the batch's record range.  Rows are in capture order, so
+            # the range encloses every payload view, and a clear range
+            # proves every candidate scan below would find nothing (see
+            # ``DualAutomaton.range_clear``).  The common benign batch
+            # then skips the per-payload prescan entirely; only the
+            # scan-counter accounting is replayed, keeping matcher
+            # counters identical to scanning each payload.
+            if automaton.range_clear(
+                batch.buffer, off_col[0], off_col[n - 1] + caplen_col[n - 1]
+            ):
+                count = 0
+                nbytes = 0
+                for row in range(n):
+                    p = proto_col[row]
+                    if (
+                        (p == IP_PROTO_TCP or p == IP_PROTO_UDP)
+                        and not (frag_col[row] & 0x3FFF)
+                        and tok_col[row]
+                        and paylen_col[row]
+                    ):
+                        keys = flows_by_row[row] = intern_flow(batch, row)
+                        if keys[1] not in diverted:
+                            hits_by_row[row] = []
+                            count += 1
+                            nbytes += paylen_col[row]
+                automaton.account_prefilter_skips(count, nbytes)
+            else:
+                # The same stateless prescan sweep process_batch runs,
+                # minus the per-packet bytes copies: candidate payloads
+                # go to the automaton as views over the shared capture
+                # buffer.  Flow keys interned while gathering are kept
+                # for the row loop.
+                payloads: list[memoryview] = []
+                slots: list[int] = []
+                for row in range(n):
+                    p = proto_col[row]
+                    if (
+                        (p == IP_PROTO_TCP or p == IP_PROTO_UDP)
+                        and not (frag_col[row] & 0x3FFF)
+                        and tok_col[row]
+                        and paylen_col[row]
+                    ):
+                        keys = flows_by_row[row] = intern_flow(batch, row)
+                        if keys[1] not in diverted:
+                            start = payoff_col[row]
+                            payloads.append(view[start : start + paylen_col[row]])
+                            slots.append(row)
+                if payloads:
+                    for slot, hits in zip(slots, fast.prescan_views(payloads)):
+                        hits_by_row[slot] = hits
+            if tel_on:
+                self._stage_prescan.observe(perf_counter_ns() - t0)
+        alerts: list[Alert] = []
+        # Per-batch stats accumulators: the object path mutates the same
+        # fields inside process(), so these locals are folded in once
+        # after the loop (pure counters -- nothing reads them mid-batch).
+        packets_add = 0
+        fast_add = 0
+        fast_bytes_add = 0
+        for row in range(n):
+            p = proto_col[row]
+            if p != IP_PROTO_TCP and p != IP_PROTO_UDP:
+                # process() waves non-TCP/UDP packets through untouched;
+                # commit the counters without building the object.
+                packets_add += 1
+                fast_add += 1
+                fast.commit_passthrough_row()
+                if tel_on:
+                    self._c_packets_fast.inc()
+                continue
+            if frag_col[row] & 0x3FFF:
+                cause = "fragment"
+            else:
+                flow, canonical = flows_by_row[row] or intern_flow(batch, row)
+                if canonical in diverted:
+                    cause = "diverted"
+                else:
+                    hits = hits_by_row[row]
+                    plen = paylen_col[row]
+                    if (
+                        hits is None
+                        and automaton is not None
+                        and tok_col[row]
+                        and plen
+                    ):
+                        # Row not covered by the sweep (single-row batch,
+                        # or its flow was diverted then reinstated
+                        # mid-batch): scan here, as _scan would inline.
+                        start = payoff_col[row]
+                        hits = automaton.find_all(
+                            bytes(view[start : start + plen])
+                        )
+                        hits_by_row[row] = hits
+                    verdict = process_columns(
+                        flow,
+                        hits,
+                        p,
+                        tok_col[row],
+                        plen,
+                        flags_col[row],
+                        ttl_col[row],
+                        seq_col[row],
+                        ts_col[row],
+                    )
+                    if verdict is None:
+                        packets_add += 1
+                        fast_add += 1
+                        if plen and automaton is not None:
+                            fast_bytes_add += plen
+                            if tel_on:
+                                self._c_bytes_fast.inc(plen)
+                        if tel_on:
+                            self._c_packets_fast.inc()
+                        if trace_enabled:
+                            tracer.record(flow, "decode", "fast_route", ts_col[row])
+                        continue
+                    cause = verdict
+            alerts.extend(self.process(batch.materialize(row), hits_by_row[row]))
+            if tel_on:
+                self._ingest_materialized(cause).inc()
+        stats.packets_total += packets_add
+        stats.fast_packets += fast_add
+        stats.fast_bytes_scanned += fast_bytes_add
+        fast.finish_column_batch()
+        if tel_on:
+            self._c_ingest_rows.inc(n)
+            self._c_ingest_batches.inc()
+        return alerts
+
+    def _intern_flow(self, batch: PacketBatch, row: int) -> tuple[FlowKey, FlowKey]:
+        """(flow, canonical) for a row, interned by numeric five-tuple."""
+        key = (
+            batch.src[row],
+            batch.dst[row],
+            batch.sport[row],
+            batch.dport[row],
+            batch.proto[row],
+        )
+        entry = self._flow_intern.get(key)
+        if entry is None:
+            if len(self._flow_intern) >= 65536:
+                self._flow_intern.clear()
+            flow = FlowKey(
+                ip_u32_to_str(key[0]), ip_u32_to_str(key[1]), key[2], key[3], key[4]
+            )
+            entry = (flow, flow.canonical())
+            self._flow_intern[key] = entry
+        return entry
+
+    def _ingest_materialized(self, cause: str):
+        handle = self._ingest_mat_labels.get(cause)
+        if handle is None:
+            handle = self._c_ingest_materialized.labels(cause=cause)
+            self._ingest_mat_labels[cause] = handle
+        return handle
 
     def _scan_candidate(self, packet: TimedPacket) -> bytes | None:
         """The payload the fast path would scan for this packet, if any."""

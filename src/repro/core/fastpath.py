@@ -19,12 +19,16 @@ from ..telemetry import NULL_REGISTRY, NULL_TRACER, SIZE_BYTES_BUCKETS
 from ..packet import (
     IP_PROTO_TCP,
     IP_PROTO_UDP,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
     FlowKey,
     TcpSegment,
     TimedPacket,
     decode_tcp,
     decode_udp,
     flow_key_of,
+    seq_add,
     seq_diff,
 )
 from ..packet.errors import PacketError
@@ -536,6 +540,133 @@ class FastPath:
         if self.automaton is None:
             return [[] for _ in payloads]
         return self.automaton.scan_many(payloads)
+
+    def prescan_views(
+        self, payloads: list[memoryview]
+    ) -> list[list[tuple[int, int]]]:
+        """:meth:`prescan` over shared-buffer memoryviews (columnar intake)."""
+        if self.automaton is None:
+            return [[] for _ in payloads]
+        return self.automaton.prescan_batch(payloads)
+
+    # -- columnar intake --------------------------------------------------
+
+    def process_columns(
+        self,
+        flow: FlowKey,
+        hits: list[tuple[int, int]] | None,
+        proto: int,
+        tok: int,
+        plen: int,
+        flags: int,
+        ttl: int,
+        seq: int,
+        ts: float,
+    ) -> str | None:
+        """Fast-path verdict for one :class:`~repro.packet.batch.PacketBatch` row.
+
+        The columnar engine loop interleaves its own per-row bookkeeping
+        (diverted-set lookups, diversion side effects) between rows, so
+        this consumes the batch one row at a time -- the caller passes
+        the row's column values as scalars (it already holds the column
+        arrays as locals; re-reading them here would double the hot
+        loop's subscript work).  The contract is *flag-or-replicate*: a
+        row is committed inline -- with exactly the monitor/scan side
+        effects :meth:`process` would produce -- only when it is
+        provably clean (decodes, passes TTL/tiny/order checks, has no
+        automaton hits).  Anything else returns a materialization cause
+        string and is replayed through the object path, which stays the
+        single authority for anomalies, alerts, and error accounting.
+        Over-flagging is therefore safe by construction; only the
+        clean-commit path must (and does) mirror :meth:`_process` side
+        effect for side effect.
+
+        Returns ``None`` when the row was committed clean, else the
+        cause (``decode_error``/``ttl``/``tiny``/``order``/``match``).
+        The caller guarantees the row is non-fragment TCP/UDP on a
+        non-diverted flow.
+        """
+        config = self.config
+        if not tok:
+            return "decode_error"
+        if hits:
+            return "match"
+        tel_on = self._tel_on
+        if proto == IP_PROTO_UDP:
+            # Stateless datagram: no monitor, just scan accounting.
+            self.packets_processed += 1
+            if plen and self.automaton is not None:
+                self.bytes_scanned += plen
+                if tel_on:
+                    self._c_bytes.inc(plen)
+                    self._h_payload.observe(plen)
+            if tel_on:
+                self._c_packets.inc()
+            return None
+        syn = flags & TCP_SYN
+        if config.min_ttl and plen and ttl < config.min_ttl:
+            return "ttl"
+        if not syn and plen:
+            if config.check_tiny and not (flags & TCP_FIN) and plen < self.threshold:
+                return "tiny"
+            if config.check_order:
+                state = self._flows.peek(flow)
+                if (
+                    state is not None
+                    and state.expected_seq is not None
+                    and seq != state.expected_seq
+                ):
+                    return "order"
+        # Clean row: replicate _process/_monitor side effects inline.
+        self.packets_processed += 1
+        state = self._flows.get(flow)
+        if state is None and (syn or plen):
+            state = FlowState()
+        if state is not None:
+            # (A pure ACK with no monitor entry creates none -- the
+            # FIN-handshake resurrection rule in _monitor.)
+            state.last_seen = ts
+            if syn:
+                state.expected_seq = seq_add(
+                    seq, plen + 1 + (1 if flags & TCP_FIN else 0)
+                )
+            elif plen:
+                # In-order, midstream pickup, or order-check disabled:
+                # all advance to this segment's end, as _check_progression
+                # does for every non-diverting data segment.
+                state.expected_seq = seq_add(
+                    seq, plen + (1 if flags & TCP_FIN else 0)
+                )
+            self._flows.put(flow, state)
+        if plen and self.automaton is not None:
+            self.bytes_scanned += plen
+            if tel_on:
+                self._c_bytes.inc(plen)
+                self._h_payload.observe(plen)
+        if flags & TCP_RST:
+            self._flows.pop(flow, None)
+            self._flows.pop(flow.reversed(), None)
+        elif flags & TCP_FIN:
+            self._flows.pop(flow, None)
+        if tel_on:
+            self._c_packets.inc()
+        return None
+
+    def commit_passthrough_row(self) -> None:
+        """Account one non-TCP/UDP row the fast path waves through.
+
+        Mirrors :meth:`process` on a packet :meth:`_process` returns
+        early for: the packet counter moves, nothing else does.
+        """
+        self.packets_processed += 1
+        if self._tel_on:
+            self._c_packets.inc()
+
+    def finish_column_batch(self) -> None:
+        """Batch-end gauge sample (`process` samples per packet; the
+        columnar loop samples once, landing on the same final value)."""
+        if self._tel_on:
+            self._g_monitor.set(len(self._flows))
 
     # -- internals --------------------------------------------------------
 

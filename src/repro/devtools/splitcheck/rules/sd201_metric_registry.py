@@ -28,6 +28,7 @@ KNOWN_SUBSYSTEMS = frozenset(
         "conventional",
         "engine",
         "fastpath",
+        "ingest",
         "match",
         "naive",
         "profile",

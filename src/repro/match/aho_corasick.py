@@ -50,6 +50,12 @@ DENSE_STATE_LIMIT = 16384
 #: costs more than stepping the table byte by byte.
 ANCHORED_MAX_START_BYTES = 8
 
+#: Build the whole-pattern prefilter (one literal-alternation regex over
+#: all patterns) only up to this many patterns.  Every alternative is
+#: tried at each inspected position, so a huge pattern set would make
+#: the C-speed pre-pass cost more than the table walk it short-circuits.
+PIECE_PREFILTER_MAX_PATTERNS = 64
+
 
 class AhoCorasick:
     """Immutable Aho-Corasick automaton over byte patterns.
@@ -101,6 +107,8 @@ class AhoCorasick:
         self._root_row: list | None = None
         self._start_bytes: bytes = bytes(sorted(self._goto[ROOT_STATE]))
         self._start_re: re.Pattern[bytes] | None = None
+        self._piece_re: re.Pattern[bytes] | None = None
+        self._piece_patterns: tuple[bytes, ...] = ()
         self._anchored = False
         if dense_state_limit and len(self._goto) <= dense_state_limit:
             self._compile()
@@ -183,6 +191,16 @@ class AhoCorasick:
         self._root_row = rows[ROOT_STATE]
         if self._start_bytes:
             self._start_re = re.compile(b"[" + re.escape(self._start_bytes) + b"]")
+            if len(self.patterns) <= PIECE_PREFILTER_MAX_PATTERNS:
+                # Second-stage prefilter: a root-anchored buffer can only
+                # match where a whole pattern occurs verbatim, so one
+                # C-speed search over the literal alternation proves most
+                # real payloads match-free without stepping the table.
+                # (The start-byte class is too weak on text payloads --
+                # letters anchor constantly; full pieces almost never.)
+                unique = sorted(set(self.patterns))
+                self._piece_re = re.compile(b"|".join(map(re.escape, unique)))
+                self._piece_patterns = tuple(unique)
         self._anchored = 0 < len(self._start_bytes) <= ANCHORED_MAX_START_BYTES
 
     # -- public API ---------------------------------------------------------
@@ -347,6 +365,10 @@ class AhoCorasick:
             return False
         if self._start_re is None:
             return False
+        if self._piece_re is not None:
+            # Whole patterns are plain literals, so the alternation
+            # regex *is* the containment predicate.
+            return self._piece_re.search(data) is not None
         anchor = self._start_re.search(data)
         if anchor is None:
             return False
@@ -377,8 +399,47 @@ class AhoCorasick:
 
     def find_all(self, data: bytes) -> list[tuple[int, int]]:
         """All matches in a self-contained buffer as (pattern_id, end_offset)."""
+        if self._piece_re is not None and self._piece_re.search(data) is None:
+            # Self-contained buffer: the final state is discarded, so the
+            # whole-pattern prefilter may skip the walk outright.  (scan()
+            # itself cannot -- a match-free chunk can still end mid-prefix,
+            # and streaming callers need that state.)
+            self.scans += 1
+            self.scanned_bytes += len(data)
+            self.prefilter_skips += 1
+            return []
         _, matches = self.scan(data)
         return matches
+
+    def range_clear(self, buffer: bytes, lo: int, hi: int) -> bool:
+        """True when no whole pattern occurs in ``buffer[lo:hi]``.
+
+        One ``bytes.find`` (C fastsearch) per distinct pattern over the
+        range -- far cheaper than per-payload searches when the range
+        holds many payloads.  Exact for existence: any occurrence inside
+        a sub-slice of the range is an occurrence in the range.  Returns
+        False (meaning "cannot prove clear, scan normally") when the
+        piece prefilter is not built, so callers never lose soundness.
+        """
+        if self._piece_re is None:
+            return False
+        find = buffer.find
+        for pattern in self._piece_patterns:
+            if find(pattern, lo, hi) != -1:
+                return False
+        return True
+
+    def account_prefilter_skips(self, count: int, nbytes: int) -> None:
+        """Record *count* payloads (*nbytes* total) proven match-free
+        externally (:meth:`range_clear` over their containing buffer).
+
+        Byte-for-byte the accounting :meth:`scan_many` performs when the
+        prefilter skips every payload, so batch sweeps keep the scan
+        counters identical to having scanned each payload individually.
+        """
+        self.scans += count
+        self.scanned_bytes += nbytes
+        self.prefilter_skips += count
 
     def scan_many(
         self, payloads: Sequence[bytes]
@@ -402,7 +463,10 @@ class AhoCorasick:
             self.scanned_bytes += sum(len(payload) for payload in payloads)
             self.prefilter_skips += len(payloads)
             return [[] for _ in payloads]
-        search = start_re.search
+        # The whole-pattern alternation subsumes the start-byte class: no
+        # occurrence can begin before its leftmost match, so it serves as
+        # both the prefilter and the scan anchor in one C-speed search.
+        search = (self._piece_re or start_re).search
         anchored = self._anchored
         scan_anchored = self._scan_anchored
         root = self._root_row

@@ -118,6 +118,58 @@ class DualAutomaton:
                 result.extend((folded_ids[pid], end) for pid, end in hits)
         return results
 
+    def prescan_batch(
+        self, payloads: Sequence[memoryview]
+    ) -> list[list[tuple[int, int]]]:
+        """Batched scan over shared-buffer views (the columnar prescan).
+
+        The case-sensitive side scans the views zero-copy; the folded
+        side needs a case-folded copy, so it materializes ``bytes`` per
+        view exactly as :meth:`scan_many` does for ``bytes`` payloads.
+        Results (ids, ordering, scan accounting) are identical to
+        :meth:`scan_many` over ``[bytes(v) for v in payloads]``.
+        """
+        results: list[list[tuple[int, int]]] = [[] for _ in payloads]
+        if self.sensitive is not None:
+            sensitive_ids = self._sensitive_ids
+            for result, hits in zip(results, self.sensitive.scan_many(payloads)):
+                result.extend((sensitive_ids[pid], end) for pid, end in hits)
+        if self.folded is not None:
+            folded_ids = self._folded_ids
+            lowered = [bytes(payload).lower() for payload in payloads]
+            for result, hits in zip(results, self.folded.scan_many(lowered)):
+                result.extend((folded_ids[pid], end) for pid, end in hits)
+        return results
+
+    def range_clear(self, buffer: bytes, lo: int, hi: int) -> bool:
+        """True when no pattern from either side occurs in ``buffer[lo:hi]``.
+
+        Exact for batched prescans: every payload view handed to
+        :meth:`prescan_batch` is a sub-slice of its batch's record range,
+        so a clear range proves each per-payload scan would find nothing
+        (and that the per-payload prefilter would skip it).  The folded
+        side checks a case-folded copy of the range, matching its
+        per-payload ``bytes(view).lower()`` semantics.  False means
+        "cannot prove clear" -- callers must then scan normally.
+        """
+        sensitive = self.sensitive
+        if sensitive is not None and not sensitive.range_clear(buffer, lo, hi):
+            return False
+        folded = self.folded
+        if folded is not None:
+            lowered = buffer[lo:hi].lower()
+            if not folded.range_clear(lowered, 0, len(lowered)):
+                return False
+        return True
+
+    def account_prefilter_skips(self, count: int, nbytes: int) -> None:
+        """Scan-counter accounting for payloads a batch sweep proved
+        match-free; mirrors what :meth:`prescan_batch` would record."""
+        if self.sensitive is not None:
+            self.sensitive.account_prefilter_skips(count, nbytes)
+        if self.folded is not None:
+            self.folded.account_prefilter_skips(count, nbytes)
+
 
 class DualStreamMatcher:
     """Streaming matcher over a :class:`DualAutomaton`."""

@@ -5,6 +5,7 @@ parsing and serialization so that traces are real pcap artifacts and the
 evasion toolkit manipulates genuine wire images.
 """
 
+from .batch import PacketBatch, ip_u32_to_str
 from .checksum import internet_checksum, pseudo_header, verify_checksum
 from .errors import (
     ChecksumError,
@@ -48,6 +49,7 @@ __all__ = [
     "IP_PROTO_UDP",
     "IPv4Packet",
     "MalformedPacketError",
+    "PacketBatch",
     "PacketError",
     "TCP_ACK",
     "TCP_FIN",
@@ -70,6 +72,7 @@ __all__ = [
     "fragment",
     "internet_checksum",
     "ip_to_bytes",
+    "ip_u32_to_str",
     "mac_to_bytes",
     "mss_option_bytes",
     "pseudo_header",

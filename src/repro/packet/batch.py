@@ -1,0 +1,392 @@
+"""Columnar packet batches: struct-of-arrays decode for the fast path.
+
+The paper's economy is per-byte asymmetry: the fast path must do almost
+nothing per packet.  Our object ingest violated that shape -- every
+frame became an :class:`~repro.packet.ip.IPv4Packet` dataclass (header
+unpack, payload copy, options copy, ``TimedPacket`` wrapper) before the
+engine ever looked at it.  A :class:`PacketBatch` instead carries one
+shared ``bytes`` capture buffer plus parallel ``array`` columns of the
+few fields the fast path actually consults (protocol, fragment bits,
+TTL, addresses/ports, TCP seq/flags, payload offset/length), so the
+clean majority of rows is processed with integer reads and zero-copy
+``memoryview`` slices.  Only rows the engine flags -- fragment,
+diverted, anomalous, matched, or undecodable -- are materialized into
+real packet objects via :meth:`PacketBatch.materialize` and dropped
+into the existing object path unchanged.
+
+Column schema (one entry per valid row, in capture order):
+
+===========  =========  ====================================================
+column       typecode   meaning
+===========  =========  ====================================================
+ts           ``d``      capture timestamp (same arithmetic as the reader)
+off          ``Q``      offset of the IPv4 header in :attr:`buffer`
+caplen       ``I``      captured bytes from ``off`` (may include padding)
+proto        ``B``      IPv4 protocol number
+fragflags    ``H``      raw flags+fragment-offset field (``& 0x3FFF`` != 0
+                        means fragment; ``& 0x1FFF`` is offset in 8-byte
+                        units)
+ttl          ``B``      IPv4 TTL
+src / dst    ``I``      IPv4 addresses as big-endian integers
+sport/dport  ``H``      ``flow_key_of`` port semantics: first 4 bytes of
+                        the IP payload when present, else 0
+seq          ``I``      TCP sequence number (0 for UDP / undecodable)
+tcpflags     ``B``      TCP flag byte (0 for UDP / undecodable)
+pay_off      ``Q``      offset of the transport payload in :attr:`buffer`
+pay_len      ``I``      transport payload length (post snaplen check)
+tok          ``B``      1 when the transport header decoded cleanly
+flow_hash    ``Q``      FNV-1a of the port-less canonical flow key
+                        (:func:`~repro.runtime.sharding.shard_key_bytes`
+                        spelling; 0 for non-TCP/UDP rows)
+===========  =========  ====================================================
+
+``tok == 0`` marks rows whose transport header would make
+``decode_tcp`` / ``UdpDatagram.parse`` raise; the engine materializes
+them so the object path produces the authoritative error and
+accounting.  Malformed *IP* rows never become rows at all -- the reader
+quarantines them (as real exception instances on
+:attr:`PacketBatch.quarantined`) or raises, mirroring the two object
+readers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .flows import FlowKey, TimedPacket
+from .ip import IPv4Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..runtime.sharding import ShardRouter
+
+__all__ = ["PacketBatch", "ip_u32_to_str"]
+
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("ts", "d"),
+    ("off", "Q"),
+    ("caplen", "I"),
+    ("proto", "B"),
+    ("fragflags", "H"),
+    ("ttl", "B"),
+    ("src", "I"),
+    ("dst", "I"),
+    ("sport", "H"),
+    ("dport", "H"),
+    ("seq", "I"),
+    ("tcpflags", "B"),
+    ("pay_off", "Q"),
+    ("pay_len", "I"),
+    ("tok", "B"),
+    ("flow_hash", "Q"),
+)
+
+_COLUMN_NAMES = tuple(name for name, _ in _COLUMNS)
+
+# Bounded intern caches.  Flow identities repeat heavily (a trace has
+# far fewer flows than packets), so string formatting and FNV hashing
+# are paid once per flow, not once per packet.  Cleared wholesale at the
+# cap -- an adversarial many-flow trace degrades to cache misses, never
+# to unbounded memory.
+_INTERN_CAP = 65536
+_PORTLESS_HASHES: dict[tuple[int, int, int], int] = {}
+_TUPLE5_HASHES: dict[tuple[int, int, int, int, int], int] = {}
+
+
+@lru_cache(maxsize=_INTERN_CAP)
+def ip_u32_to_str(value: int) -> str:
+    """Dotted-quad string for a big-endian IPv4 address integer."""
+    return (
+        f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}."
+        f"{(value >> 8) & 0xFF}.{value & 0xFF}"
+    )
+
+
+def portless_flow_hash(src: int, dst: int, proto: int) -> int:
+    """FNV-1a of the port-less canonical shard key for an address pair.
+
+    Matches ``fnv1a_64(shard_key_bytes(flow, with_ports=False))`` for
+    every ``FlowKey`` over this address pair: the port-less key only
+    depends on the canonically ordered addresses, and tuple ordering on
+    ``(addr, port)`` reduces to string ordering on ``addr`` whenever the
+    addresses differ (and is irrelevant when they are equal).
+    """
+    key = (src, dst, proto)
+    cached = _PORTLESS_HASHES.get(key)
+    if cached is None:
+        from ..core.flowtable import fnv1a_64
+
+        if len(_PORTLESS_HASHES) >= _INTERN_CAP:
+            _PORTLESS_HASHES.clear()
+        a = ip_u32_to_str(src)
+        b = ip_u32_to_str(dst)
+        if b < a:
+            a, b = b, a
+        cached = fnv1a_64(f"{a}|{b}|{proto}".encode())
+        _PORTLESS_HASHES[key] = cached
+    return cached
+
+
+def _tuple5_flow_hash(src: int, dst: int, sport: int, dport: int, proto: int) -> int:
+    key = (src, dst, sport, dport, proto)
+    cached = _TUPLE5_HASHES.get(key)
+    if cached is None:
+        from ..core.flowtable import fnv1a_64
+        from ..runtime.sharding import shard_key_bytes
+
+        if len(_TUPLE5_HASHES) >= _INTERN_CAP:
+            _TUPLE5_HASHES.clear()
+        flow = FlowKey(ip_u32_to_str(src), ip_u32_to_str(dst), sport, dport, proto)
+        cached = fnv1a_64(shard_key_bytes(flow, with_ports=True))
+        _TUPLE5_HASHES[key] = cached
+    return cached
+
+
+class PacketBatch:
+    """A run of decoded packets as parallel columns over one buffer.
+
+    Instances are cheap to slice (:meth:`select` shares the buffer) and
+    safe to pickle (:meth:`compact` first copies just the referenced
+    bytes so a worker never receives the whole capture file; the lazy
+    memoryview is dropped on ``__getstate__`` -- SD103).
+    """
+
+    __slots__ = ("buffer", "quarantined", "_view") + _COLUMN_NAMES
+
+    buffer: bytes
+    quarantined: list[BaseException]
+    _view: memoryview | None
+    ts: "array[float]"
+    off: "array[int]"
+    caplen: "array[int]"
+    proto: "array[int]"
+    fragflags: "array[int]"
+    ttl: "array[int]"
+    src: "array[int]"
+    dst: "array[int]"
+    sport: "array[int]"
+    dport: "array[int]"
+    seq: "array[int]"
+    tcpflags: "array[int]"
+    pay_off: "array[int]"
+    pay_len: "array[int]"
+    tok: "array[int]"
+    flow_hash: "array[int]"
+
+    def __init__(
+        self,
+        buffer: bytes,
+        columns: dict[str, array],
+        quarantined: list[BaseException] | None = None,
+    ) -> None:
+        self.buffer = buffer
+        self.quarantined: list[BaseException] = quarantined if quarantined is not None else []
+        self._view: memoryview | None = None
+        for name, typecode in _COLUMNS:
+            column = columns.get(name)
+            if column is None:
+                column = array(typecode)
+            setattr(self, name, column)
+
+    # -- basic protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __bool__(self) -> bool:
+        return len(self.ts) > 0
+
+    @property
+    def view(self) -> memoryview:
+        """Lazily (re)built memoryview of the shared capture buffer."""
+        view = self._view
+        if view is None:
+            view = memoryview(self.buffer)
+            self._view = view
+        return view
+
+    @property
+    def first_ts(self) -> float:
+        return self.ts[0]
+
+    @property
+    def last_ts(self) -> float:
+        return self.ts[-1]
+
+    def columns(self) -> dict[str, array]:
+        return {name: getattr(self, name) for name in _COLUMN_NAMES}
+
+    # -- pickling (SD103: no memoryviews cross process boundaries) -----
+
+    def __getstate__(self) -> dict[str, object]:
+        state: dict[str, object] = {"buffer": self.buffer}
+        for name in _COLUMN_NAMES:
+            state[name] = getattr(self, name)
+        # Quarantined exceptions are absorbed feeder-side before a batch
+        # is routed; never ship them to workers.
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.buffer = state["buffer"]  # type: ignore[assignment]
+        self.quarantined = []
+        self._view = None
+        for name in _COLUMN_NAMES:
+            setattr(self, name, state[name])
+
+    # -- row access ----------------------------------------------------
+
+    def materialize(self, row: int) -> TimedPacket:
+        """Build the full packet object for one row (the slow minority)."""
+        off = self.off[row]
+        raw = self.buffer[off : off + self.caplen[row]]
+        return TimedPacket(self.ts[row], IPv4Packet.parse(raw))
+
+    def payload_view(self, row: int) -> memoryview:
+        """Zero-copy view of a row's transport payload."""
+        start = self.pay_off[row]
+        return self.view[start : start + self.pay_len[row]]
+
+    # -- slicing -------------------------------------------------------
+
+    def select(self, rows: Sequence[int]) -> "PacketBatch":
+        """New batch of the given rows, sharing this batch's buffer."""
+        columns: dict[str, array] = {}
+        for name, typecode in _COLUMNS:
+            source = getattr(self, name)
+            columns[name] = array(typecode, [source[row] for row in rows])
+        return PacketBatch(self.buffer, columns)
+
+    def slice(self, start: int, stop: int) -> "PacketBatch":
+        """Contiguous row range as a new batch sharing this buffer."""
+        columns: dict[str, array] = {}
+        for name, _ in _COLUMNS:
+            columns[name] = getattr(self, name)[start:stop]
+        return PacketBatch(self.buffer, columns)
+
+    def compact(self) -> "PacketBatch":
+        """Copy just the referenced record bytes into a fresh buffer.
+
+        Required before pickling a selection to a worker: a selection
+        shares the whole capture buffer, and shipping that per shard
+        would multiply the file size by the worker count.
+        """
+        pieces: list[bytes] = []
+        new_off = array("Q")
+        new_pay_off = array("Q")
+        cursor = 0
+        buffer = self.buffer
+        for row in range(len(self)):
+            off = self.off[row]
+            caplen = self.caplen[row]
+            pieces.append(buffer[off : off + caplen])
+            new_off.append(cursor)
+            # pay_off == 0 is the "no decoded payload" sentinel (tok==0
+            # or non-transport row); it must survive the shift as-is.
+            old_pay = self.pay_off[row]
+            new_pay_off.append(old_pay - off + cursor if old_pay else 0)
+            cursor += caplen
+        columns = self.columns()
+        columns["off"] = new_off
+        columns["pay_off"] = new_pay_off
+        return PacketBatch(b"".join(pieces), columns)
+
+    # -- shard routing -------------------------------------------------
+
+    def shard_rows(self, router: "ShardRouter") -> list[list[int]]:
+        """Row indices per shard, matching ``ShardRouter.shard_of``.
+
+        Non-TCP/UDP rows pin to shard 0; fragments hash the port-less
+        address pair; everything else follows the router's policy.  The
+        port-less hash comes straight off the precomputed
+        :attr:`flow_hash` column.
+        """
+        from ..runtime.sharding import ShardPolicy
+
+        shards = router.shards
+        buckets: list[list[int]] = [[] for _ in range(shards)]
+        if shards == 1:
+            buckets[0] = list(range(len(self)))
+            return buckets
+        tuple5 = router.policy is ShardPolicy.TUPLE5
+        proto = self.proto
+        fragflags = self.fragflags
+        flow_hash = self.flow_hash
+        for row in range(len(self)):
+            p = proto[row]
+            if p != IP_PROTO_TCP and p != IP_PROTO_UDP:
+                buckets[0].append(row)
+            elif tuple5 and not (fragflags[row] & 0x3FFF):
+                digest = _tuple5_flow_hash(
+                    self.src[row], self.dst[row], self.sport[row], self.dport[row], p
+                )
+                buckets[digest % shards].append(row)
+            else:
+                buckets[flow_hash[row] % shards].append(row)
+        return buckets
+
+
+class PacketBatchBuilder:
+    """Append-oriented accumulator the columnar reader fills row by row."""
+
+    __slots__ = ("columns", "quarantined")
+
+    def __init__(self) -> None:
+        self.columns: dict[str, array] = {
+            name: array(typecode) for name, typecode in _COLUMNS
+        }
+        self.quarantined: list[BaseException] = []
+
+    def __len__(self) -> int:
+        return len(self.columns["ts"])
+
+    def append(
+        self,
+        ts: float,
+        off: int,
+        caplen: int,
+        proto: int,
+        fragflags: int,
+        ttl: int,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        seq: int,
+        tcpflags: int,
+        pay_off: int,
+        pay_len: int,
+        tok: int,
+        flow_hash: int,
+    ) -> None:
+        columns = self.columns
+        columns["ts"].append(ts)
+        columns["off"].append(off)
+        columns["caplen"].append(caplen)
+        columns["proto"].append(proto)
+        columns["fragflags"].append(fragflags)
+        columns["ttl"].append(ttl)
+        columns["src"].append(src)
+        columns["dst"].append(dst)
+        columns["sport"].append(sport)
+        columns["dport"].append(dport)
+        columns["seq"].append(seq)
+        columns["tcpflags"].append(tcpflags)
+        columns["pay_off"].append(pay_off)
+        columns["pay_len"].append(pay_len)
+        columns["tok"].append(tok)
+        columns["flow_hash"].append(flow_hash)
+
+    def extend_lists(self, rows: dict[str, Iterable[int | float]]) -> None:
+        """Bulk-append pre-decoded column slices (the numpy path)."""
+        for name, values in rows.items():
+            self.columns[name].extend(values)  # type: ignore[arg-type]
+
+    def build(self, buffer: bytes) -> PacketBatch:
+        batch = PacketBatch(buffer, self.columns, self.quarantined)
+        self.columns = {name: array(typecode) for name, typecode in _COLUMNS}
+        self.quarantined = []
+        return batch

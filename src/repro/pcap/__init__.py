@@ -1,5 +1,6 @@
-"""Classic libpcap savefile reader/writer."""
+"""Classic libpcap savefile reader/writer (object and columnar)."""
 
+from .columnar import ColumnarPcapReader, numpy_available, read_column_batches
 from .format import (
     LINKTYPE_ETHERNET,
     LINKTYPE_RAW_IP,
@@ -16,12 +17,15 @@ from .io import (
 )
 
 __all__ = [
+    "ColumnarPcapReader",
     "LINKTYPE_ETHERNET",
     "LINKTYPE_RAW_IP",
     "PcapFormatError",
     "PcapHeader",
     "PcapReader",
     "PcapWriter",
+    "numpy_available",
+    "read_column_batches",
     "read_records",
     "read_trace",
     "trace_to_bytes",

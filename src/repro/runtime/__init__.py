@@ -34,7 +34,7 @@ Quick tour::
   counters, merged telemetry, and the equivalence digest.
 """
 
-from .batching import iter_batches, iter_batches_with_controls
+from .batching import iter_batches, iter_batches_with_controls, rebatch_columns
 from .config import Backpressure, RunnerConfig
 from .control import ControlMessage
 from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
@@ -81,5 +81,6 @@ __all__ = [
     "iter_batches",
     "iter_batches_with_controls",
     "merge_shard_reports",
+    "rebatch_columns",
     "shard_key_bytes",
 ]

@@ -13,9 +13,10 @@ from collections.abc import Iterable, Iterator
 from itertools import islice
 
 from ..packet import TimedPacket
+from ..packet.batch import PacketBatch
 from .control import ControlMessage
 
-__all__ = ["iter_batches", "iter_batches_with_controls"]
+__all__ = ["iter_batches", "iter_batches_with_controls", "rebatch_columns"]
 
 
 def iter_batches(
@@ -35,6 +36,30 @@ def iter_batches(
         if not batch:
             return
         yield batch
+
+
+def rebatch_columns(
+    batches: Iterable[PacketBatch], size: int
+) -> Iterator[PacketBatch]:
+    """Split oversized columnar batches down to at most ``size`` rows.
+
+    Split-only by design: batches are never merged across capture
+    buffers (a merge would force a copy and break the shared-buffer
+    zero-copy contract), so a source already at or under ``size`` passes
+    through untouched.  Quarantined exceptions ride on the first slice
+    of a split batch so the feeder-side ledger sees each exactly once.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    for batch in batches:
+        if len(batch) <= size:
+            yield batch
+            continue
+        for start in range(0, len(batch), size):
+            piece = batch.slice(start, start + size)
+            if start == 0:
+                piece.quarantined = batch.quarantined
+            yield piece
 
 
 def iter_batches_with_controls(

@@ -43,11 +43,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
+from collections.abc import Iterable, Iterator
 from time import monotonic, perf_counter
 from typing import Any
 
 from ..packet import TimedPacket
-from .batching import iter_batches_with_controls
+from ..packet.batch import PacketBatch
+from .batching import iter_batches_with_controls, rebatch_columns
 from .config import Backpressure, RunnerConfig
 from .control import ControlMessage
 from .quarantine import PacketSource, Quarantine, decode_packets
@@ -71,6 +73,12 @@ _PUT_POLL_SECONDS = 0.5
 #: Seconds the supervisor's drain loop waits per results-queue read
 #: between liveness sweeps.
 _DRAIN_POLL_SECONDS = 0.1
+
+def _bucket_first_ts(bucket: "list[TimedPacket] | PacketBatch") -> float:
+    """Timestamp of a non-empty bucket's first packet (either kind)."""
+    if isinstance(bucket, PacketBatch):
+        return bucket.first_ts
+    return bucket[0].timestamp
 
 
 class WorkerFailure(RuntimeError):
@@ -189,12 +197,50 @@ class ParallelRunner:
             except ValueError:
                 pass  # unkillable straggler; nothing more we can do
 
+    def _split_buckets(
+        self, item: "list[TimedPacket] | PacketBatch"
+    ) -> "Iterator[tuple[int, list[TimedPacket] | PacketBatch]]":
+        """Yield non-empty ``(shard, bucket)`` pairs for one input batch.
+
+        Columnar batches are routed off the precomputed hash columns and
+        compacted (fresh buffer holding just the selected records) so a
+        pickle to the worker never ships the whole capture file.
+        """
+        if isinstance(item, PacketBatch):
+            if self.workers == 1:
+                yield 0, item.compact()
+                return
+            for index, rows in enumerate(item.shard_rows(self.router)):
+                if rows:
+                    yield index, item.select(rows).compact()
+            return
+        buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
+        shard_of = self.router.shard_of
+        for packet in item:
+            buckets[shard_of(packet)].append(packet)
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                yield index, bucket
+
+    def _columnar_items(
+        self, batches: Iterable[PacketBatch], quarantine: Quarantine
+    ) -> "Iterator[tuple[str, PacketBatch]]":
+        """Adapt a columnar stream to the feeder loops' item protocol.
+
+        Reader-side quarantined exceptions are absorbed into the feeder
+        ledger here -- they never cross a process boundary (SD103)."""
+        for batch in rebatch_columns(batches, self.config.batch_size):
+            for exc in batch.quarantined:
+                quarantine.add(exc)
+            if batch:
+                yield "batch", batch
+
     # -- legacy fail-fast path -------------------------------------------
 
     def _put_blocking(
         self,
         in_queue: Any,
-        item: list[TimedPacket] | None,
+        item: "list[TimedPacket] | PacketBatch | None",
         process: Any,
         shard: int,
     ) -> None:
@@ -221,7 +267,23 @@ class ParallelRunner:
             return self._run_supervised(packets)
         return self._run_legacy(packets)
 
-    def _run_legacy(self, packets: PacketSource) -> RuntimeReport:
+    def run_columnar(self, batches: Iterable[PacketBatch]) -> RuntimeReport:
+        """Route, process in parallel, and merge a columnar batch stream.
+
+        Same topology, backpressure, supervision, and merge as
+        :meth:`run`; the input is :class:`~repro.packet.batch.PacketBatch`
+        columns (see :func:`repro.pcap.read_column_batches`) and each
+        shard's engine consumes its routed column slices directly.
+        """
+        if self.config.faults is not None:
+            raise ValueError("fault injection is incompatible with columnar ingest")
+        if self.config.supervised:
+            return self._run_supervised(batches, columnar=True)
+        return self._run_legacy(batches, columnar=True)
+
+    def _run_legacy(
+        self, packets: Any, *, columnar: bool = False
+    ) -> RuntimeReport:
         config = self.config
         ctx = mp.get_context(config.start_method)
         in_queues = [ctx.Queue(maxsize=config.queue_depth) for _ in range(self.workers)]
@@ -235,13 +297,16 @@ class ParallelRunner:
         shed_packets = 0
         shed_batches = 0
         batches_routed = 0
-        shard_of = self.router.shard_of
         shed = config.backpressure is Backpressure.SHED
         interrupted = False
         try:
-            stream = decode_packets(packets, quarantine)
+            if columnar:
+                items: Any = self._columnar_items(packets, quarantine)
+            else:
+                stream = decode_packets(packets, quarantine)
+                items = iter_batches_with_controls(stream, config.batch_size)
             try:
-                for kind, item in iter_batches_with_controls(stream, config.batch_size):
+                for kind, item in items:
                     if kind == "ctl":
                         # Controls are lossless even under shed: dropping
                         # a reload would silently split the fleet across
@@ -249,13 +314,7 @@ class ParallelRunner:
                         for index, in_queue in enumerate(in_queues):
                             self._put_blocking(in_queue, item, processes[index], index)
                         continue
-                    batch = item
-                    buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
-                    for packet in batch:
-                        buckets[shard_of(packet)].append(packet)
-                    for index, bucket in enumerate(buckets):
-                        if not bucket:
-                            continue
+                    for index, bucket in self._split_buckets(item):
                         if shed:
                             try:
                                 in_queues[index].put_nowait(bucket)
@@ -319,7 +378,9 @@ class ParallelRunner:
 
     # -- supervised path --------------------------------------------------
 
-    def _run_supervised(self, packets: PacketSource) -> RuntimeReport:
+    def _run_supervised(
+        self, packets: Any, *, columnar: bool = False
+    ) -> RuntimeReport:
         config = self.config
         ctx = mp.get_context(config.start_method)
         out_queue = ctx.Queue()
@@ -335,7 +396,6 @@ class ParallelRunner:
         shed_packets = 0
         shed_batches = 0
         batches_routed = 0
-        shard_of = self.router.shard_of
         shed = config.backpressure is Backpressure.SHED
         start = perf_counter()
         drain_started = False
@@ -469,7 +529,7 @@ class ParallelRunner:
                         f"no heartbeat for {config.heartbeat_timeout:g}s",
                     )
 
-        def route(seat: _Seat, bucket: list[TimedPacket]) -> None:
+        def route(seat: _Seat, bucket: "list[TimedPacket] | PacketBatch") -> None:
             nonlocal shed_packets, shed_batches, batches_routed
             if seat.dead:
                 seat.dead_dropped_packets += len(bucket)
@@ -500,7 +560,7 @@ class ParallelRunner:
             if interval is not None and bucket:
                 # The replacement generation is taking traffic again;
                 # close the coverage gap at this batch's first packet.
-                interval.end_ts = bucket[0].timestamp
+                interval.end_ts = _bucket_first_ts(bucket)
                 seat.open_interval = None
 
         def broadcast_control(message: ControlMessage) -> None:
@@ -527,19 +587,19 @@ class ParallelRunner:
 
         interrupted = False
         try:
-            stream = decode_packets(packets, quarantine)
+            if columnar:
+                items: Any = self._columnar_items(packets, quarantine)
+            else:
+                stream = decode_packets(packets, quarantine)
+                items = iter_batches_with_controls(stream, config.batch_size)
             try:
-                for kind, item in iter_batches_with_controls(stream, config.batch_size):
+                for kind, item in items:
                     poll()
                     if kind == "ctl":
                         broadcast_control(item)
                         continue
-                    buckets: list[list[TimedPacket]] = [[] for _ in range(self.workers)]
-                    for packet in item:
-                        buckets[shard_of(packet)].append(packet)
-                    for index, bucket in enumerate(buckets):
-                        if bucket:
-                            route(seats[index], bucket)
+                    for index, bucket in self._split_buckets(item):
+                        route(seats[index], bucket)
             except KeyboardInterrupt:
                 # First interrupt: stop feeding and fall through to the
                 # sentinel drain for a partial (but loss-accounted)

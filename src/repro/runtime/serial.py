@@ -10,10 +10,12 @@ SerialRunner", and SerialRunner's is "equal to the unsharded engine"
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from time import perf_counter
 
 from ..packet import TimedPacket
-from .batching import iter_batches_with_controls
+from ..packet.batch import PacketBatch
+from .batching import iter_batches_with_controls, rebatch_columns
 from .config import RunnerConfig
 from .quarantine import PacketSource, Quarantine, decode_packets
 from .report import RuntimeReport, merge_shard_reports
@@ -73,6 +75,48 @@ class SerialRunner:
             for index, bucket in enumerate(buckets):
                 if bucket:
                     processors[index].feed(bucket)
+                    batches_routed += 1
+        reports = [processor.finish() for processor in processors]
+        return merge_shard_reports(
+            reports,
+            mode="serial",
+            workers=self.shards,
+            wall_seconds=perf_counter() - start,
+            batches_routed=batches_routed,
+            quarantined=dict(quarantine.counts),
+        )
+
+    def run_columnar(self, batches: Iterable[PacketBatch]) -> RuntimeReport:
+        """Route, process, and merge a columnar batch stream.
+
+        Same shards, same merge, same report as :meth:`run` -- the
+        stream is :class:`~repro.packet.batch.PacketBatch` columns (see
+        :func:`repro.pcap.read_column_batches`) instead of packet
+        objects.  Reader-side quarantined exceptions are absorbed into
+        the feeder ledger here; row selections share the source buffer
+        (no copies -- everything stays in this process).
+        """
+        if self.config.faults is not None:
+            raise ValueError("fault injection is incompatible with columnar ingest")
+        start = perf_counter()
+        processors = [
+            ShardProcessor(index, self.spec, self.config, allow_process_faults=False)
+            for index in range(self.shards)
+        ]
+        quarantine = Quarantine()
+        batches_routed = 0
+        for batch in rebatch_columns(batches, self.config.batch_size):
+            for exc in batch.quarantined:
+                quarantine.add(exc)
+            if not batch:
+                continue
+            if self.shards == 1:
+                processors[0].feed(batch)
+                batches_routed += 1
+                continue
+            for index, rows in enumerate(batch.shard_rows(self.router)):
+                if rows:
+                    processors[index].feed(batch.select(rows))
                     batches_routed += 1
         reports = [processor.finish() for processor in processors]
         return merge_shard_reports(

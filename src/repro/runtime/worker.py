@@ -39,6 +39,7 @@ from typing import Any
 
 from ..core import Alert
 from ..packet import TimedPacket
+from ..packet.batch import PacketBatch
 from ..packet.errors import PacketError
 from ..telemetry import FlowTracer, TelemetryRegistry
 from .config import RunnerConfig
@@ -111,30 +112,49 @@ class ShardProcessor:
         self._flush_seq = 0
         self._evict_anchor: float | None = None
 
-    def feed(self, batch: list[TimedPacket]) -> None:
+    def feed(self, batch: "list[TimedPacket] | PacketBatch") -> None:
         """Process one routed batch (engine work + periodic housekeeping).
 
-        A :class:`PacketError` raised at this boundary -- by an injected
-        decode fault or by the engine itself -- quarantines the affected
-        packets and returns normally: malformed input degrades coverage
-        (visibly, via the ledger), never the pipeline.
+        Accepts an object batch (``list[TimedPacket]``) or a columnar
+        :class:`~repro.packet.batch.PacketBatch`; both take the same
+        housekeeping path (eviction cadence, state sampling, busy-time
+        accounting), so the two ingest modes see identical batch
+        boundaries.  A :class:`PacketError` raised at this boundary --
+        by an injected decode fault or by the engine itself --
+        quarantines the affected packets and returns normally: malformed
+        input degrades coverage (visibly, via the ledger), never the
+        pipeline.
         """
         if not batch:
             return
-        self.packets_seen += len(batch)
-        self.last_ts = batch[-1].timestamp
-        if self.injector is not None:
+        columnar = isinstance(batch, PacketBatch)
+        if columnar:
+            count = len(batch)
+            first_ts = batch.first_ts
+            last_ts = batch.last_ts
+            if self.injector is not None:
+                # RunnerConfig rejects faults+columnar; guard direct use.
+                raise RuntimeError(
+                    "fault injection is incompatible with columnar ingest"
+                )
+        else:
+            count = len(batch)
+            first_ts = batch[0].timestamp
+            last_ts = batch[-1].timestamp
+        self.packets_seen += count
+        self.last_ts = last_ts
+        if self.injector is not None and not columnar:
             try:
-                self.injector.before_batch(self.packets_seen - len(batch), batch)
+                self.injector.before_batch(self.packets_seen - count, batch)
             except PacketError as exc:
-                self.quarantine.add(exc, packets=len(batch))
+                self.quarantine.add(exc, packets=count)
                 if self._trace_enabled and self.tracer is not None:
                     self.tracer.record_system(
                         "runtime",
                         "quarantine",
-                        ts=batch[-1].timestamp,
+                        ts=last_ts,
                         cause=type(exc).__name__,
-                        packets=len(batch),
+                        packets=count,
                     )
                 return
         # CPU time, not wall time: on a host with fewer cores than
@@ -144,7 +164,10 @@ class ShardProcessor:
         t0 = process_time_ns()
         examined_before = self.engine.stats.packets_total
         try:
-            self.alerts.extend(self.engine.process_batch(batch))
+            if columnar:
+                self.alerts.extend(self.engine.process_column_batch(batch))
+            else:
+                self.alerts.extend(self.engine.process_batch(batch))
         except PacketError as exc:
             # The engine raised mid-batch.  The packets it already
             # counted stay counted (their alerts are lost with the
@@ -152,14 +175,14 @@ class ShardProcessor:
             # the batch is not replayed, because re-feeding the prefix
             # would double-process flow state.
             examined = self.engine.stats.packets_total - examined_before
-            self.quarantine.add(exc, packets=len(batch) - examined)
+            self.quarantine.add(exc, packets=count - examined)
             if self._trace_enabled and self.tracer is not None:
                 self.tracer.record_system(
                     "runtime",
                     "quarantine",
-                    ts=batch[-1].timestamp,
+                    ts=last_ts,
                     cause=type(exc).__name__,
-                    packets=len(batch) - examined,
+                    packets=count - examined,
                 )
         self.batches += 1
         interval = self.config.evict_interval
@@ -171,9 +194,9 @@ class ShardProcessor:
             # stays alert-equivalent while its eviction behaviour is
             # stressed.
             skew = self.injector.clock_skew if self.injector is not None else 0.0
-            now = batch[-1].timestamp + skew
+            now = last_ts + skew
             if self._evict_anchor is None:
-                self._evict_anchor = batch[0].timestamp + skew
+                self._evict_anchor = first_ts + skew
             if now - self._evict_anchor >= interval:
                 self.evictions += self.engine.evict_idle(now)
                 self._evict_anchor = now

@@ -1,0 +1,338 @@
+"""Columnar ingest: object/columnar parity, edge cases, and wiring.
+
+The tentpole contract is byte-identical results: the columnar reader +
+``process_column_batch`` must produce the same alerts, stats, flow
+state, and runtime digests as the object path on the same savefile --
+with numpy on or off, on both supported linktypes, through every
+runner.  Everything here compares the two pipelines over one file so a
+single drifted field fails loudly.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+
+import pytest
+
+from repro.cli import main
+from repro.core import FastPathConfig, SplitDetectIPS
+from repro.evasion import build_attack
+from repro.metrics import run_split_detect, run_split_detect_columnar
+from repro.packet import (
+    TCP_ACK,
+    TCP_SYN,
+    TcpSegment,
+    TimedPacket,
+    build_tcp_packet,
+)
+from repro.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IP,
+    ColumnarPcapReader,
+    PcapFormatError,
+    numpy_available,
+    read_column_batches,
+    read_records,
+    read_trace,
+    write_trace,
+)
+from repro.runtime import (
+    EngineSpec,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ParallelRunner,
+    Quarantine,
+    RunnerConfig,
+    SerialRunner,
+    decode_packets,
+    rebatch_columns,
+)
+from repro.traffic import TrafficProfile, generate_trace, inject_attacks
+
+from helpers import ATTACK_SIGNATURE, SIGNATURE_OFFSET, attack_payload, attack_ruleset
+
+NUMPY_MODES = [False, True] if numpy_available() else [False]
+
+
+def mixed_trace() -> list[TimedPacket]:
+    trace = generate_trace(TrafficProfile(flows=60), seed=2006)
+    attacks = [
+        build_attack(
+            name,
+            attack_payload(),
+            signature_span=(SIGNATURE_OFFSET, len(ATTACK_SIGNATURE)),
+            src=f"10.66.0.{i + 1}",
+            seed=i,
+        )
+        for i, name in enumerate(["tcp_seg_8", "ip_frag_8", "stealth_segments"])
+    ]
+    return inject_attacks(trace, attacks)
+
+
+@pytest.fixture(scope="module")
+def mixed_pcaps(tmp_path_factory):
+    """The mixed trace written once per linktype (shared: read-only)."""
+    root = tmp_path_factory.mktemp("columnar")
+    trace = mixed_trace()
+    paths = {}
+    for linktype in (LINKTYPE_RAW_IP, LINKTYPE_ETHERNET):
+        path = root / f"mixed-{linktype}.pcap"
+        write_trace(path, trace, linktype=linktype)
+        paths[linktype] = path
+    return paths
+
+
+def run_object_engine(rules, path):
+    ips = SplitDetectIPS(rules)
+    alerts = []
+    from repro.runtime import iter_batches
+
+    for batch in iter_batches(read_trace(path), 256):
+        alerts.extend(ips.process_batch(batch))
+    return ips, alerts
+
+
+def run_columnar_engine(rules, path, use_numpy, **ips_kw):
+    ips = SplitDetectIPS(rules, **ips_kw)
+    alerts = []
+    for batch in read_column_batches(path, batch_size=256, use_numpy=use_numpy):
+        assert not batch.quarantined
+        alerts.extend(ips.process_column_batch(batch))
+    return ips, alerts
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("linktype", [LINKTYPE_RAW_IP, LINKTYPE_ETHERNET])
+    @pytest.mark.parametrize("use_numpy", NUMPY_MODES)
+    def test_stats_alerts_and_state_identical(self, mixed_pcaps, linktype, use_numpy):
+        path = mixed_pcaps[linktype]
+        rules = attack_ruleset()
+        obj, obj_alerts = run_object_engine(rules, path)
+        col, col_alerts = run_columnar_engine(rules, path, use_numpy)
+        assert vars(obj.stats) == vars(col.stats)
+        assert obj_alerts == col_alerts
+        assert obj._diverted == col._diverted
+        assert obj.divert_reasons == col.divert_reasons
+        assert obj.fast_path.packets_processed == col.fast_path.packets_processed
+        assert obj.fast_path.bytes_scanned == col.fast_path.bytes_scanned
+        obj_flows = {
+            key: (state.expected_seq, state.last_seen)
+            for key, state in obj.fast_path._flows.items()
+        }
+        col_flows = {
+            key: (state.expected_seq, state.last_seen)
+            for key, state in col.fast_path._flows.items()
+        }
+        assert obj_flows == col_flows
+
+    @pytest.mark.parametrize("use_numpy", NUMPY_MODES)
+    def test_table_backend_parity(self, mixed_pcaps, use_numpy):
+        path = mixed_pcaps[LINKTYPE_RAW_IP]
+        rules = attack_ruleset()
+        config = FastPathConfig(state_backend="table")
+        obj = SplitDetectIPS(rules, fast_config=config)
+        obj_alerts = []
+        from repro.runtime import iter_batches
+
+        for batch in iter_batches(read_trace(path), 256):
+            obj_alerts.extend(obj.process_batch(batch))
+        col, col_alerts = run_columnar_engine(
+            rules, path, use_numpy, fast_config=config
+        )
+        assert vars(obj.stats) == vars(col.stats)
+        assert obj_alerts == col_alerts
+        assert obj.divert_reasons == col.divert_reasons
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not available")
+class TestNumpyStdlibEquivalence:
+    @pytest.mark.parametrize("linktype", [LINKTYPE_RAW_IP, LINKTYPE_ETHERNET])
+    def test_columns_byte_identical(self, mixed_pcaps, linktype):
+        path = mixed_pcaps[linktype]
+        stdlib = list(read_column_batches(path, use_numpy=False))
+        vector = list(read_column_batches(path, use_numpy=True))
+        assert len(stdlib) == len(vector)
+        for a, b in zip(stdlib, vector):
+            assert a.columns() == b.columns()
+            assert [repr(e) for e in a.quarantined] == [
+                repr(e) for e in b.quarantined
+            ]
+
+
+class TestRunnerParity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_serial_digest_equal(self, mixed_pcaps, shards):
+        path = mixed_pcaps[LINKTYPE_RAW_IP]
+        spec = EngineSpec(rules=attack_ruleset())
+        obj = SerialRunner(spec, shards=shards).run(read_trace(path))
+        col = SerialRunner(
+            spec, shards=shards, config=RunnerConfig(ingest="columnar")
+        ).run_columnar(read_column_batches(path))
+        assert obj.digest() == col.digest()
+        assert obj.packets == col.packets
+
+    def test_parallel_digest_equal(self, mixed_pcaps):
+        path = mixed_pcaps[LINKTYPE_RAW_IP]
+        spec = EngineSpec(rules=attack_ruleset())
+        obj = ParallelRunner(spec, workers=2).run(read_trace(path))
+        col = ParallelRunner(
+            spec, workers=2, config=RunnerConfig(ingest="columnar")
+        ).run_columnar(read_column_batches(path))
+        assert obj.digest() == col.digest()
+
+    def test_harness_reports_match(self, mixed_pcaps):
+        path = mixed_pcaps[LINKTYPE_RAW_IP]
+        rules = attack_ruleset()
+        obj = run_split_detect(
+            SplitDetectIPS(rules),
+            read_trace(path),
+            batch_size=256,
+            evict_interval=5.0,
+        )
+        col = run_split_detect_columnar(
+            SplitDetectIPS(rules),
+            read_column_batches(path, batch_size=256, on_invalid="raise"),
+            evict_interval=5.0,
+        )
+        assert obj.alerts == col.alerts
+        assert obj.packets == col.packets
+        assert obj.evictions == col.evictions
+        assert obj.divert_reasons == col.divert_reasons
+        assert obj.peak_flows == col.peak_flows
+        assert obj.peak_state_bytes == col.peak_state_bytes
+
+
+class TestEdgeCases:
+    def test_truncated_final_frame_raises_in_both_modes(self, mixed_pcaps):
+        data = mixed_pcaps[LINKTYPE_RAW_IP].read_bytes()[:-7]
+        with pytest.raises(PcapFormatError, match="truncated record"):
+            list(read_trace(io.BytesIO(data)))
+        with pytest.raises(PcapFormatError, match="truncated record"):
+            list(read_column_batches(io.BytesIO(data)))
+
+    def test_snaplen_clipped_payload_quarantines_identically(self):
+        packet = build_tcp_packet(
+            "10.0.0.1", "10.0.0.2", TcpSegment(1234, 80, seq=1, payload=b"x" * 400)
+        )
+        raw = packet.serialize()
+        clipped = raw[:-50]
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        record = struct.pack("<IIII", 1, 0, len(clipped), len(raw)) + clipped
+        data = header + record
+
+        object_q = Quarantine()
+        packets = list(decode_packets(read_records(io.BytesIO(data)), object_q))
+        assert packets == []
+
+        batches = list(read_column_batches(io.BytesIO(data)))
+        assert len(batches) == 1
+        batch = batches[0]
+        assert len(batch) == 0
+        assert len(batch.quarantined) == 1
+        columnar_cause = type(batch.quarantined[0]).__name__
+        assert set(object_q.counts) == {columnar_cause}
+
+        with pytest.raises(Exception) as exc_info:
+            list(read_column_batches(io.BytesIO(data), on_invalid="raise"))
+        assert type(exc_info.value).__name__ == columnar_cause
+
+    def test_nanosecond_magic_decodes_identically(self):
+        packet = build_tcp_packet(
+            "10.0.0.1", "10.0.0.2", TcpSegment(1234, 80, seq=7, payload=b"hello")
+        )
+        raw = packet.serialize()
+        header = struct.pack("<IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 65535, 101)
+        record = struct.pack("<IIII", 10, 123_456_789, len(raw), len(raw)) + raw
+        data = header + record
+
+        (obj,) = read_trace(io.BytesIO(data))
+        (batch,) = read_column_batches(io.BytesIO(data))
+        assert len(batch) == 1
+        assert batch.ts[0] == obj.timestamp == 10 + 123_456_789 / 1_000_000_000
+        assert bytes(batch.payload_view(0)) == b"hello"
+
+    def test_pure_acks_decode_and_process_identically(self, tmp_path):
+        trace = []
+        for i in range(8):
+            flags = TCP_SYN if i == 0 else TCP_ACK
+            packet = build_tcp_packet(
+                "10.0.0.1", "10.0.0.2", TcpSegment(1234, 80, seq=100 + i, flags=flags)
+            )
+            trace.append(TimedPacket(float(i), packet))
+        path = tmp_path / "acks.pcap"
+        write_trace(path, trace)
+        (batch,) = read_column_batches(path)
+        assert len(batch) == 8
+        assert all(tok == 1 for tok in batch.tok)
+        assert all(length == 0 for length in batch.pay_len)
+        rules = attack_ruleset()
+        obj, obj_alerts = run_object_engine(rules, path)
+        col, col_alerts = run_columnar_engine(rules, path, None)
+        assert vars(obj.stats) == vars(col.stats)
+        assert obj_alerts == col_alerts == []
+
+
+class TestBatchMechanics:
+    def test_select_compact_pickle_roundtrip(self, mixed_pcaps):
+        (batch, *_rest) = read_column_batches(mixed_pcaps[LINKTYPE_RAW_IP])
+        rows = [0, 3, 5, len(batch) - 1]
+        compacted = batch.select(rows).compact()
+        assert len(compacted.buffer) < len(batch.buffer)
+        revived = pickle.loads(pickle.dumps(compacted))
+        for new_row, old_row in enumerate(rows):
+            assert revived.ts[new_row] == batch.ts[old_row]
+            assert bytes(revived.payload_view(new_row)) == bytes(
+                batch.payload_view(old_row)
+            )
+            original = batch.materialize(old_row)
+            copied = revived.materialize(new_row)
+            assert copied.ip.serialize() == original.ip.serialize()
+            assert copied.timestamp == original.timestamp
+
+    def test_rebatch_columns_splits_not_merges(self, mixed_pcaps):
+        source = list(read_column_batches(mixed_pcaps[LINKTYPE_RAW_IP], batch_size=300))
+        pieces = list(rebatch_columns(source, 100))
+        assert all(len(piece) <= 100 for piece in pieces)
+        assert sum(len(piece) for piece in pieces) == sum(len(b) for b in source)
+        small = list(rebatch_columns(source, 4096))
+        assert [len(b) for b in small] == [len(b) for b in source]
+
+    def test_reader_rejects_bad_arguments(self, mixed_pcaps):
+        path = mixed_pcaps[LINKTYPE_RAW_IP]
+        with pytest.raises(ValueError, match="batch_size"):
+            ColumnarPcapReader(path, batch_size=0)
+        with pytest.raises(ValueError, match="on_invalid"):
+            ColumnarPcapReader(path, on_invalid="explode")
+
+
+class TestConfigAndCli:
+    def test_runner_config_rejects_unknown_ingest(self):
+        with pytest.raises(ValueError, match="ingest"):
+            RunnerConfig(ingest="rowwise")
+
+    def test_runner_config_rejects_columnar_faults(self):
+        plan = FaultPlan(specs=(FaultSpec(kind=FaultKind.DECODE_ERROR, shard=0, at=1),))
+        with pytest.raises(ValueError, match="columnar"):
+            RunnerConfig(ingest="columnar", faults=plan)
+
+    def test_run_columnar_rejects_faults(self):
+        plan = FaultPlan(specs=(FaultSpec(kind=FaultKind.DECODE_ERROR, shard=0, at=1),))
+        spec = EngineSpec(rules=attack_ruleset())
+        runner = SerialRunner(spec, config=RunnerConfig(faults=plan))
+        with pytest.raises(ValueError, match="columnar"):
+            runner.run_columnar(iter(()))
+
+    def test_cli_columnar_single_process(self, mixed_pcaps, capsys):
+        path = str(mixed_pcaps[LINKTYPE_RAW_IP])
+        assert main(["run", path, "--ingest", "columnar", "--no-telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "processed" in out
+
+    def test_cli_columnar_requires_split_engine(self, mixed_pcaps, capsys):
+        path = str(mixed_pcaps[LINKTYPE_RAW_IP])
+        code = main(["run", path, "--ingest", "columnar", "--engine", "naive"])
+        assert code == 2
+        assert "columnar" in capsys.readouterr().err
